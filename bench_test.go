@@ -1,0 +1,163 @@
+// Benchmark harness: one benchmark per experiment in DESIGN.md §2. Each
+// benchmark regenerates its table (printed to the bench output) and reports
+// its headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// reproduces every table/figure stand-in of the paper in one run.
+package repro_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const benchSeed = 2018 // PODC year; all experiments are deterministic in it
+
+func reportLastCell(b *testing.B, t *experiments.Table, col, unit string) {
+	b.Helper()
+	s := t.Cell(len(t.Rows)-1, col)
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		b.ReportMetric(v, unit)
+	}
+}
+
+func BenchmarkE1PlanarQuality(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E1PlanarQuality([]int{6, 10, 14, 18}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "q_tw", "quality")
+}
+
+func BenchmarkE2TreewidthQuality(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E2Treewidth(400, []int{2, 3, 4, 6}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "blocks", "blocks")
+}
+
+func BenchmarkE3CliqueSumQuality(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E3CliqueSum([]int{2, 4, 8, 12}, 18, 3, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "quality", "quality")
+}
+
+func BenchmarkE4AlmostEmbeddable(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E4AlmostEmbeddable(benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "quality", "quality")
+}
+
+func BenchmarkE5MainQuality(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E5Main([]int{2, 4, 8, 16}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "quality", "quality")
+}
+
+func BenchmarkE6MST(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E6MST([]int{64, 128, 256}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "r_shortcut", "rounds")
+}
+
+func BenchmarkE6bMSTExcludedMinor(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E6bMSTExcludedMinor([]int{2, 4, 8}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "r_witness", "rounds")
+}
+
+func BenchmarkE6cAggregation(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.AggregationShowcase([]int{16, 32, 64}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "rounds_shortcut", "rounds")
+}
+
+func BenchmarkE7MinCut(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E7MinCut([]int{40, 80, 160}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "ratio", "ratio")
+}
+
+func BenchmarkE8LowerBound(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E8LowerBound([]int{4, 8, 12, 16}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "quality", "quality")
+}
+
+func BenchmarkE8bLowerBoundMST(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E8bLowerBoundMST([]int{4, 6, 8}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "r_oblivious", "rounds")
+}
+
+func BenchmarkE10FoldingAblation(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E10FoldingAblation([]int{8, 16, 32, 64}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "c_folded", "congestion")
+}
+
+func BenchmarkE11ApexEffect(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E11ApexEffect([]int{32, 64, 128}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "q_apexAware", "quality")
+}
+
+func BenchmarkE12Planarize(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E12Planarize([]int{0, 1, 2, 3}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "cut_n", "vertices")
+}

@@ -1,0 +1,18 @@
+// allbench regenerates every experiment table (E1-E12) in one run — the
+// CLI twin of `go test -bench=. -benchtime=1x .`.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	flag.Parse()
+	for _, t := range experiments.All(*seed) {
+		fmt.Println(t)
+	}
+}

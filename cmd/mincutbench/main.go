@@ -1,0 +1,22 @@
+// mincutbench regenerates the (1+ε)-approximate minimum-cut table
+// (experiment E7 of DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	sizes := []int{40, 80, 160}
+	if *big {
+		sizes = []int{40, 80, 160, 320, 640}
+	}
+	fmt.Println(experiments.E7MinCut(sizes, *seed))
+}

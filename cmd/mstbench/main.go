@@ -1,0 +1,31 @@
+// mstbench regenerates the distributed-MST round-complexity tables
+// (experiments E6, E6b, E6c, E8b of DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	big := flag.Bool("big", false, "larger sweeps (slower)")
+	flag.Parse()
+
+	wheel := []int{64, 128, 256}
+	bags := []int{2, 4, 8}
+	cols := []int{16, 32, 64}
+	lb := []int{4, 6, 8}
+	if *big {
+		wheel = []int{64, 128, 256, 512}
+		bags = []int{2, 4, 8, 16}
+		cols = []int{16, 32, 64, 128}
+		lb = []int{4, 6, 8, 12}
+	}
+	fmt.Println(experiments.E6MST(wheel, *seed))
+	fmt.Println(experiments.E6bMSTExcludedMinor(bags, *seed))
+	fmt.Println(experiments.AggregationShowcase(cols, *seed))
+	fmt.Println(experiments.E8bLowerBoundMST(lb, *seed))
+}

@@ -1,0 +1,56 @@
+// shortcutbench regenerates the shortcut-quality tables (experiments E1-E5,
+// E8, E10, E11, E12 of DESIGN.md) from the command line.
+//
+// Usage:
+//
+//	shortcutbench [-seed N] [-exp e1,e2,...|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1,e2,e3,e4,e5,e8,e10,e11,e12) or 'all'")
+	flag.Parse()
+
+	runners := map[string]func() *experiments.Table{
+		"e1":  func() *experiments.Table { return experiments.E1PlanarQuality([]int{6, 10, 14, 18, 24}, *seed) },
+		"e2":  func() *experiments.Table { return experiments.E2Treewidth(400, []int{2, 3, 4, 6, 8}, *seed) },
+		"e3":  func() *experiments.Table { return experiments.E3CliqueSum([]int{2, 4, 8, 12, 16}, 18, 3, *seed) },
+		"e4":  func() *experiments.Table { return experiments.E4AlmostEmbeddable(*seed) },
+		"e5":  func() *experiments.Table { return experiments.E5Main([]int{2, 4, 8, 16, 24}, *seed) },
+		"e8":  func() *experiments.Table { return experiments.E8LowerBound([]int{4, 8, 12, 16, 20}, *seed) },
+		"e10": func() *experiments.Table { return experiments.E10FoldingAblation([]int{8, 16, 32, 64}, *seed) },
+		"e11": func() *experiments.Table { return experiments.E11ApexEffect([]int{32, 64, 128, 256}, *seed) },
+		"e12": func() *experiments.Table { return experiments.E12Planarize([]int{0, 1, 2, 3}, *seed) },
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e8", "e10", "e11", "e12"}
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, id := range order {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+	}
+	for _, id := range order {
+		if want[id] {
+			fmt.Println(runners[id]())
+		}
+	}
+}

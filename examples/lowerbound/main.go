@@ -1,0 +1,57 @@
+// The Ω̃(√n) contrast (paper §1, [SHK+12]): on general graphs, even with
+// diameter O(log n), tree-restricted shortcuts — and hence the framework
+// algorithms — cannot beat ~√n. This demo builds the classical hard
+// instance (√n paths overlaid with a shallow highway tree), measures the
+// best oblivious shortcut quality for the path parts, and contrasts it with
+// an excluded-minor network of similar size where quality tracks the
+// diameter instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+func main() {
+	const p, ell = 16, 16 // 16 paths of length 16: n ≈ 287
+	lb := gen.LowerBound(p, ell)
+	tr, err := graph.BFSTree(lb.G, lb.Root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := partition.PathsAsParts(lb.G, lb.Paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, m := shortcut.ObliviousAuto(lb.G, tr, parts)
+	fmt.Printf("lower-bound instance: n=%d diameter=%d\n", lb.G.N(), graph.Diameter(lb.G))
+	fmt.Printf("  best oblivious shortcut quality for the %d paths: %d (≈√n·D territory)\n",
+		p, m.Quality)
+
+	nw, err := repro.ExcludedMinorNetwork(5, 20, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts2, err := nw.VoronoiParts(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := nw.BuildShortcut(parts2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := nw.Diameter()
+	fmt.Printf("excluded-minor network: n=%d diameter=%d\n", nw.G.N(), d)
+	fmt.Printf("  witness-based shortcut quality: %d (Õ(d²) = ~%d territory)\n",
+		sc.Measurement.Quality, d*d)
+	fmt.Println()
+	fmt.Println("On minor-free networks quality tracks the diameter; on the")
+	fmt.Println("lower-bound family it tracks √n even though the diameter is tiny —")
+	fmt.Println("this is exactly the separation the paper exploits.")
+}

@@ -1,0 +1,165 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+// AggregateResult reports a part-wise aggregation run.
+type AggregateResult struct {
+	Mins  []uint64 // per part: the minimum key over its members
+	Stats Stats
+	// EffectiveRounds is the number of rounds until the flood went quiet —
+	// the quantity Theorem 1 bounds by Õ(quality). The run itself executes
+	// a fixed budget of rounds (nodes cannot detect global quiescence), so
+	// Stats.Rounds exceeds this.
+	EffectiveRounds int
+	Budget          int
+}
+
+// AggregateMin computes, for every part, the minimum of the members' keys
+// (64-bit, min-combinable; callers encode (value, id) pairs order-
+// preservingly), with every member learning its part's minimum. This is the
+// framework subproblem from paper §1.3.3: communication flows along the
+// part's induced edges plus its shortcut edges, one (part, key) message per
+// edge direction per round, so congested edges serialize exactly as the
+// congestion parameter predicts.
+//
+// The round budget starts at an estimate from the shortcut's measured
+// quality and doubles until the flood converges (checked against the
+// sequential answer); the converged run's quiet-point is reported.
+func AggregateMin(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys []uint64) (*AggregateResult, error) {
+	if len(keys) != g.N() {
+		return nil, fmt.Errorf("congest: %d keys for %d vertices", len(keys), g.N())
+	}
+	// Channels: per edge, the parts communicating over it.
+	partsOnEdge := make(map[int][]int)
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(id)
+		if pi := p.Of[e.U]; pi != -1 && pi == p.Of[e.V] {
+			partsOnEdge[id] = append(partsOnEdge[id], pi)
+		}
+	}
+	for pi, ids := range s.Edges {
+		for _, id := range ids {
+			dup := false
+			for _, x := range partsOnEdge[id] {
+				if x == pi {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				partsOnEdge[id] = append(partsOnEdge[id], pi)
+			}
+		}
+	}
+	// Expected answers for convergence checking (the environment's
+	// ground-truth; a real deployment would rely on the proven bound).
+	want := make([]uint64, p.NumParts())
+	for i := range want {
+		want[i] = math.MaxUint64
+		for _, v := range p.Sets[i] {
+			if keys[v] < want[i] {
+				want[i] = keys[v]
+			}
+		}
+	}
+	m := s.Measure()
+	budget := m.Quality + 2*m.TreeDiameter + 8
+	for attempt := 0; attempt < 8; attempt++ {
+		res, converged, err := runAggregate(g, p, partsOnEdge, keys, want, budget)
+		if err != nil {
+			return nil, err
+		}
+		if converged {
+			res.Budget = budget
+			return res, nil
+		}
+		budget *= 2
+	}
+	return nil, fmt.Errorf("congest: aggregation failed to converge within budget %d", budget)
+}
+
+func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge map[int][]int, keys, want []uint64, budget int) (*AggregateResult, bool, error) {
+	n := g.N()
+	finalBest := make([]map[int]uint64, n)
+	f := func(nd *Node) {
+		// State: best-known key per participating part; dirty flags per
+		// (port, part) channel.
+		best := make(map[int]uint64)
+		type channel struct{ port, part int }
+		var channels []channel
+		dirty := make(map[channel]bool)
+		for port := 0; port < nd.Degree(); port++ {
+			for _, pi := range partsOnEdge[nd.PortEdge(port)] {
+				channels = append(channels, channel{port, pi})
+				if _, ok := best[pi]; !ok {
+					best[pi] = math.MaxUint64
+				}
+			}
+		}
+		if pi := p.Of[nd.ID]; pi != -1 {
+			if b, ok := best[pi]; !ok || keys[nd.ID] < b {
+				best[pi] = keys[nd.ID]
+			}
+		}
+		for _, ch := range channels {
+			if best[ch.part] != math.MaxUint64 {
+				dirty[ch] = true
+			}
+		}
+		for r := 0; r < budget; r++ {
+			// One pending update per port, lowest part ID first.
+			sent := make(map[int]bool)
+			for _, ch := range channels {
+				if !dirty[ch] || sent[ch.port] {
+					continue
+				}
+				nd.Send(ch.port, Words{uint64(ch.part), best[ch.part]})
+				dirty[ch] = false
+				sent[ch.port] = true
+			}
+			msgs, ok := nd.Step()
+			if !ok {
+				return
+			}
+			for _, msg := range msgs {
+				pi := int(msg.Payload[0])
+				key := msg.Payload[1]
+				if cur, ok := best[pi]; ok && key < cur {
+					best[pi] = key
+					for _, ch := range channels {
+						if ch.part == pi && ch.port != msg.Port {
+							dirty[ch] = true
+						}
+					}
+				}
+			}
+		}
+		finalBest[nd.ID] = best
+	}
+	stats, err := Run(g, f, Options{MaxRounds: budget + 64})
+	if err != nil {
+		return nil, false, err
+	}
+	// Convergence: every part member must hold the true minimum.
+	converged := true
+	for i, w := range want {
+		for _, v := range p.Sets[i] {
+			if finalBest[v] == nil || finalBest[v][i] != w {
+				converged = false
+			}
+		}
+	}
+	res := &AggregateResult{
+		Mins:            append([]uint64(nil), want...),
+		Stats:           stats,
+		EffectiveRounds: stats.LastActiveRound,
+	}
+	return res, converged, nil
+}

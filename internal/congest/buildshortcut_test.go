@@ -1,0 +1,100 @@
+package congest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestBuildObliviousShortcutValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, budget := range []int{1, 2, 4} {
+		e := gen.Grid(6, 6)
+		tr, err := graph.BFSTree(e.G, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := partition.Voronoi(e.G, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := congest.BuildObliviousShortcut(e.G, tr, p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.S.Measure()
+		if m.Congestion > budget {
+			t.Fatalf("budget %d: congestion %d", budget, m.Congestion)
+		}
+		if res.EffectiveRounds <= 0 || res.Stats.Messages <= 0 {
+			t.Fatalf("no construction cost recorded: %+v", res.Stats)
+		}
+	}
+}
+
+func TestBuildObliviousShortcutWheel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := gen.Wheel(65)
+	tr, err := graph.BFSTree(e.G, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.RimArcs(e.G, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+	res, err := congest.BuildObliviousShortcut(e.G, tr, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rim vertex can claim its spoke (congestion 1 per spoke), so
+	// each arc should end up connected through the hub: 1 or 2 blocks.
+	for i, b := range res.S.BlockCounts() {
+		if b > 2 {
+			t.Fatalf("arc %d has %d blocks after distributed construction", i, b)
+		}
+	}
+	// Construction on a height-1 tree should be fast.
+	if res.EffectiveRounds > 40 {
+		t.Fatalf("construction took %d rounds on a wheel", res.EffectiveRounds)
+	}
+}
+
+func TestBuildShortcutThenAggregate(t *testing.T) {
+	// End-to-end: distributed construction feeding distributed aggregation.
+	rng := rand.New(rand.NewSource(3))
+	e := gen.Wheel(49)
+	tr, _ := graph.BFSTree(e.G, 48)
+	p, err := partition.RimArcs(e.G, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := congest.BuildObliviousShortcut(e.G, tr, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, e.G.N())
+	for v := range keys {
+		keys[v] = uint64(rng.Intn(10000) + 1)
+	}
+	res, err := congest.AggregateMin(e.G, p, built.S, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumParts(); i++ {
+		want := uint64(1 << 62)
+		for _, v := range p.Sets[i] {
+			if keys[v] < want {
+				want = keys[v]
+			}
+		}
+		if res.Mins[i] != want {
+			t.Fatalf("part %d: %d want %d", i, res.Mins[i], want)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package congest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+func TestRunPingPong(t *testing.T) {
+	g := gen.Path(2)
+	vals := make([]uint64, 2)
+	f := func(n *congest.Node) {
+		if n.ID == 0 {
+			n.Send(0, congest.Words{42})
+		}
+		msgs, ok := n.Step()
+		if !ok {
+			return
+		}
+		for _, m := range msgs {
+			vals[n.ID] = m.Payload[0]
+			n.Send(m.Port, congest.Words{m.Payload[0] + 1})
+		}
+		msgs, ok = n.Step()
+		if !ok {
+			return
+		}
+		for _, m := range msgs {
+			vals[n.ID] = m.Payload[0]
+		}
+	}
+	stats, err := congest.Run(g, f, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[1] != 42 || vals[0] != 43 {
+		t.Fatalf("vals %v", vals)
+	}
+	if stats.Messages != 2 {
+		t.Fatalf("messages %d want 2", stats.Messages)
+	}
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := gen.Path(2)
+	f := func(n *congest.Node) {
+		if n.ID == 0 {
+			n.Send(0, congest.Words{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+		}
+		n.Step()
+	}
+	if _, err := congest.Run(g, f, congest.Options{Bandwidth: 128}); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestDoubleSendRejected(t *testing.T) {
+	g := gen.Path(2)
+	f := func(n *congest.Node) {
+		if n.ID == 0 {
+			n.Send(0, congest.Words{1})
+			n.Send(0, congest.Words{2})
+		}
+		n.Step()
+	}
+	if _, err := congest.Run(g, f, congest.Options{}); err == nil {
+		t.Fatal("double send accepted")
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	g := gen.Path(3)
+	f := func(n *congest.Node) {
+		for {
+			n.Broadcast(congest.Words{0})
+			if _, ok := n.Step(); !ok {
+				return
+			}
+		}
+	}
+	if _, err := congest.Run(g, f, congest.Options{MaxRounds: 10}); err == nil {
+		t.Fatal("runaway protocol not aborted")
+	}
+}
+
+func TestUnevenTermination(t *testing.T) {
+	// Nodes exit after ID-many rounds; the engine must not deadlock.
+	g := gen.Cycle(6)
+	f := func(n *congest.Node) {
+		for r := 0; r <= n.ID; r++ {
+			if _, ok := n.Step(); !ok {
+				return
+			}
+		}
+	}
+	if _, err := congest.Run(g, f, congest.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	// Same protocol twice: stats must match exactly.
+	e := gen.Grid(5, 5)
+	run := func() congest.Stats {
+		f := func(n *congest.Node) {
+			best := uint64(n.ID)
+			for r := 0; r < 10; r++ {
+				n.Broadcast(congest.Words{best})
+				msgs, ok := n.Step()
+				if !ok {
+					return
+				}
+				for _, m := range msgs {
+					if m.Payload[0] < best {
+						best = m.Payload[0]
+					}
+				}
+			}
+		}
+		s, err := congest.Run(e.G, f, congest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestDistributedBFSMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		g := gen.ErdosRenyiConnected(40, 80, rng)
+		d := graph.Diameter(g)
+		parent, parentEdge, stats, err := congest.DistributedBFS(g, 0, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := graph.BFS(g, 0)
+		for v := 0; v < g.N(); v++ {
+			if v == 0 {
+				continue
+			}
+			if parent[v] == -1 {
+				t.Fatalf("vertex %d unreached", v)
+			}
+			// Depths must match BFS (parents may differ on ties).
+			if ref.Dist[v] != ref.Dist[parent[v]]+1 {
+				t.Fatalf("vertex %d: parent %d not one level up", v, parent[v])
+			}
+			e := g.Edge(parentEdge[v])
+			if !((e.U == v && e.V == parent[v]) || (e.V == v && e.U == parent[v])) {
+				t.Fatalf("vertex %d: parent edge mismatch", v)
+			}
+		}
+		if stats.Rounds > 4*d+64 {
+			t.Fatalf("BFS took %d rounds for diameter %d", stats.Rounds, d)
+		}
+	}
+}
+
+func TestLeaderElect(t *testing.T) {
+	g := gen.Cycle(12)
+	leader, _, err := congest.LeaderElect(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 0 {
+		t.Fatalf("leader %d want 0", leader)
+	}
+}
+
+func TestAggregateMinOnGridRows(t *testing.T) {
+	e := gen.Grid(6, 8)
+	tr, err := graph.BFSTree(e.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.GridRows(e.G, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, e.G.N())
+	for v := range keys {
+		keys[v] = uint64(1000 - v)
+	}
+	s, _ := shortcut.ObliviousAuto(e.G, tr, p)
+	res, err := congest.AggregateMin(e.G, p, s, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumParts(); i++ {
+		want := uint64(1<<63 - 1)
+		for _, v := range p.Sets[i] {
+			if keys[v] < want {
+				want = keys[v]
+			}
+		}
+		if res.Mins[i] != want {
+			t.Fatalf("part %d min %d want %d", i, res.Mins[i], want)
+		}
+	}
+	if res.EffectiveRounds <= 0 {
+		t.Fatal("no effective rounds recorded")
+	}
+}
+
+func TestAggregateShortcutsBeatNoShortcuts(t *testing.T) {
+	// The paper's wheel scenario: the graph has diameter 2 but the rim arcs
+	// have diameter Θ(n/arcs). Without shortcuts each arc floods internally
+	// (Θ(n/arcs) rounds); with tree-restricted shortcuts through the hub the
+	// flood quiesces in O(quality) ≪ that.
+	e := gen.Wheel(129) // 128 rim vertices + hub
+	tr, _ := graph.BFSTree(e.G, 128)
+	p, err := partition.RimArcs(e.G, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, e.G.N())
+	for v := range keys {
+		keys[v] = uint64(v * 7 % 1009)
+	}
+	sEmpty := shortcut.Empty(e.G, tr, p)
+	rEmpty, err := congest.AggregateMin(e.G, p, sEmpty, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGood, _ := shortcut.ObliviousAuto(e.G, tr, p)
+	rGood, err := congest.AggregateMin(e.G, p, sGood, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rGood.EffectiveRounds >= rEmpty.EffectiveRounds {
+		t.Fatalf("shortcuts did not help: %d vs %d rounds",
+			rGood.EffectiveRounds, rEmpty.EffectiveRounds)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := congest.Stats{Rounds: 3, Messages: 10, TotalBits: 640, MaxEdgeLoad: 2, LastActiveRound: 3}
+	b := congest.Stats{Rounds: 4, Messages: 5, TotalBits: 320, MaxEdgeLoad: 5, LastActiveRound: 2}
+	a.Add(b)
+	if a.Rounds != 7 || a.Messages != 15 || a.MaxEdgeLoad != 5 || a.LastActiveRound != 5 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}

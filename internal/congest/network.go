@@ -1,0 +1,319 @@
+// Package congest simulates the CONGEST model (paper §1.3.1): a synchronous
+// message-passing network where, per round, each node may send one B-bit
+// message across each incident edge (B = Θ(log n)). Nodes run as goroutines
+// executing ordinary sequential protocol code against a blocking Node API;
+// the engine enforces bandwidth, counts rounds and messages, and delivers
+// messages deterministically (sorted by port) so runs are reproducible
+// regardless of goroutine scheduling.
+//
+// Every goroutine is joined before Run returns; the engine owns all
+// channels.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Payload is message content with an explicit bit size, so the engine can
+// enforce the CONGEST bandwidth bound.
+type Payload interface{ Bits() int }
+
+// Words is the standard payload: a fixed number of 64-bit words. CONGEST's
+// O(log n) bits per edge per round corresponds to a small constant number of
+// words.
+type Words []uint64
+
+// Bits returns 64 bits per word.
+func (w Words) Bits() int { return 64 * len(w) }
+
+// Float64Word encodes a float64 as a payload word.
+func Float64Word(f float64) uint64 { return math.Float64bits(f) }
+
+// WordFloat64 decodes a payload word into a float64.
+func WordFloat64(w uint64) float64 { return math.Float64frombits(w) }
+
+// Message is a received message.
+type Message struct {
+	Port    int // adjacency index at the receiver the message arrived on
+	From    int // sender vertex ID
+	Edge    int // edge ID it traveled over
+	Payload Words
+}
+
+// Options configures a run.
+type Options struct {
+	// Bandwidth in bits per edge direction per round. 0 selects
+	// 64 * max(2, ceil(log2 n / 16)) — a Θ(log n) default that fits a few
+	// words for realistic n.
+	Bandwidth int
+	// MaxRounds aborts runs that fail to terminate (0 = 64·n + 1024).
+	MaxRounds int
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Rounds          int
+	Messages        int
+	TotalBits       int
+	MaxEdgeLoad     int // max messages that crossed any single edge (both directions)
+	LastActiveRound int // last round in which any message was delivered
+}
+
+// Add accumulates another run's statistics (rounds add sequentially).
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.TotalBits += o.TotalBits
+	if o.MaxEdgeLoad > s.MaxEdgeLoad {
+		s.MaxEdgeLoad = o.MaxEdgeLoad
+	}
+	s.LastActiveRound += o.LastActiveRound
+}
+
+// Node is the per-process API handed to a NodeFunc. All methods must be
+// called from that node's goroutine only.
+type Node struct {
+	ID    int
+	NumV  int // n, known to all nodes (standard CONGEST assumption)
+	ports []graph.Arc
+
+	eng     *engine
+	outbox  []send
+	inbox   []Message
+	round   int
+	stopped bool
+}
+
+type send struct {
+	port    int
+	payload Words
+}
+
+// NodeFunc is the protocol executed at every node. Returning ends the
+// node's participation (it stays silent but the network keeps running until
+// all nodes return).
+type NodeFunc func(n *Node)
+
+// Degree returns the number of incident edge-ports.
+func (n *Node) Degree() int { return len(n.ports) }
+
+// Neighbor returns the vertex at the other end of the given port.
+func (n *Node) Neighbor(port int) int { return n.ports[port].To }
+
+// PortEdge returns the edge ID behind a port.
+func (n *Node) PortEdge(port int) int { return n.ports[port].ID }
+
+// Round returns the current round number (starting at 0 before the first
+// Step).
+func (n *Node) Round() int { return n.round }
+
+// Send queues a message on a port for delivery at the next Step. At most
+// one message per port per round; exceeding bandwidth or double-sending
+// aborts the run with an error.
+func (n *Node) Send(port int, payload Words) {
+	for _, s := range n.outbox {
+		if s.port == port {
+			n.eng.fail(fmt.Errorf("congest: node %d sent twice on port %d in round %d", n.ID, port, n.round))
+			return
+		}
+	}
+	if payload.Bits() > n.eng.bandwidth {
+		n.eng.fail(fmt.Errorf("congest: node %d message of %d bits exceeds bandwidth %d", n.ID, payload.Bits(), n.eng.bandwidth))
+		return
+	}
+	n.outbox = append(n.outbox, send{port: port, payload: payload})
+}
+
+// Broadcast queues the same message on every port.
+func (n *Node) Broadcast(payload Words) {
+	for port := range n.ports {
+		n.Send(port, payload)
+	}
+}
+
+// Step submits the queued sends, advances one synchronous round, and
+// returns the messages received (sorted by port). It returns false if the
+// run was aborted.
+func (n *Node) Step() ([]Message, bool) {
+	if n.stopped {
+		return nil, false
+	}
+	msgs, ok := n.eng.step(n.ID, n.outbox, false)
+	n.outbox = n.outbox[:0]
+	n.round++
+	if !ok {
+		n.stopped = true
+	}
+	n.inbox = msgs
+	return msgs, ok
+}
+
+// engine coordinates the synchronous rounds.
+type engine struct {
+	g         *graph.Graph
+	bandwidth int
+	maxRounds int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	phase     int // round counter for the barrier
+	waiting   int
+	active    int
+	pending   [][]send // per node: sends submitted this round
+	done      []bool
+	inboxes   [][]Message
+	stats     Stats
+	edgeLoad  []int
+	err       error
+	announced bool
+}
+
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.cond.Broadcast() // release any nodes blocked at the barrier
+}
+
+// step is the barrier: node id submits its sends (or its exit) and blocks
+// until every active node has done so; the last arrival routes messages.
+func (e *engine) step(id int, out []send, exiting bool) ([]Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return nil, false
+	}
+	e.pending[id] = append(e.pending[id][:0], out...)
+	if exiting {
+		e.done[id] = true
+	}
+	myPhase := e.phase
+	e.waiting++
+	if e.waiting == e.active {
+		e.route()
+		e.waiting = 0
+		for i := range e.done {
+			if e.done[i] {
+				e.active--
+				e.done[i] = false // counted
+			}
+		}
+		e.phase++
+		e.cond.Broadcast()
+	} else {
+		for e.phase == myPhase && e.err == nil {
+			e.cond.Wait()
+		}
+	}
+	if e.err != nil {
+		e.cond.Broadcast()
+		return nil, false
+	}
+	if exiting {
+		return nil, true
+	}
+	inbox := e.inboxes[id]
+	return inbox, true
+}
+
+// route delivers all pending sends; caller holds the lock.
+func (e *engine) route() {
+	for i := range e.inboxes {
+		e.inboxes[i] = nil
+	}
+	for from, sends := range e.pending {
+		for _, s := range sends {
+			arc := e.g.Adj(from)[s.port]
+			to := arc.To
+			// Find the receiving port at `to`.
+			rport := -1
+			for pi, a := range e.g.Adj(to) {
+				if a.ID == arc.ID {
+					rport = pi
+					break
+				}
+			}
+			e.inboxes[to] = append(e.inboxes[to], Message{
+				Port:    rport,
+				From:    from,
+				Edge:    arc.ID,
+				Payload: s.payload,
+			})
+			e.stats.Messages++
+			e.stats.TotalBits += s.payload.Bits()
+			e.edgeLoad[arc.ID]++
+			e.stats.LastActiveRound = e.stats.Rounds + 1
+		}
+		e.pending[from] = e.pending[from][:0]
+	}
+	for i := range e.inboxes {
+		sort.Slice(e.inboxes[i], func(a, b int) bool { return e.inboxes[i][a].Port < e.inboxes[i][b].Port })
+	}
+	e.stats.Rounds++
+	if e.stats.Rounds > e.maxRounds && e.err == nil {
+		e.err = fmt.Errorf("congest: exceeded %d rounds", e.maxRounds)
+	}
+}
+
+// ErrAborted is wrapped by Run when the protocol was cut short.
+var ErrAborted = errors.New("congest: run aborted")
+
+// Run executes f at every node of g until all nodes return.
+func Run(g *graph.Graph, f NodeFunc, opts Options) (Stats, error) {
+	n := g.N()
+	bw := opts.Bandwidth
+	if bw == 0 {
+		words := 2
+		for (1 << (16 * words)) < n {
+			words++
+		}
+		bw = 64 * words
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 64*n + 1024
+	}
+	e := &engine{
+		g:         g,
+		bandwidth: bw,
+		maxRounds: maxRounds,
+		pending:   make([][]send, n),
+		done:      make([]bool, n),
+		inboxes:   make([][]Message, n),
+		edgeLoad:  make([]int, g.M()),
+		active:    n,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		node := &Node{ID: v, NumV: n, ports: g.Adj(v), eng: e}
+		go func() {
+			defer wg.Done()
+			f(node)
+			// Node finished: keep satisfying the barrier as an exiting
+			// participant exactly once; afterwards it is inactive.
+			if !node.stopped {
+				e.step(node.ID, nil, true)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, l := range e.edgeLoad {
+		if l > e.stats.MaxEdgeLoad {
+			e.stats.MaxEdgeLoad = l
+		}
+	}
+	if e.err != nil {
+		return e.stats, fmt.Errorf("%w: %v", ErrAborted, e.err)
+	}
+	return e.stats, nil
+}

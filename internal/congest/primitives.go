@@ -1,0 +1,94 @@
+package congest
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// DistributedBFS builds a BFS tree from root with a classic flooding
+// protocol: the root announces itself; every node adopts the first
+// announcement (lowest port on ties) as its parent and forwards. Terminates
+// after diamBound+2 rounds (nodes know n and an upper bound on D, per the
+// CONGEST conventions in §1.3.1).
+//
+// Returns the parent and parent-edge arrays (as in graph.BFS) plus stats.
+func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []int, stats Stats, err error) {
+	n := g.N()
+	parent = make([]int, n)
+	parentEdge = make([]int, n)
+	type result struct {
+		parent, parentEdge int
+	}
+	results := make([]result, n)
+	f := func(nd *Node) {
+		me := result{parent: -1, parentEdge: -1}
+		joined := nd.ID == root
+		announced := false
+		for r := 0; r <= diamBound+1; r++ {
+			if joined && !announced {
+				nd.Broadcast(Words{uint64(nd.ID)})
+				announced = true
+			}
+			msgs, ok := nd.Step()
+			if !ok {
+				return
+			}
+			if !joined {
+				for _, m := range msgs {
+					me.parent = m.From
+					me.parentEdge = m.Edge
+					joined = true
+					break
+				}
+			}
+		}
+		results[nd.ID] = me
+	}
+	stats, err = Run(g, f, Options{MaxRounds: 4*diamBound + 64})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	for v := 0; v < n; v++ {
+		parent[v] = results[v].parent
+		parentEdge[v] = results[v].parentEdge
+	}
+	if parent[root] != -1 {
+		return nil, nil, stats, fmt.Errorf("congest: root %d acquired a parent", root)
+	}
+	return parent, parentEdge, stats, nil
+}
+
+// LeaderElect elects the minimum vertex ID by flooding for diamBound rounds.
+// Every node returns the same leader; used by protocols that need a root.
+func LeaderElect(g *graph.Graph, diamBound int) (leader int, stats Stats, err error) {
+	n := g.N()
+	out := make([]int, n)
+	f := func(nd *Node) {
+		best := uint64(nd.ID)
+		for r := 0; r < diamBound+1; r++ {
+			nd.Broadcast(Words{best})
+			msgs, ok := nd.Step()
+			if !ok {
+				return
+			}
+			for _, m := range msgs {
+				if m.Payload[0] < best {
+					best = m.Payload[0]
+				}
+			}
+		}
+		out[nd.ID] = int(best)
+	}
+	stats, err = Run(g, f, Options{MaxRounds: 4*diamBound + 64})
+	if err != nil {
+		return -1, stats, err
+	}
+	leader = out[0]
+	for _, l := range out {
+		if l != leader {
+			return -1, stats, fmt.Errorf("congest: leader election disagreement: %d vs %d", l, leader)
+		}
+	}
+	return leader, stats, nil
+}

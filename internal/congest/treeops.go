@@ -1,0 +1,105 @@
+package congest
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// TreeBroadcast floods a value from the root down a rooted spanning tree:
+// O(height) rounds, one word per edge. Returns the value received at every
+// vertex.
+func TreeBroadcast(t *graph.Tree, value uint64) (values []uint64, stats Stats, err error) {
+	g := t.G
+	out := make([]uint64, g.N())
+	rounds := t.Height() + 2
+	f := func(nd *Node) {
+		have := nd.ID == t.Root
+		v := value
+		if !have {
+			v = 0
+		}
+		sentDown := false
+		for r := 0; r < rounds; r++ {
+			if have && !sentDown {
+				for port := 0; port < nd.Degree(); port++ {
+					to := nd.Neighbor(port)
+					if t.Parent[to] == nd.ID && t.ParentEdge[to] == nd.PortEdge(port) {
+						nd.Send(port, Words{v})
+					}
+				}
+				sentDown = true
+			}
+			msgs, ok := nd.Step()
+			if !ok {
+				return
+			}
+			for _, m := range msgs {
+				if !have && m.Edge == t.ParentEdge[nd.ID] {
+					v = m.Payload[0]
+					have = true
+				}
+			}
+		}
+		if have {
+			out[nd.ID] = v
+		}
+	}
+	stats, err = Run(g, f, Options{MaxRounds: 4*rounds + 16})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// TreeSum convergecasts the sum of per-vertex values up a rooted spanning
+// tree: O(height) rounds, one word per edge (partial sums combine). The
+// root's total is returned. This is the subtree-aggregation primitive the
+// min-cut 1-respecting evaluation uses.
+func TreeSum(t *graph.Tree, values []uint64) (total uint64, stats Stats, err error) {
+	g := t.G
+	if len(values) != g.N() {
+		return 0, stats, fmt.Errorf("congest: %d values for %d vertices", len(values), g.N())
+	}
+	// Each vertex waits for all children, then sends its subtree sum up.
+	childCount := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		childCount[v] = len(t.Children[v])
+	}
+	var rootTotal uint64
+	rounds := t.Height() + 2
+	f := func(nd *Node) {
+		sum := values[nd.ID]
+		waiting := childCount[nd.ID]
+		sentUp := false
+		for r := 0; r < rounds; r++ {
+			if waiting == 0 && !sentUp && nd.ID != t.Root {
+				for port := 0; port < nd.Degree(); port++ {
+					if nd.PortEdge(port) == t.ParentEdge[nd.ID] {
+						nd.Send(port, Words{sum})
+					}
+				}
+				sentUp = true
+			}
+			msgs, ok := nd.Step()
+			if !ok {
+				return
+			}
+			for _, m := range msgs {
+				from := m.From
+				if t.Parent[from] == nd.ID && m.Edge == t.ParentEdge[from] {
+					sum += m.Payload[0]
+					waiting--
+				}
+			}
+		}
+		if nd.ID == t.Root {
+			rootTotal = sum
+		}
+	}
+	stats, err = Run(g, f, Options{MaxRounds: 4*rounds + 16})
+	if err != nil {
+		return 0, stats, err
+	}
+	return rootTotal, stats, nil
+}

@@ -1,0 +1,84 @@
+package congest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTreeBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.ErdosRenyiConnected(30+rng.Intn(40), 120, rng)
+		root := rng.Intn(g.N())
+		tr, err := graph.BFSTree(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const secret = 0xDEADBEEF
+		values, stats, err := congest.TreeBroadcast(tr, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, got := range values {
+			if got != secret {
+				t.Fatalf("vertex %d got %x", v, got)
+			}
+		}
+		if stats.LastActiveRound > tr.Height()+2 {
+			t.Fatalf("broadcast active for %d rounds, height %d", stats.LastActiveRound, tr.Height())
+		}
+	}
+}
+
+func TestTreeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.ErdosRenyiConnected(20+rng.Intn(40), 100, rng)
+		tr, err := graph.BFSTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := make([]uint64, g.N())
+		var want uint64
+		for v := range values {
+			values[v] = uint64(rng.Intn(1000))
+			want += values[v]
+		}
+		got, stats, err := congest.TreeSum(tr, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sum %d want %d", got, want)
+		}
+		if stats.Messages != g.N()-1 {
+			t.Fatalf("convergecast used %d messages, want n-1=%d", stats.Messages, g.N()-1)
+		}
+	}
+}
+
+func TestTreeSumLengthMismatch(t *testing.T) {
+	g := gen.Path(4)
+	tr, _ := graph.BFSTree(g, 0)
+	if _, _, err := congest.TreeSum(tr, []uint64{1}); err == nil {
+		t.Fatal("accepted short value slice")
+	}
+}
+
+func TestTreeBroadcastOnStar(t *testing.T) {
+	g := gen.Star(10)
+	tr, _ := graph.BFSTree(g, 0)
+	values, _, err := congest.TreeBroadcast(tr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if v != 7 {
+			t.Fatal("star broadcast incomplete")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// CellPartition is a partition of the non-apex vertices into connected,
+// low-diameter cells (paper Definition 14). Cells here are the connected
+// components of the spanning tree with the apices removed (each a subtree of
+// diameter at most 2·d_T), with cells touching a common vortex merged into
+// special cells (Lemma 10).
+type CellPartition struct {
+	Cells   [][]int // cell -> sorted vertex list
+	CellOf  []int   // vertex -> cell index, or -1 (apices)
+	Special []bool  // cell contains vortex-internal nodes
+	// Subtrees lists, per cell, the roots (topmost vertices) of the tree
+	// components composing it; the parent edge of each root is an uplink.
+	Subtrees [][]int
+}
+
+// BuildCells computes the cell partition of G - apices induced by removing
+// the apex vertices from the spanning tree t, merging cells that contain
+// internal nodes of the same vortex (vortexOf[v] >= 0 identifies them).
+func BuildCells(g *graph.Graph, t *graph.Tree, apices []int, vortexOf func(v int) int) *CellPartition {
+	isApex := make([]bool, g.N())
+	for _, x := range apices {
+		isApex[x] = true
+	}
+	uf := graph.NewUnionFind(g.N())
+	for v := 0; v < g.N(); v++ {
+		pv := t.Parent[v]
+		if pv == -1 || isApex[v] || isApex[pv] {
+			continue
+		}
+		uf.Union(v, pv)
+	}
+	// Merge components sharing a vortex.
+	vortexRep := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		if isApex[v] {
+			continue
+		}
+		if vi := vortexOf(v); vi >= 0 {
+			if r, ok := vortexRep[vi]; ok {
+				uf.Union(r, v)
+			} else {
+				vortexRep[vi] = v
+			}
+		}
+	}
+	cp := &CellPartition{CellOf: make([]int, g.N())}
+	for i := range cp.CellOf {
+		cp.CellOf[i] = -1
+	}
+	repIdx := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		if isApex[v] {
+			continue
+		}
+		r := uf.Find(v)
+		ci, ok := repIdx[r]
+		if !ok {
+			ci = len(cp.Cells)
+			repIdx[r] = ci
+			cp.Cells = append(cp.Cells, nil)
+			cp.Special = append(cp.Special, false)
+			cp.Subtrees = append(cp.Subtrees, nil)
+		}
+		cp.Cells[ci] = append(cp.Cells[ci], v)
+		cp.CellOf[v] = ci
+		if vortexOf(v) >= 0 {
+			cp.Special[ci] = true
+		}
+		// Root of a tree component: parent is an apex or absent.
+		if pv := t.Parent[v]; pv == -1 || isApex[pv] {
+			cp.Subtrees[ci] = append(cp.Subtrees[ci], v)
+		}
+	}
+	for ci := range cp.Cells {
+		sort.Ints(cp.Cells[ci])
+	}
+	return cp
+}
+
+// AssignmentStats reports what the peeling procedure observed; experiments
+// compare ObservedBeta against the O(d) bound of Lemmas 5-7.
+type AssignmentStats struct {
+	ObservedBeta  int // max parts assigned to a single cell
+	DeferredParts int // parts that ended with <= 2 incident cells (or only special)
+	AssignedCells int
+}
+
+// AssignCells computes the cell-assignment relation R ⊆ C × P of
+// Definition 15 via the algorithmic content of Lemmas 4-6: repeatedly either
+// defer a part that intersects at most two cells (it will be served by local
+// shortcuts there), or assign the lowest-degree normal cell to all its
+// remaining parts and delete it. The combinatorial-gate lemmas guarantee
+// that for minor-closed cell structures the chosen cell has degree O(s);
+// ObservedBeta records what actually happened.
+//
+// Returned: per part, the list of assigned cells (nil for deferred parts
+// with no assignments).
+func AssignCells(p *partition.Parts, cp *CellPartition, skip []bool) ([][]int, AssignmentStats) {
+	numParts := p.NumParts()
+	// Incidence sets.
+	cellsOfPart := make([]map[int]bool, numParts)
+	partsOfCell := make([]map[int]bool, len(cp.Cells))
+	for ci := range cp.Cells {
+		partsOfCell[ci] = make(map[int]bool)
+	}
+	for i := 0; i < numParts; i++ {
+		cellsOfPart[i] = make(map[int]bool)
+		if skip != nil && skip[i] {
+			continue
+		}
+		for _, v := range p.Sets[i] {
+			if ci := cp.CellOf[v]; ci != -1 {
+				cellsOfPart[i][ci] = true
+				partsOfCell[ci][i] = true
+			}
+		}
+	}
+	assigned := make([][]int, numParts)
+	var stats AssignmentStats
+	liveParts := make(map[int]bool)
+	for i := 0; i < numParts; i++ {
+		if skip != nil && skip[i] {
+			continue
+		}
+		if len(cellsOfPart[i]) > 0 {
+			liveParts[i] = true
+		}
+	}
+	liveCells := make(map[int]bool)
+	for ci := range cp.Cells {
+		if !cp.Special[ci] {
+			liveCells[ci] = true
+		}
+	}
+	for len(liveParts) > 0 {
+		// Defer any part with at most 2 incident cells (counting both
+		// normal and special cells, per Lemma 4).
+		deferredAny := false
+		for i := range liveParts {
+			if len(cellsOfPart[i]) <= 2 {
+				delete(liveParts, i)
+				for ci := range cellsOfPart[i] {
+					delete(partsOfCell[ci], i)
+				}
+				stats.DeferredParts++
+				deferredAny = true
+			}
+		}
+		if deferredAny {
+			continue
+		}
+		if len(liveCells) == 0 {
+			// Only special cells remain incident to the surviving parts;
+			// they are all served locally in those (≤ L) special cells.
+			for i := range liveParts {
+				delete(liveParts, i)
+				stats.DeferredParts++
+			}
+			break
+		}
+		// Pick the minimum-degree live normal cell.
+		best, bestDeg := -1, 0
+		for ci := range liveCells {
+			if best == -1 || len(partsOfCell[ci]) < bestDeg {
+				best, bestDeg = ci, len(partsOfCell[ci])
+			}
+		}
+		if bestDeg > stats.ObservedBeta {
+			stats.ObservedBeta = bestDeg
+		}
+		for i := range partsOfCell[best] {
+			assigned[i] = append(assigned[i], best)
+			delete(cellsOfPart[i], best)
+		}
+		delete(liveCells, best)
+		stats.AssignedCells++
+		// Note: removing the cell may drop some parts to <= 2 cells; the
+		// loop's defer step will catch them next iteration.
+	}
+	for i := range assigned {
+		sort.Ints(assigned[i])
+	}
+	return assigned, stats
+}

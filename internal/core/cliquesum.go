@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+	"repro/internal/structure"
+	"repro/internal/tw"
+)
+
+// CliqueSumWitness is the structural input for Theorem 7: the clique-sum
+// decomposition tree plus, per bag, its clique-completed local graph B⁰, a
+// tree decomposition of it (the family-F shortcut witness), and the
+// local-to-global vertex map.
+type CliqueSumWitness struct {
+	CST         *structure.CliqueSumTree
+	BagGraphs   []*graph.Graph
+	BagDecomp   []*tw.Decomposition
+	BagToGlobal [][]int
+}
+
+// Result is a constructed shortcut plus its measurement and diagnostics.
+type Result struct {
+	S    *shortcut.Shortcut
+	M    shortcut.Measurement
+	Info map[string]int
+}
+
+// CliqueSumShortcut realizes Theorem 7: a T-restricted shortcut on a
+// k-clique-sum of graphs from a family F (here: graphs carrying treewidth
+// witnesses), with block parameter 2k + O(b_F) and congestion
+// O(k·log²n) + c_F, via the folded decomposition tree of Figure 4.
+//
+// Per the paper's proof of Lemma 1 + Theorem 7:
+//   - global shortcuts: each part P receives the tree edges inside the
+//     decomposition subtrees hanging below its LCA group h_P, minus edges of
+//     the h_P group's bags;
+//   - local shortcuts: within every bag of the h_P group that P meets, the
+//     repaired tree T²ₕ (Steiner contraction of T onto the bag) carries a
+//     family-F shortcut for P's clipped components; assigned virtual edges
+//     are discarded, as are edges inside the parent partial clique.
+func CliqueSumShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, w *CliqueSumWitness) (*Result, error) {
+	return cliqueSumShortcut(g, t, p, w, tw.Fold)
+}
+
+// CliqueSumShortcutUnfolded is the Lemma 1 variant without decomposition-
+// tree compression: congestion carries the raw depth d_DT instead of
+// O(log² n). It exists for the folding ablation (experiment E10).
+func CliqueSumShortcutUnfolded(g *graph.Graph, t *graph.Tree, p *partition.Parts, w *CliqueSumWitness) (*Result, error) {
+	return cliqueSumShortcut(g, t, p, w, tw.IdentityFold)
+}
+
+func cliqueSumShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, w *CliqueSumWitness, foldFn func([]int, int) *tw.Folded) (*Result, error) {
+	cst := w.CST
+	nBags := len(cst.Bags)
+	if nBags == 0 {
+		return nil, fmt.Errorf("core: empty clique-sum witness")
+	}
+	// Root and fold the decomposition tree.
+	parent := make([]int, nBags)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	queue := []int{0}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range cst.Adj[x] {
+			if parent[y] == -2 {
+				parent[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	folded := foldFn(parent, 0)
+	nGroups := len(folded.Groups)
+	rootGroup := folded.GroupOf[0]
+
+	// Euler intervals on the folded group tree.
+	tin, tout := eulerIntervals(folded.Parent, rootGroup)
+	isAncestor := func(a, b int) bool { return tin[a] <= tin[b] && tout[b] <= tout[a] }
+
+	// Per vertex: bags containing it; per group: bag-vertex membership.
+	inBags := make([][]int, g.N())
+	for bi := range cst.Bags {
+		for _, v := range cst.Bags[bi].Vertices {
+			inBags[v] = append(inBags[v], bi)
+		}
+	}
+	// Tree edges: groups containing each tree edge (groups of bags whose
+	// edge list has it). Also per-group tree-edge membership, for the
+	// E(B_h) exclusion.
+	edgeGroups := make(map[int][]int)
+	edgeInGroup := make([]map[int]bool, nGroups)
+	for gi := range edgeInGroup {
+		edgeInGroup[gi] = make(map[int]bool)
+	}
+	for bi := range cst.Bags {
+		gi := folded.GroupOf[bi]
+		for _, id := range cst.Bags[bi].Edges {
+			if t.IsTreeEdge(id) {
+				if !edgeInGroup[gi][id] {
+					edgeGroups[id] = append(edgeGroups[id], gi)
+					edgeInGroup[gi][id] = true
+				}
+			}
+		}
+	}
+
+	// h_P per part: LCA of the groups of bags meeting P.
+	lca := func(a, b int) int {
+		for a != b {
+			if folded.Depth[a] < folded.Depth[b] {
+				a, b = b, a
+			}
+			a = folded.Parent[a]
+		}
+		return a
+	}
+	hGroup := make([]int, p.NumParts())
+	for i, set := range p.Sets {
+		h := -1
+		for _, v := range set {
+			for _, bi := range inBags[v] {
+				gi := folded.GroupOf[bi]
+				if h == -1 {
+					h = gi
+				} else {
+					h = lca(h, gi)
+				}
+			}
+		}
+		if h == -1 {
+			return nil, fmt.Errorf("core: part %d meets no bag", i)
+		}
+		hGroup[i] = h
+	}
+
+	// Subtree boundary separators: for every original decomposition edge
+	// (bi, parent bi) whose endpoints fold into different groups, its
+	// separator vertices belong to the boundary of every folded subtree the
+	// edge crosses (the "double edges" of the folding argument: at most two
+	// such separators per folded node, hence at most 2k boundary vertices).
+	boundarySep := make([]map[int]bool, nGroups)
+	for gi := range boundarySep {
+		boundarySep[gi] = make(map[int]bool)
+	}
+	for bi := range cst.Bags {
+		pb := parent[bi]
+		if pb < 0 {
+			continue
+		}
+		gc, gp := folded.GroupOf[bi], folded.GroupOf[pb]
+		if gc == gp {
+			continue
+		}
+		// Chain folding keeps original neighbors in ancestor-descendant
+		// groups, but either endpoint may be the folded ancestor (a chain
+		// runs through its group's first/middle/last bags).
+		lo, hi := gc, gp // walk from lo up to hi
+		switch {
+		case isAncestor(gp, gc):
+			// keep
+		case isAncestor(gc, gp):
+			lo, hi = gp, gc
+		default:
+			return nil, fmt.Errorf("core: fold broke ancestry between bags %d and %d", bi, pb)
+		}
+		sep := cst.Separator(bi, pb)
+		for c := lo; c != hi; c = folded.Parent[c] {
+			for _, v := range sep {
+				boundarySep[c][v] = true
+			}
+		}
+	}
+	// Parts entering each folded subtree: parts owning a boundary vertex
+	// (the paper's condition P ∩ V(C_f') ≠ ∅, which caps congestion at
+	// O(k) per decomposition level).
+	partsEntering := make([][]int, nGroups)
+	for gi := range boundarySep {
+		seen := make(map[int]bool)
+		for v := range boundarySep[gi] {
+			if i := p.Of[v]; i != -1 && !seen[i] {
+				seen[i] = true
+				partsEntering[gi] = append(partsEntering[gi], i)
+			}
+		}
+	}
+	partsAt := make([][]int, nGroups)
+	for i, h := range hGroup {
+		partsAt[h] = append(partsAt[h], i)
+	}
+	edges := make([][]int, p.NumParts())
+	partHasVertexCache := make([]map[int]bool, p.NumParts())
+	for i, set := range p.Sets {
+		partHasVertexCache[i] = make(map[int]bool, len(set))
+		for _, v := range set {
+			partHasVertexCache[i][v] = true
+		}
+	}
+	// Global shortcut grants: for each tree edge, walk up from each group
+	// containing it; at ancestor a reached through child subtree c, parts
+	// anchored at a that enter c's subtree receive the edge, except edges of
+	// the anchor group's own bags (handled locally).
+	granted := make(map[int]bool)
+	for id, gs := range edgeGroups {
+		for i := range granted {
+			delete(granted, i)
+		}
+		for _, g0 := range gs {
+			c := g0
+			for a := folded.Parent[c]; a != -1; c, a = a, folded.Parent[a] {
+				if edgeInGroup[a][id] {
+					continue
+				}
+				for _, i := range partsEntering[c] {
+					if hGroup[i] == a && !granted[i] {
+						granted[i] = true
+						edges[i] = append(edges[i], id)
+					}
+				}
+			}
+		}
+	}
+
+	// Local shortcuts: for each bag, the parts anchored at its group that
+	// meet it.
+	info := map[string]int{
+		"foldedDepth": folded.Height(),
+		"groups":      nGroups,
+	}
+	maxLocalWidth := 0
+	for bi := range cst.Bags {
+		gi := folded.GroupOf[bi]
+		var localPartIdx []int
+		for _, i := range partsAt[gi] {
+			for _, v := range cst.Bags[bi].Vertices {
+				if partHasVertexCache[i][v] {
+					localPartIdx = append(localPartIdx, i)
+					break
+				}
+			}
+		}
+		if len(localPartIdx) == 0 {
+			continue
+		}
+		localEdges, width, err := localBagShortcut(g, t, p, w, bi, parent[bi], localPartIdx)
+		if err != nil {
+			return nil, fmt.Errorf("core: bag %d local shortcut: %w", bi, err)
+		}
+		if width > maxLocalWidth {
+			maxLocalWidth = width
+		}
+		for i, ids := range localEdges {
+			edges[localPartIdx[i]] = append(edges[localPartIdx[i]], ids...)
+		}
+	}
+	info["maxLocalFoldedWidth"] = maxLocalWidth
+
+	s, err := shortcut.New(g, t, p, edges)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling clique-sum shortcut: %w", err)
+	}
+	return &Result{S: s, M: s.Measure(), Info: info}, nil
+}
+
+// localBagShortcut builds the local (within-bag) shortcut of Theorem 7 for
+// the given parts: Steiner-contract T onto the bag, run the family
+// (treewidth) shortcutter on the completed bag graph, keep only real global
+// tree edges, and drop edges inside the parent partial clique.
+func localBagShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, w *CliqueSumWitness, bi, parentBag int, partIdx []int) (perPart [][]int, foldedWidth int, err error) {
+	bagLocal := w.BagGraphs[bi]
+	toGlobal := w.BagToGlobal[bi]
+	toLocal := make(map[int]int, len(toGlobal))
+	for li, v := range toGlobal {
+		toLocal[v] = li
+	}
+	// Repaired tree T²: Steiner contraction mapped into bag-local indices.
+	stEdges, stRoot := steinerContract(t, toGlobal)
+	lparent := make([]int, bagLocal.N())
+	lparentEdge := make([]int, bagLocal.N())
+	realGlobal := make(map[int]int) // local edge ID -> global tree edge ID
+	for i := range lparent {
+		lparent[i] = -1
+		lparentEdge[i] = -1
+	}
+	for _, se := range stEdges {
+		lc, lp := toLocal[se.Child], toLocal[se.Parent]
+		leid := bagLocal.FindEdge(lc, lp)
+		if leid == -1 {
+			return nil, 0, fmt.Errorf("repaired tree edge {%d,%d} missing from completed bag", se.Child, se.Parent)
+		}
+		lparent[lc] = lp
+		lparentEdge[lc] = leid
+		if se.GlobalID != -1 {
+			realGlobal[leid] = se.GlobalID
+		}
+	}
+	ltree, err := graph.TreeFromParents(bagLocal, toLocal[stRoot], lparent, lparentEdge)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repaired tree invalid: %w", err)
+	}
+	// Clip parts into the bag and split into components of the completed
+	// bag graph (the double-edge treatment: components become sub-parts).
+	var sets [][]int
+	var origin []int // sub-part -> index into partIdx
+	for k, i := range partIdx {
+		var localVs []int
+		for _, v := range p.Sets[i] {
+			if lv, ok := toLocal[v]; ok {
+				localVs = append(localVs, lv)
+			}
+		}
+		for _, comp := range componentsWithin(bagLocal, localVs) {
+			sets = append(sets, comp)
+			origin = append(origin, k)
+		}
+	}
+	perPart = make([][]int, len(partIdx))
+	if len(sets) == 0 {
+		return perPart, 0, nil
+	}
+	lp, err := partition.New(bagLocal, sets)
+	if err != nil {
+		return nil, 0, fmt.Errorf("clipped parts invalid: %w", err)
+	}
+	res, err := shortcut.FromTreewidth(bagLocal, ltree, lp, w.BagDecomp[bi])
+	if err != nil {
+		return nil, 0, err
+	}
+	// Parent partial clique exclusion set.
+	sepGlobal := map[int]bool{}
+	if parentBag >= 0 {
+		for _, v := range w.CST.Separator(bi, parentBag) {
+			sepGlobal[v] = true
+		}
+	}
+	for si, ids := range res.S.Edges {
+		for _, leid := range ids {
+			gid, real := realGlobal[leid]
+			if !real {
+				continue // virtual contracted-path edge: discard
+			}
+			ge := g.Edge(gid)
+			if sepGlobal[ge.U] && sepGlobal[ge.V] {
+				continue // inside the parent partial clique: discard
+			}
+			perPart[origin[si]] = append(perPart[origin[si]], gid)
+		}
+	}
+	return perPart, res.FoldedWidth, nil
+}
+
+// componentsWithin splits a vertex set into connected components of the
+// induced subgraph of lg.
+func componentsWithin(lg *graph.Graph, vs []int) [][]int {
+	in := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	seen := make(map[int]bool, len(vs))
+	var out [][]int
+	for _, v := range vs {
+		if seen[v] {
+			continue
+		}
+		var comp []int
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for _, a := range lg.Adj(x) {
+				if in[a.To] && !seen[a.To] {
+					seen[a.To] = true
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
+// eulerIntervals computes entry/exit times of a rooted tree given by parent
+// pointers.
+func eulerIntervals(parent []int, root int) (tin, tout []int) {
+	n := len(parent)
+	tin = make([]int, n)
+	tout = make([]int, n)
+	children := make([][]int, n)
+	for v, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	timer := 0
+	type frame struct {
+		v    int
+		exit bool
+	}
+	stack := []frame{{root, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.exit {
+			tout[f.v] = timer
+			timer++
+			continue
+		}
+		tin[f.v] = timer
+		timer++
+		stack = append(stack, frame{f.v, true})
+		for _, c := range children[f.v] {
+			stack = append(stack, frame{c, false})
+		}
+	}
+	return tin, tout
+}

@@ -1,0 +1,310 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+func witnessOf(cs *gen.CliqueSumGraph) *core.CliqueSumWitness {
+	return &core.CliqueSumWitness{
+		CST:         cs.CST,
+		BagGraphs:   cs.BagGraphs,
+		BagDecomp:   cs.BagDecomp,
+		BagToGlobal: cs.BagToGlobal,
+	}
+}
+
+func TestCliqueSumShortcutGridBags(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pieces []*gen.Piece
+	for i := 0; i < 6; i++ {
+		pieces = append(pieces, gen.GridPiece(4, 4))
+	}
+	cs := gen.CliqueSum(pieces, 2, rng)
+	tr, err := graph.BFSTree(cs.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Voronoi(cs.G, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CliqueSumShortcut(cs.G, tr, p, witnessOf(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := shortcut.Empty(cs.G, tr, p).Measure()
+	if res.M.Quality >= empty.Quality {
+		t.Fatalf("clique-sum shortcut quality %d no better than empty %d", res.M.Quality, empty.Quality)
+	}
+	// Theorem 7 block shape: 2k + O(b_F). b_F for treewidth bags is
+	// O(folded width); allow a generous constant.
+	bound := 2*cs.K + 8*(res.Info["maxLocalFoldedWidth"]+2) + 4
+	if res.M.MaxBlocks > bound {
+		t.Fatalf("blocks %d exceed Theorem 7 shape bound %d", res.M.MaxBlocks, bound)
+	}
+}
+
+func TestCliqueSumShortcutTriangulationBags(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var pieces []*gen.Piece
+	for i := 0; i < 5; i++ {
+		pieces = append(pieces, gen.ApollonianPiece(25, rng))
+	}
+	cs := gen.CliqueSum(pieces, 3, rng)
+	tr, _ := graph.BFSTree(cs.G, 0)
+	p, err := partition.Voronoi(cs.G, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CliqueSumShortcut(cs.G, tr, p, witnessOf(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Quality <= 0 {
+		t.Fatal("degenerate measurement")
+	}
+	// Every part must end with a small number of blocks relative to empty.
+	empty := shortcut.Empty(cs.G, tr, p).Measure()
+	if res.M.MaxBlocks >= empty.MaxBlocks && empty.MaxBlocks > 4 {
+		t.Fatalf("no block improvement: %d vs %d", res.M.MaxBlocks, empty.MaxBlocks)
+	}
+}
+
+func TestCliqueSumShortcutBoruvkaParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pieces []*gen.Piece
+	for i := 0; i < 4; i++ {
+		pieces = append(pieces, gen.KTreePiece(40, 3, rng))
+	}
+	cs := gen.CliqueSum(pieces, 3, rng)
+	gen.UniformWeights(cs.G, rng)
+	p, err := partition.BoruvkaFragments(cs.G, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := graph.BFSTree(cs.G, 0)
+	res, err := core.CliqueSumShortcut(cs.G, tr, p, witnessOf(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Info["foldedDepth"] > 64 {
+		t.Fatalf("folded depth %d suspiciously large for %d bags", res.Info["foldedDepth"], len(cs.CST.Bags))
+	}
+}
+
+func TestCliqueSumSingleBagDegeneratesToTreewidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cs := gen.CliqueSum([]*gen.Piece{gen.GridPiece(5, 5)}, 2, rng)
+	tr, _ := graph.BFSTree(cs.G, 0)
+	p, err := partition.GridRows(cs.G, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CliqueSumShortcut(cs.G, tr, p, witnessOf(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single bag: everything is local; quality should match the plain
+	// treewidth construction.
+	twRes, err := shortcut.FromTreewidth(cs.BagGraphs[0], tr, p, cs.BagDecomp[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.MaxBlocks > 2*twRes.S.Measure().MaxBlocks+2 {
+		t.Fatalf("single-bag clique-sum much worse than direct treewidth: %d vs %d",
+			res.M.MaxBlocks, twRes.S.Measure().MaxBlocks)
+	}
+}
+
+func TestAlmostEmbeddableShortcutPlanarApex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := gen.PlanarWithApex(8, 8, rng)
+	tr, err := graph.BFSTree(a.G, a.Apices[0]) // root at the apex: shallow tree
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Voronoi(a.G, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := shortcut.Empty(a.G, tr, p).Measure()
+	if res.M.Quality >= empty.Quality && empty.MaxBlocks > 3 {
+		t.Fatalf("apex shortcut quality %d vs empty %d", res.M.Quality, empty.Quality)
+	}
+}
+
+func TestAlmostEmbeddableWheelScenario(t *testing.T) {
+	// The paper's §2.3.2 example: cycle + apex = wheel. Rim arcs as parts.
+	rng := rand.New(rand.NewSource(6))
+	a := gen.CycleWithApex(64, rng)
+	tr, err := graph.BFSTree(a.G, a.Apices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.RimArcs(a.G, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The apex-aware construction must keep quality near the (tiny) graph
+	// diameter: blocks O(1)·small, not Θ(n/parts).
+	if res.M.MaxBlocks > 10 {
+		t.Fatalf("wheel blocks %d; apex handling failed", res.M.MaxBlocks)
+	}
+	// Contrast: the tree alone without shortcuts leaves ~64/8 blocks per arc.
+	empty := shortcut.Empty(a.G, tr, p).Measure()
+	if empty.MaxBlocks <= res.M.MaxBlocks {
+		t.Fatalf("expected empty shortcut to be worse: %d vs %d", empty.MaxBlocks, res.M.MaxBlocks)
+	}
+}
+
+func TestAlmostEmbeddableVortexGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:        gen.Grid(7, 7),
+		NumVortices: 2,
+		VortexDepth: 2,
+		VortexNodes: 4,
+		NumApices:   1,
+		ApexDegree:  6,
+	}, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.BFSTree(a.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Voronoi(a.G, 9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Info["specialCells"] < 1 {
+		t.Fatal("expected at least one special cell")
+	}
+	if res.M.Quality <= 0 {
+		t.Fatal("degenerate measurement")
+	}
+}
+
+func TestAlmostEmbeddableNoApexIsGlobalTreewidth(t *testing.T) {
+	// Without apices there is a single cell; the construction degenerates
+	// to the Theorem 9 route (global treewidth shortcut).
+	rng := rand.New(rand.NewSource(8))
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:        gen.Grid(6, 6),
+		NumVortices: 1,
+		VortexDepth: 2,
+		VortexNodes: 3,
+	}, rng)
+	tr, _ := graph.BFSTree(a.G, 0)
+	p, err := partition.Voronoi(a.G, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Info["cells"] != 1 {
+		t.Fatalf("expected a single cell, got %d", res.Info["cells"])
+	}
+	if res.M.MaxBlocks > 20 {
+		t.Fatalf("blocks %d too large for no-apex genus+vortex route", res.M.MaxBlocks)
+	}
+}
+
+func TestCellPartitionAndAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := gen.PlanarWithApex(6, 6, rng)
+	tr, _ := graph.BFSTree(a.G, a.Apices[0])
+	cells := core.BuildCells(a.G, tr, a.Apices, a.VortexOf)
+	// Cells cover exactly the non-apex vertices, disjointly.
+	covered := 0
+	for ci, vs := range cells.Cells {
+		covered += len(vs)
+		for _, v := range vs {
+			if cells.CellOf[v] != ci {
+				t.Fatal("CellOf inconsistent")
+			}
+			if a.IsApex(v) {
+				t.Fatal("apex inside a cell")
+			}
+		}
+		if len(cells.Subtrees[ci]) < 1 {
+			t.Fatal("cell without subtree roots")
+		}
+	}
+	if covered != a.G.N()-len(a.Apices) {
+		t.Fatalf("cells cover %d of %d", covered, a.G.N()-len(a.Apices))
+	}
+	p, err := partition.Voronoi(a.G, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned, stats := core.AssignCells(p, cells, nil)
+	// Property (i) of Definition 15: each part is related to all cells it
+	// intersects except at most 2.
+	for i := range assigned {
+		touch := make(map[int]bool)
+		for _, v := range p.Sets[i] {
+			if ci := cells.CellOf[v]; ci != -1 {
+				touch[ci] = true
+			}
+		}
+		got := make(map[int]bool, len(assigned[i]))
+		for _, ci := range assigned[i] {
+			got[ci] = true
+			if !touch[ci] {
+				t.Fatalf("part %d assigned cell %d it does not touch", i, ci)
+			}
+		}
+		missing := 0
+		for ci := range touch {
+			if !got[ci] {
+				missing++
+			}
+		}
+		if missing > 2 {
+			t.Fatalf("part %d missing %d > 2 touched cells", i, missing)
+		}
+	}
+	if stats.ObservedBeta < 0 {
+		t.Fatal("bad stats")
+	}
+}
+
+func TestBestOfAndFromOblivious(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e := gen.Grid(6, 6)
+	tr, _ := graph.BFSTree(e.G, 0)
+	p, err := partition.Voronoi(e.G, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := core.FromOblivious(e.G, tr, p)
+	if core.BestOf(nil, r1) != r1 {
+		t.Fatal("BestOf dropped the only result")
+	}
+	if core.BestOf() != nil {
+		t.Fatal("BestOf() should be nil")
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Gate is one (fence, gate) pair of a combinatorial gate collection
+// (Definition 17): the gate covers all edges between its two cells, the
+// fence contains the gate's boundary.
+type Gate struct {
+	CellA, CellB int
+	Fence        []int // sorted vertex list
+	Set          []int // sorted vertex list ("gate" S); Fence ⊆ Set
+}
+
+// GateCollection is an s-combinatorial gate for a cell partition, built per
+// the structure of Lemma 7: one gate per adjacent cell pair, consisting of
+// the inter-cell edges' endpoints connected up by paths inside each cell's
+// spanning tree. Fences equal gates (F = S), which satisfies properties
+// (1), (2) and (5) of Definition 17 for free; property (6)'s parameter s is
+// *measured* rather than proved — on planar cell structures the adjacency
+// graph is planar, so the number of gates is at most 3|C| and s comes out
+// O(d), which is exactly what tests assert.
+type GateCollection struct {
+	Gates []Gate
+	// S is the measured parameter: (Σ |fence|) / |cells|.
+	S float64
+}
+
+// BuildGates constructs the gate collection for the given cell partition.
+// cellTrees[ci] must be a parent map (vertex -> parent, roots map to -1)
+// spanning cell ci with diameter O(d); BuildCells' tree components provide
+// it naturally via the global spanning tree.
+func BuildGates(g *graph.Graph, cp *CellPartition, t *graph.Tree) (*GateCollection, error) {
+	// Pair up cells by the edges between them.
+	type pairKey struct{ a, b int }
+	interCell := make(map[pairKey][]int)
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(id)
+		ca, cb := cp.CellOf[e.U], cp.CellOf[e.V]
+		if ca == -1 || cb == -1 || ca == cb {
+			continue
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		interCell[pairKey{ca, cb}] = append(interCell[pairKey{ca, cb}], id)
+	}
+	gc := &GateCollection{}
+	totalFence := 0
+	var keys []pairKey
+	for k := range interCell {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		edges := interCell[k]
+		in := make(map[int]bool)
+		addPathWithinCell := func(u, v, cell int) error {
+			// Tree path between u and v restricted to the cell: both lie in
+			// the same tree component, so walking up to their meeting point
+			// stays inside the cell.
+			du, dv := u, v
+			seen := map[int]bool{du: true}
+			for t.Parent[du] != -1 && cp.CellOf[t.Parent[du]] == cell {
+				du = t.Parent[du]
+				seen[du] = true
+			}
+			onPath := []int{}
+			x := dv
+			for x != -1 && !seen[x] {
+				if cp.CellOf[x] != cell {
+					return fmt.Errorf("core: gate path left cell %d at vertex %d", cell, x)
+				}
+				onPath = append(onPath, x)
+				x = t.Parent[x]
+			}
+			if x == -1 {
+				return fmt.Errorf("core: gate path between %d and %d found no meeting point", u, v)
+			}
+			// Mark v..meeting and u..meeting.
+			for _, p := range onPath {
+				in[p] = true
+			}
+			for y := u; y != x; y = t.Parent[y] {
+				in[y] = true
+			}
+			in[x] = true
+			return nil
+		}
+		// Endpoints of all inter-cell edges.
+		var endsA, endsB []int
+		for _, id := range edges {
+			e := g.Edge(id)
+			ua, ub := e.U, e.V
+			if cp.CellOf[ua] != k.a {
+				ua, ub = ub, ua
+			}
+			in[ua] = true
+			in[ub] = true
+			endsA = append(endsA, ua)
+			endsB = append(endsB, ub)
+		}
+		// Connect consecutive endpoints within each cell (the cyc(eL,eR)
+		// structure of Lemma 7, generalized to all edges).
+		for i := 1; i < len(endsA); i++ {
+			if err := addPathWithinCell(endsA[i-1], endsA[i], k.a); err != nil {
+				return nil, err
+			}
+		}
+		for i := 1; i < len(endsB); i++ {
+			if err := addPathWithinCell(endsB[i-1], endsB[i], k.b); err != nil {
+				return nil, err
+			}
+		}
+		var verts []int
+		for v := range in {
+			verts = append(verts, v)
+		}
+		sort.Ints(verts)
+		gc.Gates = append(gc.Gates, Gate{
+			CellA: k.a,
+			CellB: k.b,
+			Fence: verts,
+			Set:   verts,
+		})
+		totalFence += len(verts)
+	}
+	if len(cp.Cells) > 0 {
+		gc.S = float64(totalFence) / float64(len(cp.Cells))
+	}
+	return gc, nil
+}
+
+// ValidateGates checks the Definition 17 properties that hold by
+// construction plus the coverage property (3) and two-cell property (4):
+//
+//	(1) Fence ⊆ Set;
+//	(2) boundary of Set within Fence (vacuous with F = S, still checked);
+//	(3) every inter-cell edge covered by some gate;
+//	(4) each gate meets at most two cells;
+//	(5) non-fence gate vertices disjoint across gates (vacuous with F = S).
+func ValidateGates(g *graph.Graph, cp *CellPartition, gc *GateCollection) error {
+	covered := make(map[int]bool)
+	for gi, gate := range gc.Gates {
+		fence := make(map[int]bool, len(gate.Fence))
+		for _, v := range gate.Fence {
+			fence[v] = true
+		}
+		set := make(map[int]bool, len(gate.Set))
+		cells := map[int]bool{}
+		for _, v := range gate.Set {
+			set[v] = true
+			if c := cp.CellOf[v]; c != -1 {
+				cells[c] = true
+			}
+		}
+		// (1)
+		for _, v := range gate.Fence {
+			if !set[v] {
+				return fmt.Errorf("core: gate %d fence vertex %d outside gate", gi, v)
+			}
+		}
+		// (2): boundary vertices (gate vertices with a neighbor outside)
+		// must lie in the fence.
+		for _, v := range gate.Set {
+			for _, a := range g.Adj(v) {
+				if !set[a.To] && !fence[v] {
+					return fmt.Errorf("core: gate %d boundary vertex %d not in fence", gi, v)
+				}
+			}
+		}
+		// (4)
+		if len(cells) > 2 {
+			return fmt.Errorf("core: gate %d meets %d cells", gi, len(cells))
+		}
+		// Mark covered inter-cell edges.
+		for id := 0; id < g.M(); id++ {
+			e := g.Edge(id)
+			if set[e.U] && set[e.V] {
+				covered[id] = true
+			}
+		}
+		// (5): with F = S there are no non-fence vertices; assert that.
+		if len(gate.Set) != len(gate.Fence) {
+			return fmt.Errorf("core: gate %d has non-fence vertices (unsupported)", gi)
+		}
+	}
+	// (3)
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(id)
+		ca, cb := cp.CellOf[e.U], cp.CellOf[e.V]
+		if ca == -1 || cb == -1 || ca == cb {
+			continue
+		}
+		if !covered[id] {
+			return fmt.Errorf("core: inter-cell edge %d not covered by any gate", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestGatesOnApexGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:       gen.Grid(8, 8),
+		NumApices:  1,
+		ApexDegree: 6, // sparse apex: several multi-vertex cells
+	}, rng)
+	tr, err := graph.BFSTree(a.G, a.Apices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := core.BuildCells(a.G, tr, a.Apices, a.VortexOf)
+	if len(cells.Cells) < 2 {
+		t.Skip("degenerate cell partition")
+	}
+	gc, err := core.BuildGates(a.G, cells, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidateGates(a.G, cells, gc); err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 7 shape: s = O(d). Cells are tree components of height <= tree
+	// height; allow a generous planar constant (36d in the paper).
+	d := 2*tr.Height() + 1
+	if gc.S > float64(36*d) {
+		t.Fatalf("s = %.1f exceeds 36d = %d", gc.S, 36*d)
+	}
+}
+
+func TestGatesAcrossApexDegrees(t *testing.T) {
+	for _, deg := range []int{3, 8, 16} {
+		rng := rand.New(rand.NewSource(int64(deg)))
+		a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+			Base:       gen.Grid(6, 6),
+			NumApices:  1,
+			ApexDegree: deg,
+		}, rng)
+		tr, err := graph.BFSTree(a.G, a.Apices[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := core.BuildCells(a.G, tr, a.Apices, a.VortexOf)
+		gc, err := core.BuildGates(a.G, cells, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.ValidateGates(a.G, cells, gc); err != nil {
+			t.Fatalf("deg=%d: %v", deg, err)
+		}
+	}
+}
+
+func TestGatesLemma4Consequence(t *testing.T) {
+	// Lemma 4: with an s-combinatorial gate, either some part meets <= 2
+	// cells or some cell meets <= 2s parts. Verify the disjunction on a
+	// concrete instance.
+	rng := rand.New(rand.NewSource(5))
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:       gen.Grid(8, 8),
+		NumApices:  1,
+		ApexDegree: 10,
+	}, rng)
+	tr, err := graph.BFSTree(a.G, a.Apices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := core.BuildCells(a.G, tr, a.Apices, a.VortexOf)
+	gc, err := core.BuildGates(a.G, cells, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.Voronoi(a.G, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count incidences.
+	partCells := make([]map[int]bool, parts.NumParts())
+	cellParts := make([]map[int]bool, len(cells.Cells))
+	for ci := range cells.Cells {
+		cellParts[ci] = map[int]bool{}
+	}
+	for i := range partCells {
+		partCells[i] = map[int]bool{}
+		for _, v := range parts.Sets[i] {
+			if ci := cells.CellOf[v]; ci != -1 {
+				partCells[i][ci] = true
+				cellParts[ci][i] = true
+			}
+		}
+	}
+	someSmallPart := false
+	for i := range partCells {
+		if len(partCells[i]) <= 2 {
+			someSmallPart = true
+		}
+	}
+	someSmallCell := false
+	for ci := range cellParts {
+		if float64(len(cellParts[ci])) <= 2*gc.S+2 {
+			someSmallCell = true
+		}
+	}
+	if !someSmallPart && !someSmallCell {
+		t.Fatalf("Lemma 4 disjunction violated with s=%.1f", gc.S)
+	}
+}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// TestAlmostEmbeddableTorusBaseWithApex exercises the positive-genus route:
+// the per-cell decompositions come from restricting the torus's column
+// path-decomposition witness (DESIGN.md substitution for the genus case).
+func TestAlmostEmbeddableTorusBaseWithApex(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := gen.Torus(5, 6)
+	td := gen.TorusColumnsDecomposition(base, 5, 6)
+	if err := td.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:       base,
+		Genus:      1,
+		NumApices:  1,
+		ApexDegree: 0,
+		BaseTD:     td,
+	}, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.BFSTree(a.G, a.Apices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Voronoi(a.G, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Quality <= 0 {
+		t.Fatal("degenerate measurement")
+	}
+}
+
+// TestAlmostEmbeddableTorusVortexApex combines all three ingredients on a
+// genus-1 base.
+func TestAlmostEmbeddableTorusVortexApex(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := gen.Torus(5, 5)
+	td := gen.TorusColumnsDecomposition(base, 5, 5)
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:        base,
+		Genus:       1,
+		NumVortices: 1,
+		VortexDepth: 2,
+		VortexNodes: 3,
+		NumApices:   1,
+		ApexDegree:  5,
+		BaseTD:      td,
+	}, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.BFSTree(a.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Voronoi(a.G, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenusBaseWithoutWitnessFails: the construction must refuse a
+// positive-genus base without a BaseTD rather than silently degrade —
+// unless the apex-free single-cell route never needs it.
+func TestGenusBaseWithoutWitnessFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A sparse apex with the tree rooted away from it leaves large
+	// genus-1 cells, whose local decompositions need the witness.
+	a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:       gen.Torus(4, 4),
+		Genus:      1,
+		NumApices:  1,
+		ApexDegree: 3,
+	}, rng)
+	tr, _ := graph.BFSTree(a.G, 0)
+	p, err := partition.Voronoi(a.G, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a); err == nil {
+		t.Fatal("expected an error for genus base without BaseTD")
+	}
+}
+
+// TestExcludedMinorNilWitness checks the error path.
+func TestExcludedMinorNilWitness(t *testing.T) {
+	g := gen.Path(4)
+	tr, _ := graph.BFSTree(g, 0)
+	p, _ := partition.New(g, [][]int{{0, 1}})
+	if _, err := core.ExcludedMinorShortcut(g, tr, p, nil); err == nil {
+		t.Fatal("accepted nil witness")
+	}
+}

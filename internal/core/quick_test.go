@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// TestQuickCliqueSumShortcutAlwaysValid: random clique-sum configurations
+// (bag types, counts, glue sizes, part families) always yield valid
+// T-restricted shortcuts whose quality is finite and whose blocks stay
+// within the Theorem 7 shape.
+func TestQuickCliqueSumShortcutAlwaysValid(t *testing.T) {
+	f := func(seed int64, bagsRaw, kindRaw, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 1 + int(bagsRaw)%6
+		k := 2 + int(kindRaw)%2 // glue size 2 or 3
+		pieces := make([]*gen.Piece, nb)
+		for i := range pieces {
+			switch int(kindRaw) % 3 {
+			case 0:
+				pieces[i] = gen.GridPiece(3+rng.Intn(2), 3+rng.Intn(2))
+			case 1:
+				pieces[i] = gen.ApollonianPiece(10+rng.Intn(10), rng)
+			default:
+				pieces[i] = gen.KTreePiece(12+rng.Intn(10), k, rng)
+			}
+		}
+		cs := gen.CliqueSum(pieces, k, rng)
+		if err := cs.CST.Validate(); err != nil {
+			return false
+		}
+		tr, err := graph.BFSTree(cs.G, rng.Intn(cs.G.N()))
+		if err != nil {
+			return false
+		}
+		np := 1 + int(partsRaw)%8
+		if np > cs.G.N() {
+			np = cs.G.N()
+		}
+		p, err := partition.Voronoi(cs.G, np, rng)
+		if err != nil {
+			return false
+		}
+		res, err := core.CliqueSumShortcut(cs.G, tr, p, &core.CliqueSumWitness{
+			CST:         cs.CST,
+			BagGraphs:   cs.BagGraphs,
+			BagDecomp:   cs.BagDecomp,
+			BagToGlobal: cs.BagToGlobal,
+		})
+		if err != nil {
+			return false
+		}
+		// Shape: blocks bounded by 2k + O(local folded width).
+		bound := 2*k + 8*(res.Info["maxLocalFoldedWidth"]+2) + 4
+		return res.M.Quality > 0 && res.M.MaxBlocks <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAssignCellsProperties: Definition 15's two properties hold for
+// random apex graphs and part families:
+// (i) each part misses at most 2 of its touched cells,
+// (ii) assignments only reference touched cells.
+func TestQuickAssignCellsProperties(t *testing.T) {
+	f := func(seed int64, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+			Base:       gen.Grid(4+rng.Intn(4), 4+rng.Intn(4)),
+			NumApices:  1 + rng.Intn(2),
+			ApexDegree: 3 + rng.Intn(5),
+		}, rng)
+		root := a.Apices[0]
+		tr, err := graph.BFSTree(a.G, root)
+		if err != nil {
+			return false
+		}
+		np := 2 + int(partsRaw)%10
+		p, err := partition.Voronoi(a.G, np, rng)
+		if err != nil {
+			return false
+		}
+		cells := core.BuildCells(a.G, tr, a.Apices, a.VortexOf)
+		assigned, _ := core.AssignCells(p, cells, nil)
+		for i := range assigned {
+			touch := map[int]bool{}
+			for _, v := range p.Sets[i] {
+				if ci := cells.CellOf[v]; ci != -1 {
+					touch[ci] = true
+				}
+			}
+			got := map[int]bool{}
+			for _, ci := range assigned[i] {
+				if !touch[ci] {
+					return false // (ii) violated
+				}
+				got[ci] = true
+			}
+			missing := 0
+			for ci := range touch {
+				if !got[ci] {
+					missing++
+				}
+			}
+			if missing > 2 {
+				return false // (i) violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlmostEmbeddableShortcutValid: random vortex/apex graphs always
+// produce valid shortcuts.
+func TestQuickAlmostEmbeddableShortcutValid(t *testing.T) {
+	f := func(seed int64, cfg uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+			Base:        gen.Grid(5, 5+int(cfg)%4),
+			NumVortices: int(cfg) % 2,
+			VortexDepth: 2,
+			VortexNodes: 3,
+			NumApices:   int(cfg) % 3,
+			ApexDegree:  4,
+		}, rng)
+		if err := a.Validate(); err != nil {
+			return false
+		}
+		tr, err := graph.BFSTree(a.G, 0)
+		if err != nil {
+			return false
+		}
+		p, err := partition.Voronoi(a.G, 4+int(cfg)%6, rng)
+		if err != nil {
+			return false
+		}
+		res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+		if err != nil {
+			return false
+		}
+		// Validity is enforced inside shortcut.New; sanity: quality finite
+		// and every block count >= 1.
+		for _, b := range res.M.Blocks {
+			if b < 1 {
+				return false
+			}
+		}
+		return res.M.Quality > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package core implements the paper's primary contribution: constructive
+// realizations of its shortcut-existence theorems.
+//
+//   - Theorem 7 (clique sums): local + global shortcuts over a folded
+//     k-clique-sum decomposition tree (core/cliquesum.go);
+//   - Theorem 8 (almost-embeddable graphs): apex handling, BFS cell
+//     partitions, the cell-assignment relation of Lemmas 4-6, and per-cell
+//     local shortcuts (core/almostembed.go, core/cells.go);
+//   - Theorem 6 (excluded minors): the composition of the two
+//     (core/excludedminor.go).
+//
+// The paper proves these shortcuts *exist*; the framework algorithm never
+// computes the decomposition. Here the generators hand us the witnesses, so
+// we can build the shortcuts explicitly and measure their quality against
+// the theorems' bounds. The oblivious constructor (internal/shortcut)
+// plays the role of the structure-blind algorithm.
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// steinerEdge is one edge of a repaired tree T²ₕ (paper, proof of Lemma 1):
+// either a real global tree edge between two bag vertices, or a virtual edge
+// standing for a contracted tree path through vertices outside the bag.
+type steinerEdge struct {
+	Child, Parent int // global vertex IDs, both in the bag
+	GlobalID      int // global tree edge ID, or -1 for virtual edges
+}
+
+// steinerContract computes the paper's repaired tree T²ₕ: the minor of the
+// global spanning tree t obtained by restricting to the Steiner tree of the
+// bag's vertex set and contracting every non-bag vertex into its nearest
+// bag ancestor. The result spans exactly the bag vertices reachable in t
+// (all of them, since t spans G) and is a tree because it is a minor of t.
+//
+// Returned: the edge list and the root (the bag vertex of minimum t-depth).
+func steinerContract(t *graph.Tree, bagVerts []int) (edges []steinerEdge, root int) {
+	inBag := make(map[int]bool, len(bagVerts))
+	for _, v := range bagVerts {
+		inBag[v] = true
+	}
+	// image[v] = nearest bag ancestor-or-self of v (-1 above the root).
+	// Computed lazily with memoization along root paths.
+	image := make(map[int]int)
+	var imageOf func(v int) int
+	imageOf = func(v int) int {
+		if v == -1 {
+			return -1
+		}
+		if iv, ok := image[v]; ok {
+			return iv
+		}
+		var iv int
+		if inBag[v] {
+			iv = v
+		} else {
+			iv = imageOf(t.Parent[v])
+		}
+		image[v] = iv
+		return iv
+	}
+	root = -1
+	for _, v := range bagVerts {
+		if root == -1 || t.Depth[v] < t.Depth[root] {
+			root = v
+		}
+	}
+	for _, v := range bagVerts {
+		p := imageOf(t.Parent[v])
+		if p == -1 {
+			// v has no bag ancestor: it is a root of the contracted forest.
+			// All such roots attach to the same outside component (the one
+			// containing the global tree root), so the path contraction
+			// joins them by virtual edges; hang them under the chosen root.
+			if v != root {
+				edges = append(edges, steinerEdge{Child: v, Parent: root, GlobalID: -1})
+			}
+			continue
+		}
+		gid := -1
+		if t.Parent[v] == p {
+			gid = t.ParentEdge[v]
+		}
+		edges = append(edges, steinerEdge{Child: v, Parent: p, GlobalID: gid})
+	}
+	return edges, root
+}

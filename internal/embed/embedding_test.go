@@ -1,0 +1,192 @@
+package embed_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDartHelpers(t *testing.T) {
+	g := graph.New(3)
+	id := g.AddEdge(1, 2, 1)
+	d := 2 * id
+	if embed.Tail(g, d) != 1 || embed.Head(g, d) != 2 {
+		t.Fatalf("dart %d: tail %d head %d", d, embed.Tail(g, d), embed.Head(g, d))
+	}
+	if embed.Twin(d) != d+1 || embed.EdgeOf(d+1) != id {
+		t.Fatal("Twin/EdgeOf wrong")
+	}
+	if embed.Tail(g, d+1) != 2 {
+		t.Fatal("twin tail wrong")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	// Dart 0 (0->1) listed at wrong vertex.
+	if _, err := embed.New(g, [][]int{{}, {0, 1}}); err == nil {
+		t.Fatal("accepted dart at wrong tail")
+	}
+	// Missing dart.
+	if _, err := embed.New(g, [][]int{{0}, {}}); err == nil {
+		t.Fatal("accepted missing dart")
+	}
+	// Duplicate dart.
+	if _, err := embed.New(g, [][]int{{0, 0}, {1}}); err == nil {
+		t.Fatal("accepted duplicate dart")
+	}
+	// Correct.
+	e, err := embed.New(g, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Genus() != 0 {
+		t.Fatalf("single edge genus %d", e.Genus())
+	}
+}
+
+func TestGridIsPlanar(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 5}, {2, 2}, {3, 4}, {7, 7}, {10, 3}} {
+		e := gen.Grid(dims[0], dims[1])
+		if err := e.Emb.Validate(); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if got := e.Emb.Genus(); got != 0 {
+			t.Fatalf("grid %v genus %d want 0", dims, got)
+		}
+		faces, _ := e.Emb.Faces()
+		wantFaces := (dims[0]-1)*(dims[1]-1) + 1
+		if dims[0] == 1 || dims[1] == 1 {
+			wantFaces = 1
+		}
+		if e.G.M() == 0 {
+			wantFaces = 0 // Faces() traces dart orbits; no darts, no orbits
+		}
+		if len(faces) != wantFaces {
+			t.Fatalf("grid %v has %d faces want %d", dims, len(faces), wantFaces)
+		}
+	}
+}
+
+func TestTorusGenusOne(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {4, 6}, {5, 5}} {
+		e := gen.Torus(dims[0], dims[1])
+		if got := e.Emb.Genus(); got != 1 {
+			t.Fatalf("torus %v genus %d want 1", dims, got)
+		}
+		// Flat torus is a quadrangulation: every face is a 4-cycle.
+		faces, _ := e.Emb.Faces()
+		for _, f := range faces {
+			if len(f) != 4 {
+				t.Fatalf("torus face of length %d", len(f))
+			}
+		}
+	}
+}
+
+func TestGenusChain(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		e := gen.GenusChain(k, 3, 3)
+		if got := e.Emb.Genus(); got != k {
+			t.Fatalf("chain of %d tori: genus %d", k, got)
+		}
+		if !graph.IsConnected(e.G) {
+			t.Fatal("genus chain disconnected")
+		}
+	}
+}
+
+func TestApollonianMaximalPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{3, 4, 10, 50, 200} {
+		a := gen.NewApollonian(n, rng)
+		if err := a.Emb.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Emb.Genus(); got != 0 {
+			t.Fatalf("n=%d: genus %d want 0", n, got)
+		}
+		if a.G.M() != 3*n-6 {
+			t.Fatalf("n=%d: m=%d want maximal planar %d", n, a.G.M(), 3*n-6)
+		}
+		faces, _ := a.Emb.Faces()
+		for _, f := range faces {
+			if len(f) != 3 {
+				t.Fatalf("non-triangular face in triangulation: %d darts", len(f))
+			}
+		}
+		if !graph.PlanarDensityOK(a.G) {
+			t.Fatal("density check failed")
+		}
+	}
+}
+
+func TestWheelPlanar(t *testing.T) {
+	e := gen.Wheel(10)
+	if got := e.Emb.Genus(); got != 0 {
+		t.Fatalf("wheel genus %d", got)
+	}
+	if d := graph.Diameter(e.G); d != 2 {
+		t.Fatalf("wheel diameter %d want 2", d)
+	}
+}
+
+func TestOuterplanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{3, 5, 12, 40} {
+		e := gen.Outerplanar(n, n/2, rng)
+		if got := e.Emb.Genus(); got != 0 {
+			t.Fatalf("n=%d: outerplanar genus %d", n, got)
+		}
+		if !graph.IsSeriesParallelReducible(e.G) {
+			t.Fatalf("n=%d: outerplanar graph has a K4 minor", n)
+		}
+		// All vertices on one face (outerplanarity witness).
+		faces, _ := e.Emb.Faces()
+		found := false
+		for _, f := range faces {
+			on := make(map[int]bool)
+			for _, v := range e.Emb.FaceVertices(f) {
+				on[v] = true
+			}
+			if len(on) == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("n=%d: no face contains all vertices", n)
+		}
+	}
+}
+
+func TestSuccPredInverse(t *testing.T) {
+	e := gen.Grid(4, 4)
+	for v := 0; v < e.G.N(); v++ {
+		for _, d := range e.Emb.Rotation(v) {
+			if e.Emb.Pred(e.Emb.Succ(d)) != d {
+				t.Fatalf("Pred(Succ(%d)) != %d", d, d)
+			}
+		}
+	}
+}
+
+func TestFacesPartitionDarts(t *testing.T) {
+	e := gen.Torus(4, 5)
+	faces, faceOf := e.Emb.Faces()
+	count := 0
+	for fi, f := range faces {
+		count += len(f)
+		for _, d := range f {
+			if faceOf[d] != fi {
+				t.Fatal("faceOf disagrees with faces")
+			}
+		}
+	}
+	if count != 2*e.G.M() {
+		t.Fatalf("faces cover %d darts want %d", count, 2*e.G.M())
+	}
+}

@@ -1,0 +1,34 @@
+package embed
+
+import "fmt"
+
+// Induce restricts an embedding to the induced subgraph on keep: darts whose
+// edges survive retain their cyclic order at each kept vertex. Deleting
+// vertices and edges never increases genus, so induced embeddings of planar
+// embeddings stay planar.
+//
+// Returned: the induced embedding (over a fresh graph), the old->new vertex
+// map (-1 for dropped vertices), and per new edge its original edge ID.
+func Induce(e *Embedding, keep []int) (*Embedding, []int, []int) {
+	sub, oldToNew, edgeOrig := e.G.InducedSubgraph(keep)
+	newEdge := make(map[int]int, len(edgeOrig))
+	for nid, oid := range edgeOrig {
+		newEdge[oid] = nid
+	}
+	rot := make([][]int, sub.N())
+	for _, v := range keep {
+		nv := oldToNew[v]
+		for _, d := range e.Rotation(v) {
+			nid, ok := newEdge[EdgeOf(d)]
+			if !ok {
+				continue
+			}
+			rot[nv] = append(rot[nv], 2*nid+d%2)
+		}
+	}
+	emb, err := New(sub, rot)
+	if err != nil {
+		panic(fmt.Sprintf("embed.Induce: internal error: %v", err))
+	}
+	return emb, oldToNew, edgeOrig
+}

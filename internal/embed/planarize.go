@@ -1,0 +1,194 @@
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CutGraph is the result of cutting an embedded graph along a set of edges
+// (paper Definition 18): cut edges are slit into two sub-edges, and each
+// vertex incident to k >= 1 cut edges is split into max(k,1) copies, one per
+// maximal rotation interval bounded by cut darts (both bounding cut darts
+// included in the interval).
+type CutGraph struct {
+	PG       *graph.Graph // the cut graph
+	Emb      *Embedding   // induced embedding of PG
+	Proj     []int        // PG vertex -> original vertex (the projection p)
+	EdgeProj []int        // PG edge -> original edge ID
+	Outer    []bool       // PG vertex is an outer node (its original split into >1 copies)
+}
+
+// Cut slits the embedding e along the given cut edge set and returns the cut
+// graph with its induced embedding. When the cut set is the union of the
+// 2g generating cycles of a tree-cotree decomposition, the result is planar
+// and all outer nodes lie on a common face (Planarization Lemma, Lemma 11);
+// both properties are verified by tests rather than assumed here.
+func Cut(e *Embedding, cutEdges []int) (*CutGraph, error) {
+	g := e.G
+	isCut := make([]bool, g.M())
+	for _, id := range cutEdges {
+		if id < 0 || id >= g.M() {
+			return nil, fmt.Errorf("embed.Cut: invalid cut edge %d", id)
+		}
+		isCut[id] = true
+	}
+
+	// Step 1: vertex copies. For each vertex, intervals between cut darts.
+	// copyOf[v][j] = new vertex ID of v's j-th interval copy.
+	// intervalOf maps each dart to the interval index of its tail's copy
+	// that owns it (for non-cut darts), and start/end interval indices for
+	// cut darts.
+	copyOf := make([][]int, g.N())
+	cutPositions := make([][]int, g.N())
+	pg := graph.New(0)
+	var proj []int
+	outerCount := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		var cuts []int
+		for i, d := range e.Rotation(v) {
+			if isCut[EdgeOf(d)] {
+				cuts = append(cuts, i)
+			}
+		}
+		cutPositions[v] = cuts
+		k := len(cuts)
+		if k == 0 {
+			k = 1
+		}
+		copyOf[v] = make([]int, k)
+		for j := 0; j < k; j++ {
+			copyOf[v][j] = pg.AddVertex()
+			proj = append(proj, v)
+		}
+		outerCount[v] = k
+	}
+
+	// intervalIndex returns which interval of v owns the non-cut dart at
+	// rotation position p.
+	intervalIndex := func(v, p int) int {
+		cuts := cutPositions[v]
+		if len(cuts) == 0 {
+			return 0
+		}
+		// Largest j with cuts[j] <= p, cyclic (wraps to last interval).
+		lo, hi := 0, len(cuts)-1
+		if p < cuts[0] {
+			return len(cuts) - 1
+		}
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if cuts[mid] <= p {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	// startInterval / endInterval of a cut dart d: the intervals at Tail(d)
+	// for which d is the start bound (interval j where cuts[j] == pos(d))
+	// and the end bound (interval j-1, cyclically).
+	startInterval := func(d int) int {
+		v := Tail(g, d)
+		p := e.pos[d]
+		cuts := cutPositions[v]
+		for j, c := range cuts {
+			if c == p {
+				return j
+			}
+		}
+		panic("embed.Cut: cut dart not found among cut positions")
+	}
+	endInterval := func(d int) int {
+		j := startInterval(d)
+		k := len(cutPositions[Tail(g, d)])
+		return (j - 1 + k) % k
+	}
+
+	// Step 2: edges. Non-cut edges map 1:1; cut edges yield one sub-edge per
+	// dart: subEdge(d) joins (tail(d), startInterval(d)) to
+	// (head(d), endInterval(twin(d))).
+	newDartOf := make([]int, 2*g.M()) // old non-cut dart -> new dart
+	subTail := make([]int, 2*g.M())   // cut dart d -> new dart at its tail copy
+	subHead := make([]int, 2*g.M())   // cut dart d -> new dart at its head copy
+	for i := range newDartOf {
+		newDartOf[i] = -1
+		subTail[i] = -1
+		subHead[i] = -1
+	}
+	var edgeProj []int
+	for id := 0; id < g.M(); id++ {
+		d, dt := 2*id, 2*id+1
+		if !isCut[id] {
+			u := copyOf[Tail(g, d)][intervalIndex(Tail(g, d), e.pos[d])]
+			w := copyOf[Tail(g, dt)][intervalIndex(Tail(g, dt), e.pos[dt])]
+			nid := pg.AddEdge(u, w, g.Edge(id).W)
+			edgeProj = append(edgeProj, id)
+			newDartOf[d] = 2 * nid
+			newDartOf[dt] = 2*nid + 1
+			continue
+		}
+		for _, dd := range [2]int{d, dt} {
+			u := copyOf[Tail(g, dd)][startInterval(dd)]
+			w := copyOf[Head(g, dd)][endInterval(Twin(dd))]
+			nid := pg.AddEdge(u, w, g.Edge(id).W)
+			edgeProj = append(edgeProj, id)
+			subTail[dd] = 2 * nid
+			subHead[dd] = 2*nid + 1
+		}
+	}
+
+	// Step 3: rotations of the cut graph.
+	rot := make([][]int, pg.N())
+	for v := 0; v < g.N(); v++ {
+		oldRot := e.Rotation(v)
+		cuts := cutPositions[v]
+		if len(cuts) == 0 {
+			nv := copyOf[v][0]
+			for _, d := range oldRot {
+				rot[nv] = append(rot[nv], newDartOf[d])
+			}
+			continue
+		}
+		L := len(oldRot)
+		for j := range cuts {
+			nv := copyOf[v][j]
+			s := cuts[j]
+			t := cuts[(j+1)%len(cuts)]
+			dStart := oldRot[s]
+			dEnd := oldRot[t]
+			rot[nv] = append(rot[nv], subTail[dStart])
+			steps := (t - s - 1 + L) % L
+			if len(cuts) == 1 {
+				steps = L - 1
+			}
+			for k := 1; k <= steps; k++ {
+				d := oldRot[(s+k)%L]
+				rot[nv] = append(rot[nv], newDartOf[d])
+			}
+			rot[nv] = append(rot[nv], subHead[Twin(dEnd)])
+		}
+	}
+	emb, err := New(pg, rot)
+	if err != nil {
+		return nil, fmt.Errorf("embed.Cut: induced rotation invalid: %w", err)
+	}
+	outer := make([]bool, pg.N())
+	for nv, ov := range proj {
+		outer[nv] = outerCount[ov] > 1
+	}
+	return &CutGraph{PG: pg, Emb: emb, Proj: proj, EdgeProj: edgeProj, Outer: outer}, nil
+}
+
+// Planarize cuts a connected embedded graph of genus g along the union of
+// its 2g generating cycles with respect to the given spanning tree, per the
+// Planarization Lemma (Lemma 11). The result is planar, with every outer
+// node on a common face.
+func Planarize(e *Embedding, t *graph.Tree) (*CutGraph, error) {
+	cut, err := GeneratingCycles(e, t)
+	if err != nil {
+		return nil, err
+	}
+	return Cut(e, cut)
+}

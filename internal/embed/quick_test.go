@@ -1,0 +1,149 @@
+package embed_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestQuickEulerFormulaApollonian: for random planar triangulations the
+// Euler formula must hold exactly: n - m + f = 2.
+func TestQuickEulerFormulaApollonian(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		n := 3 + int(sizeRaw)%80
+		a := gen.NewApollonian(n, rand.New(rand.NewSource(seed)))
+		faces, _ := a.Emb.Faces()
+		return a.G.N()-a.G.M()+len(faces) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCutPreservesEdgeMultiplicity: cutting any random edge subset of
+// a random triangulation yields one image per uncut edge and two per cut
+// edge, and the induced rotation stays valid.
+func TestQuickCutPreservesEdgeMultiplicity(t *testing.T) {
+	f := func(seed int64, sizeRaw, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(sizeRaw)%40
+		a := gen.NewApollonian(n, rng)
+		var cutIDs []int
+		prob := float64(density%90+5) / 100
+		for id := 0; id < a.G.M(); id++ {
+			if rng.Float64() < prob {
+				cutIDs = append(cutIDs, id)
+			}
+		}
+		cut, err := embed.Cut(a.Emb, cutIDs)
+		if err != nil {
+			return false
+		}
+		if err := cut.Emb.Validate(); err != nil {
+			return false
+		}
+		images := make([]int, a.G.M())
+		for _, oid := range cut.EdgeProj {
+			images[oid]++
+		}
+		isCut := make([]bool, a.G.M())
+		for _, id := range cutIDs {
+			isCut[id] = true
+		}
+		for id, c := range images {
+			want := 1
+			if isCut[id] {
+				want = 2
+			}
+			if c != want {
+				return false
+			}
+		}
+		// Projection covers all original vertices.
+		seen := make([]bool, a.G.N())
+		for _, ov := range cut.Proj {
+			seen[ov] = true
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCutNeverRaisesGenus: cutting can only reduce or preserve total
+// genus (it slits the surface open).
+func TestQuickCutNeverRaisesGenus(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := gen.Torus(3+rng.Intn(3), 3+rng.Intn(3))
+		var cutIDs []int
+		for id := 0; id < e.G.M(); id++ {
+			if rng.Float64() < 0.3 {
+				cutIDs = append(cutIDs, id)
+			}
+		}
+		cut, err := embed.Cut(e.Emb, cutIDs)
+		if err != nil {
+			return false
+		}
+		return cut.Emb.Genus() <= e.Emb.Genus()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInduceSubgraphStaysPlanar: induced embeddings of planar
+// embeddings are planar.
+func TestQuickInduceSubgraphStaysPlanar(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + int(sizeRaw)%60
+		a := gen.NewApollonian(n, rng)
+		var keep []int
+		for v := 0; v < a.G.N(); v++ {
+			if rng.Float64() < 0.6 {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			keep = []int{0}
+		}
+		ind, _, _ := embed.Induce(a.Emb, keep)
+		return ind.Genus() == 0 && ind.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTreeCotreePartition: tree + cotree + leftover partitions the
+// edge set, with |leftover| = 2·genus.
+func TestQuickTreeCotreePartition(t *testing.T) {
+	f := func(seed int64, genusRaw uint8) bool {
+		g := 1 + int(genusRaw)%3
+		e := gen.GenusChain(g, 3, 4)
+		tr, err := graph.BFSTree(e.G, 0)
+		if err != nil {
+			return false
+		}
+		cotree, leftover, err := embed.TreeCotree(e.Emb, tr)
+		if err != nil {
+			return false
+		}
+		return len(cotree)+len(leftover)+(e.G.N()-1) == e.G.M() && len(leftover) == 2*g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+// aggregate runs one part-wise min aggregation and returns the effective
+// round count.
+func aggregate(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys []uint64) (int, error) {
+	res, err := congest.AggregateMin(g, p, s, keys)
+	if err != nil {
+		return 0, err
+	}
+	return res.EffectiveRounds, nil
+}
+
+// All runs every experiment at bench-friendly sizes and returns the tables
+// in ID order. Used by cmd/allbench and smoke tests.
+func All(seed int64) []*Table {
+	return []*Table{
+		E1PlanarQuality([]int{6, 10, 14, 18}, seed),
+		E2Treewidth(400, []int{2, 3, 4, 6}, seed),
+		E3CliqueSum([]int{2, 4, 8, 12}, 18, 3, seed),
+		E4AlmostEmbeddable(seed),
+		E5Main([]int{2, 4, 8, 16}, seed),
+		E6MST([]int{64, 128, 256}, seed),
+		E6bMSTExcludedMinor([]int{2, 4, 8}, seed),
+		AggregationShowcase([]int{16, 32, 64}, seed),
+		E7MinCut([]int{40, 80, 160}, seed),
+		E8LowerBound([]int{4, 8, 12, 16}, seed),
+		E8bLowerBoundMST([]int{4, 6, 8}, seed),
+		E10FoldingAblation([]int{8, 16, 32, 64}, seed),
+		E11ApexEffect([]int{32, 64, 128}, seed),
+		E12Planarize([]int{0, 1, 2, 3}, seed),
+	}
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+	"repro/internal/tw"
+	"repro/internal/xrand"
+)
+
+// witness converts a generated clique-sum into the core input.
+func witness(cs *gen.CliqueSumGraph) *core.CliqueSumWitness {
+	return &core.CliqueSumWitness{
+		CST:         cs.CST,
+		BagGraphs:   cs.BagGraphs,
+		BagDecomp:   cs.BagDecomp,
+		BagToGlobal: cs.BagToGlobal,
+	}
+}
+
+// E1PlanarQuality measures shortcut quality on planar families against
+// Theorem 4's b=O(log d), c=O(d·log d): grids of growing diameter with the
+// adversarial row parts, comparing the oblivious and treewidth-witness
+// constructions.
+func E1PlanarQuality(sides []int, seed int64) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "planar shortcut quality (Theorem 4 shape: b=Õ(1), c=Õ(d))",
+		Header: []string{"n", "diam", "parts", "b_obliv", "c_obliv", "q_obliv", "b_tw", "c_tw", "q_tw"},
+	}
+	for _, s := range sides {
+		e := gen.Grid(s, s)
+		tr, err := graph.BFSTree(e.G, 0)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.GridRows(e.G, s, s)
+		if err != nil {
+			panic(err)
+		}
+		_, mo := shortcut.ObliviousAuto(e.G, tr, p)
+		// Treewidth route: cotree decomposition of the grid itself.
+		d, err := tw.FromEmbeddingByCotree(e.Emb, tr)
+		if err != nil {
+			panic(err)
+		}
+		res, err := shortcut.FromTreewidth(e.G, tr, p, d)
+		if err != nil {
+			panic(err)
+		}
+		mt := res.S.Measure()
+		t.AddRow(e.G.N(), 2*(s-1), p.NumParts(),
+			mo.MaxBlocks, mo.Congestion, mo.Quality,
+			mt.MaxBlocks, mt.Congestion, mt.Quality)
+	}
+	return t
+}
+
+// E2Treewidth sweeps k on k-trees against Theorem 5: b = O(k),
+// c = O(k·log²n).
+func E2Treewidth(n int, ks []int, seed int64) *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  fmt.Sprintf("treewidth shortcut quality, n=%d (Theorem 5: b=O(k), c=O(k·log²n))", n),
+		Header: []string{"k", "foldedWidth", "foldedDepth", "blocks", "congestion", "quality", "b<=k+2?"},
+	}
+	rng := xrand.New(seed)
+	for _, k := range ks {
+		kt := gen.KTree(n, k, rng)
+		tr, err := graph.BFSTree(kt.G, 0)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.Voronoi(kt.G, 16, rng)
+		if err != nil {
+			panic(err)
+		}
+		res, err := shortcut.FromTreewidth(kt.G, tr, p, kt.Decomp)
+		if err != nil {
+			panic(err)
+		}
+		m := res.S.Measure()
+		ok := m.MaxBlocks <= res.FoldedWidth+3
+		t.AddRow(k, res.FoldedWidth, res.FoldedHeight, m.MaxBlocks, m.Congestion, m.Quality, ok)
+	}
+	return t
+}
+
+// E3CliqueSum sweeps the number of bags in a clique-sum against Theorem 7:
+// blocks stay 2k+O(b_F), congestion gains only the folded-depth term.
+func E3CliqueSum(bagCounts []int, bagSize, k int, seed int64) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("clique-sum shortcut quality, planar bags of ~%d (Theorem 7)", bagSize),
+		Header: []string{"bags", "n", "foldedDepth", "blocks", "congestion", "quality", "q_obliv"},
+	}
+	rng := xrand.New(seed)
+	for _, nb := range bagCounts {
+		pieces := make([]*gen.Piece, nb)
+		for i := range pieces {
+			pieces[i] = gen.ApollonianPiece(bagSize, rng)
+		}
+		cs := gen.CliqueSum(pieces, k, rng)
+		tr, err := graph.BFSTree(cs.G, 0)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.Voronoi(cs.G, 2*nb, rng)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.CliqueSumShortcut(cs.G, tr, p, witness(cs))
+		if err != nil {
+			panic(err)
+		}
+		_, mo := shortcut.ObliviousAuto(cs.G, tr, p)
+		t.AddRow(nb, cs.G.N(), res.Info["foldedDepth"], res.M.MaxBlocks, res.M.Congestion, res.M.Quality, mo.Quality)
+	}
+	return t
+}
+
+// E4AlmostEmbeddable sweeps vortex and apex parameters against Theorem 8.
+func E4AlmostEmbeddable(seed int64) *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "almost-embeddable shortcut quality (Theorem 8: b=O(q+(g+1)kℓ²d))",
+		Header: []string{"base", "q(apex)", "ℓ(vortex)", "k(depth)", "n", "diam", "blocks", "congestion", "quality", "beta"},
+	}
+	rng := xrand.New(seed)
+	configs := []struct {
+		name    string
+		base    *gen.Embedded
+		genus   int
+		q, l, k int
+	}{
+		{"grid10", gen.Grid(10, 10), 0, 0, 1, 2},
+		{"grid10", gen.Grid(10, 10), 0, 1, 0, 0},
+		{"grid10", gen.Grid(10, 10), 0, 1, 1, 2},
+		{"grid10", gen.Grid(10, 10), 0, 2, 2, 2},
+		{"grid14", gen.Grid(14, 14), 0, 1, 2, 3},
+	}
+	for _, cfg := range configs {
+		a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+			Base:        cfg.base,
+			Genus:       cfg.genus,
+			NumVortices: cfg.l,
+			VortexDepth: cfg.k,
+			VortexNodes: 4,
+			NumApices:   cfg.q,
+			ApexDegree:  0, // connect to all: worst-case diameter collapse
+		}, rng)
+		if err := a.Validate(); err != nil {
+			panic(err)
+		}
+		root := 0
+		if len(a.Apices) > 0 {
+			root = a.Apices[0]
+		}
+		tr, err := graph.BFSTree(a.G, root)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.Voronoi(a.G, 12, rng)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(cfg.name, cfg.q, cfg.l, cfg.k, a.G.N(), graph.DiameterApprox(a.G),
+			res.M.MaxBlocks, res.M.Congestion, res.M.Quality, res.Info["observedBeta"])
+	}
+	return t
+}
+
+// E5Main sweeps the diameter of K5-minor-free networks (3-clique-sums of
+// planar triangulations) and checks the main theorem's q(d) = Õ(d²): the
+// log-log slope of quality vs diameter should be at most ~2.
+func E5Main(bagCounts []int, seed int64) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "main theorem: quality vs diameter on K5-minor-free networks (q = Õ(d²))",
+		Header: []string{"bags", "n", "diam", "blocks", "congestion", "quality", "d*d"},
+	}
+	rng := xrand.New(seed)
+	var ds, qs []float64
+	for _, nb := range bagCounts {
+		pieces := make([]*gen.Piece, nb)
+		for i := range pieces {
+			pieces[i] = gen.ApollonianPiece(18+rng.Intn(8), rng)
+		}
+		cs := gen.CliqueSum(pieces, 3, rng)
+		tr, err := graph.BFSTree(cs.G, 0)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.Voronoi(cs.G, 3*nb, rng)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.ExcludedMinorShortcut(cs.G, tr, p, witness(cs))
+		if err != nil {
+			panic(err)
+		}
+		d := graph.DiameterApprox(cs.G)
+		t.AddRow(nb, cs.G.N(), d, res.M.MaxBlocks, res.M.Congestion, res.M.Quality, d*d)
+		ds = append(ds, float64(d))
+		qs = append(qs, float64(res.M.Quality))
+	}
+	slope := logLogSlope(ds, qs)
+	t.Notes = append(t.Notes, fmt.Sprintf("log-log slope of quality vs diameter: %.2f (theorem predicts <= 2)", slope))
+	return t
+}
+
+// E8LowerBound measures oblivious quality on the Ω̃(√n) hard family: the
+// quality should scale like √n even though the diameter stays logarithmic.
+func E8LowerBound(sizes []int, seed int64) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "lower-bound family contrast ([SHK+12]): quality ~ √n despite small diameter",
+		Header: []string{"p=ell", "n", "diam", "quality", "sqrt(n)", "quality/sqrt(n)"},
+	}
+	for _, s := range sizes {
+		lb := gen.LowerBound(s, s)
+		tr, err := graph.BFSTree(lb.G, lb.Root)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.PathsAsParts(lb.G, lb.Paths)
+		if err != nil {
+			panic(err)
+		}
+		_, m := shortcut.ObliviousAuto(lb.G, tr, p)
+		n := lb.G.N()
+		sq := 1
+		for sq*sq < n {
+			sq++
+		}
+		t.AddRow(s, n, graph.DiameterApprox(lb.G), m.Quality, sq, float64(m.Quality)/float64(sq))
+	}
+	return t
+}
+
+// E10FoldingAblation contrasts Lemma 1 (raw decomposition depth) with
+// Theorem 7 (folded to O(log²n)): congestion on a long chain of bags.
+func E10FoldingAblation(chainLengths []int, seed int64) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "folding ablation (Lemma 1 vs Theorem 7): congestion vs decomposition depth",
+		Header: []string{"bags", "rawDepth", "foldedDepth", "c_unfolded", "c_folded", "q_unfolded", "q_folded"},
+	}
+	rng := xrand.New(seed)
+	for _, L := range chainLengths {
+		pieces := make([]*gen.Piece, L)
+		for i := range pieces {
+			pieces[i] = gen.GridPiece(4, 4)
+		}
+		cs := gen.CliqueSumChain(pieces, 1, rng) // chain: raw depth = L-1
+		tr, err := graph.BFSTree(cs.G, 0)
+		if err != nil {
+			panic(err)
+		}
+		p, err := partition.Voronoi(cs.G, 2*L, rng)
+		if err != nil {
+			panic(err)
+		}
+		folded, err := core.CliqueSumShortcut(cs.G, tr, p, witness(cs))
+		if err != nil {
+			panic(err)
+		}
+		unfolded, err := core.CliqueSumShortcutUnfolded(cs.G, tr, p, witness(cs))
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(L, unfolded.Info["foldedDepth"], folded.Info["foldedDepth"],
+			unfolded.M.Congestion, folded.M.Congestion,
+			unfolded.M.Quality, folded.M.Quality)
+	}
+	return t
+}
+
+// E11ApexEffect reproduces the §2.3.2 discussion: adding an apex to a cycle
+// collapses the diameter; naive shortcuts built for the cycle stop being
+// good, the apex-aware construction keeps quality near the new diameter.
+func E11ApexEffect(ns []int, seed int64) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "apex effect (cycle -> wheel, §2.3.2): naive vs apex-aware quality",
+		Header: []string{"n", "cycleDiam", "wheelDiam", "arcs", "q_naive(empty)", "q_oblivious", "q_apexAware"},
+	}
+	rng := xrand.New(seed)
+	for _, n := range ns {
+		a := gen.CycleWithApex(n, rng)
+		tr, err := graph.BFSTree(a.G, a.Apices[0])
+		if err != nil {
+			panic(err)
+		}
+		arcs := 8
+		p, err := partition.RimArcs(a.G, arcs)
+		if err != nil {
+			panic(err)
+		}
+		empty := shortcut.Empty(a.G, tr, p).Measure()
+		_, mo := shortcut.ObliviousAuto(a.G, tr, p)
+		res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(n+1, n/2, 2, arcs, empty.Quality, mo.Quality, res.M.Quality)
+	}
+	return t
+}

@@ -1,0 +1,257 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/structure"
+	"repro/internal/tw"
+)
+
+// TorusColumnsDecomposition builds a path decomposition of a rows x cols
+// toroidal grid of width O(rows): bag i holds columns i, i+1, and column 0
+// (the standard trick for breaking the cyclic column structure). It is the
+// BaseTD witness for torus-based almost-embeddable graphs.
+func TorusColumnsDecomposition(t *Embedded, rows, cols int) *tw.Decomposition {
+	at := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	bags := make([][]int, cols-1)
+	parent := make([]int, cols-1)
+	for i := 0; i+1 < cols; i++ {
+		for r := 0; r < rows; r++ {
+			bags[i] = append(bags[i], at(r, i), at(r, i+1))
+			if i != 0 && i+1 != cols {
+				bags[i] = append(bags[i], at(r, 0))
+			}
+		}
+		parent[i] = i - 1 // -1 for i==0
+	}
+	d, err := tw.FromBags(t.G, bags, parent)
+	if err != nil {
+		panic(fmt.Sprintf("gen.TorusColumnsDecomposition: %v", err))
+	}
+	return d
+}
+
+// AlmostEmbedOpts configures the almost-embeddable generator.
+type AlmostEmbedOpts struct {
+	Base        *Embedded // embedded base graph (planar or bounded genus)
+	Genus       int       // declared genus bound of the base
+	NumVortices int       // ℓ
+	VortexDepth int       // k
+	VortexNodes int       // internal nodes per vortex
+	NumApices   int       // q
+	ApexDegree  int       // random neighbors per apex (0 = connect to all)
+
+	// BaseTD optionally supplies a tree decomposition witness of the base;
+	// required by the shortcut construction when the base is not planar.
+	BaseTD *tw.Decomposition
+}
+
+// AlmostEmbeddableGraph builds a (q, g, k, ℓ)-almost-embeddable graph per
+// Definition 5: it copies the base, attaches NumVortices vortices of depth
+// at most VortexDepth to faces of the base embedding (Definition 4), and
+// adds NumApices apices connected to random vertices and to each other. The
+// returned structure witness passes structure.Validate.
+func AlmostEmbeddableGraph(opts AlmostEmbedOpts, rng *rand.Rand) *structure.AlmostEmbeddable {
+	base := opts.Base
+	g := graph.New(base.G.N())
+	for id := 0; id < base.G.M(); id++ {
+		e := base.G.Edge(id)
+		g.AddEdge(e.U, e.V, e.W)
+	}
+	a := &structure.AlmostEmbeddable{
+		G:       g,
+		BaseN:   base.G.N(),
+		Base:    base.G,
+		BaseEmb: base.Emb,
+		Q:       opts.NumApices,
+		Genus:   opts.Genus,
+		K:       opts.VortexDepth,
+		L:       opts.NumVortices,
+		BaseTD:  opts.BaseTD,
+	}
+	// Choose vortex faces: faces whose vertex sequence is a simple cycle of
+	// length >= 3, largest first so vortices have room.
+	faces, _ := base.Emb.Faces()
+	var candidates [][]int
+	for _, f := range faces {
+		vs := base.Emb.FaceVertices(f)
+		if len(vs) < 3 {
+			continue
+		}
+		seen := make(map[int]bool, len(vs))
+		simple := true
+		for _, v := range vs {
+			if seen[v] {
+				simple = false
+				break
+			}
+			seen[v] = true
+		}
+		if simple {
+			candidates = append(candidates, vs)
+		}
+	}
+	// Sort candidates by length descending (insertion sort, few faces used).
+	for i := 1; i < len(candidates); i++ {
+		for j := i; j > 0 && len(candidates[j]) > len(candidates[j-1]); j-- {
+			candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+		}
+	}
+	if opts.NumVortices > len(candidates) {
+		panic(fmt.Sprintf("gen.AlmostEmbeddableGraph: %d vortices requested, %d simple faces available",
+			opts.NumVortices, len(candidates)))
+	}
+	for vi := 0; vi < opts.NumVortices; vi++ {
+		boundary := candidates[vi]
+		a.Vortices = append(a.Vortices, buildVortex(g, boundary, opts.VortexDepth, opts.VortexNodes, rng))
+	}
+	// Apices.
+	for q := 0; q < opts.NumApices; q++ {
+		x := g.AddVertex()
+		a.Apices = append(a.Apices, x)
+	}
+	for _, x := range a.Apices {
+		if opts.ApexDegree <= 0 {
+			for v := 0; v < x; v++ {
+				if !a.IsApex(v) {
+					g.AddEdge(x, v, 1)
+				}
+			}
+			continue
+		}
+		// Random distinct neighbors among non-apex vertices.
+		picked := make(map[int]bool)
+		for len(picked) < opts.ApexDegree {
+			v := rng.Intn(g.N())
+			if v != x && !a.IsApex(v) && !picked[v] {
+				picked[v] = true
+				g.AddEdge(x, v, 1)
+			}
+		}
+	}
+	// Apex-apex edges: connect consecutively so they are never isolated
+	// from each other (Definition 5 allows arbitrary apex interconnection).
+	for i := 1; i < len(a.Apices); i++ {
+		g.AddEdge(a.Apices[i-1], a.Apices[i], 1)
+	}
+	return a
+}
+
+// buildVortex attaches one vortex to the given boundary cycle: numNodes
+// internal nodes with evenly spread arcs whose overlap never exceeds depth.
+func buildVortex(g *graph.Graph, boundary []int, depth, numNodes int, rng *rand.Rand) structure.Vortex {
+	n := len(boundary)
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	if numNodes > n {
+		numNodes = n
+	}
+	stride := (n + numNodes - 1) / numNodes
+	span := stride * depth
+	if span >= n {
+		span = n - 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	v := structure.Vortex{
+		Boundary: append([]int(nil), boundary...),
+		Depth:    depth,
+	}
+	starts := make([]int, numNodes)
+	for i := 0; i < numNodes; i++ {
+		starts[i] = (i * n) / numNodes
+	}
+	// Shrink span until measured coverage respects the declared depth.
+	for ; span > 1; span-- {
+		cover := make([]int, n)
+		for _, s := range starts {
+			for j := 0; j < span; j++ {
+				cover[(s+j)%n]++
+			}
+		}
+		ok := true
+		for _, c := range cover {
+			if c > depth {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	for i := 0; i < numNodes; i++ {
+		in := g.AddVertex()
+		v.Internal = append(v.Internal, in)
+		v.Arc = append(v.Arc, [2]int{starts[i], span})
+		// Connect to a random nonempty subset of the arc, always including
+		// the first arc vertex so the vortex is connected to the base.
+		g.AddEdge(in, boundary[starts[i]%n], 1)
+		for j := 1; j < span; j++ {
+			if rng.Float64() < 0.6 {
+				g.AddEdge(in, boundary[(starts[i]+j)%n], 1)
+			}
+		}
+	}
+	// Edges between arc-adjacent internal nodes (Definition 4 allows them).
+	for i := 1; i < numNodes; i++ {
+		if arcsShareVertex(&v, i-1, i) {
+			g.AddEdge(v.Internal[i-1], v.Internal[i], 1)
+		}
+	}
+	if numNodes > 2 && arcsShareVertex(&v, numNodes-1, 0) {
+		g.AddEdge(v.Internal[numNodes-1], v.Internal[0], 1)
+	}
+	return v
+}
+
+func arcsShareVertex(v *structure.Vortex, i, j int) bool {
+	n := len(v.Boundary)
+	for t := 0; t < v.Arc[i][1]; t++ {
+		p := (v.Arc[i][0] + t) % n
+		if v.CoversPosition(j, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanarWithApex is a convenience: a grid with one apex connected to every
+// base vertex — the paper's canonical diameter-collapse scenario (§2.3.2).
+func PlanarWithApex(rows, cols int, rng *rand.Rand) *structure.AlmostEmbeddable {
+	return AlmostEmbeddableGraph(AlmostEmbedOpts{
+		Base:      Grid(rows, cols),
+		NumApices: 1,
+	}, rng)
+}
+
+// CycleWithApex is the paper's wheel example: a cycle whose added apex
+// collapses the diameter from Θ(n) to 2.
+func CycleWithApex(n int, rng *rand.Rand) *structure.AlmostEmbeddable {
+	g := Cycle(n)
+	rot := make([][]int, n)
+	for i := 0; i < n; i++ {
+		// Edge i joins i and (i+1)%n; dart 2i leaves vertex i.
+		prev := (i - 1 + n) % n
+		var prevDart int
+		if g.Edge(prev).U == i {
+			prevDart = 2 * prev
+		} else {
+			prevDart = 2*prev + 1
+		}
+		rot[i] = []int{2 * i, prevDart}
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.CycleWithApex: %v", err))
+	}
+	return AlmostEmbeddableGraph(AlmostEmbedOpts{
+		Base:      &Embedded{G: g, Emb: emb},
+		NumApices: 1,
+	}, rng)
+}

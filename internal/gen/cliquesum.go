@@ -1,0 +1,243 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+	"repro/internal/tw"
+)
+
+// Piece is a building block for clique-sum generation: a graph from some
+// family F, a tree decomposition witness of it, and a list of cliques at
+// which it may be glued. Attach cliques must be actual cliques of G so that
+// the glued bags equal their own clique-completions (B⁰ = B, Definition 1
+// with no deleted edges).
+type Piece struct {
+	G       *graph.Graph
+	Decomp  *tw.Decomposition
+	Cliques [][]int
+}
+
+// CliqueSumGraph is a graph assembled as a k-clique-sum of pieces, carrying
+// the decomposition-tree witness (Definition 8) and per-bag data for the
+// shortcut construction of Theorem 7.
+type CliqueSumGraph struct {
+	G           *graph.Graph
+	CST         *structure.CliqueSumTree
+	BagGraphs   []*graph.Graph      // bag-local graphs (B⁰, cliques complete)
+	BagDecomp   []*tw.Decomposition // TD witness of each bag-local graph
+	BagToGlobal [][]int             // bag-local vertex -> global vertex
+	K           int
+}
+
+// CliqueSumChain glues pieces in a path: piece i attaches to piece i-1, so
+// the decomposition tree is a chain of depth len(pieces)-1 — the worst case
+// for Lemma 1's congestion and the showcase for Theorem 7's folding
+// (experiment E10).
+func CliqueSumChain(pieces []*Piece, k int, rng *rand.Rand) *CliqueSumGraph {
+	return cliqueSum(pieces, k, rng, true)
+}
+
+// CliqueSum glues the given pieces into one graph: piece 0 seeds the graph;
+// each later piece is glued onto a uniformly random earlier bag, identifying
+// one of the new piece's attach cliques with an equal-sized attach clique of
+// the earlier bag. Pieces must each have at least one clique of every size
+// they are expected to glue at; sizes are capped at k.
+func CliqueSum(pieces []*Piece, k int, rng *rand.Rand) *CliqueSumGraph {
+	return cliqueSum(pieces, k, rng, false)
+}
+
+func cliqueSum(pieces []*Piece, k int, rng *rand.Rand, chain bool) *CliqueSumGraph {
+	if len(pieces) == 0 {
+		panic("gen.CliqueSum: no pieces")
+	}
+	cs := &CliqueSumGraph{K: k}
+	g := graph.New(0)
+	cst := &structure.CliqueSumTree{K: k}
+	var bagEdges [][]int
+
+	addPiece := func(p *Piece, mapTo map[int]int) []int {
+		// mapTo: piece-local -> global for identified vertices.
+		toGlobal := make([]int, p.G.N())
+		for v := 0; v < p.G.N(); v++ {
+			if gv, ok := mapTo[v]; ok {
+				toGlobal[v] = gv
+			} else {
+				toGlobal[v] = g.AddVertex()
+			}
+		}
+		var edges []int
+		for id := 0; id < p.G.M(); id++ {
+			e := p.G.Edge(id)
+			gu, gv := toGlobal[e.U], toGlobal[e.V]
+			if ex := g.FindEdge(gu, gv); ex != -1 {
+				edges = append(edges, ex) // shared clique edge, already present
+			} else {
+				edges = append(edges, g.AddEdge(gu, gv, e.W))
+			}
+		}
+		verts := append([]int(nil), toGlobal...)
+		sort.Ints(verts)
+		cst.Bags = append(cst.Bags, structure.Bag{Vertices: verts, Edges: edges})
+		cst.Adj = append(cst.Adj, nil)
+		bagEdges = append(bagEdges, edges)
+		cs.BagGraphs = append(cs.BagGraphs, p.G)
+		cs.BagDecomp = append(cs.BagDecomp, p.Decomp)
+		cs.BagToGlobal = append(cs.BagToGlobal, toGlobal)
+		return toGlobal
+	}
+
+	addPiece(pieces[0], map[int]int{})
+	for pi := 1; pi < len(pieces); pi++ {
+		p := pieces[pi]
+		// Candidate attach cliques of the new piece, size <= k.
+		var srcCliques [][]int
+		for _, c := range p.Cliques {
+			if len(c) <= k && len(c) >= 1 {
+				srcCliques = append(srcCliques, c)
+			}
+		}
+		if len(srcCliques) == 0 {
+			panic(fmt.Sprintf("gen.CliqueSum: piece %d has no attach clique of size <= %d", pi, k))
+		}
+		src := srcCliques[rng.Intn(len(srcCliques))]
+		// Find an earlier bag with an attach clique of the same size.
+		type target struct {
+			bag    int
+			clique []int // global vertices
+		}
+		var targets []target
+		for bj := range cst.Bags {
+			if chain && bj != pi-1 {
+				continue // chain mode: attach to the previous bag only
+			}
+			pj := pieces[bj]
+			for _, c := range pj.Cliques {
+				if len(c) == len(src) {
+					gc := make([]int, len(c))
+					for i, v := range c {
+						gc[i] = cs.BagToGlobal[bj][v]
+					}
+					targets = append(targets, target{bag: bj, clique: gc})
+				}
+			}
+		}
+		if len(targets) == 0 {
+			panic(fmt.Sprintf("gen.CliqueSum: no earlier bag offers a %d-clique", len(src)))
+		}
+		tg := targets[rng.Intn(len(targets))]
+		mapTo := make(map[int]int, len(src))
+		for i, v := range src {
+			mapTo[v] = tg.clique[i]
+		}
+		addPiece(p, mapTo)
+		bi := len(cst.Bags) - 1
+		cst.Adj[bi] = append(cst.Adj[bi], tg.bag)
+		cst.Adj[tg.bag] = append(cst.Adj[tg.bag], bi)
+	}
+	cst.G = g
+	cs.G = g
+	cs.CST = cst
+	if err := cst.Validate(); err != nil {
+		panic(fmt.Sprintf("gen.CliqueSum: invalid witness: %v", err))
+	}
+	return cs
+}
+
+// GridPiece returns a rows x cols grid piece with a diameter-based tree
+// decomposition and attach cliques: all single vertices and all edges.
+func GridPiece(rows, cols int) *Piece {
+	e := Grid(rows, cols)
+	t, err := graph.BFSTree(e.G, 0)
+	if err != nil {
+		panic(fmt.Sprintf("gen.GridPiece: %v", err))
+	}
+	d, err := tw.FromEmbeddingByCotree(e.Emb, t)
+	if err != nil {
+		panic(fmt.Sprintf("gen.GridPiece: %v", err))
+	}
+	p := &Piece{G: e.G, Decomp: d}
+	for v := 0; v < e.G.N(); v++ {
+		p.Cliques = append(p.Cliques, []int{v})
+	}
+	for id := 0; id < e.G.M(); id++ {
+		ed := e.G.Edge(id)
+		p.Cliques = append(p.Cliques, []int{ed.U, ed.V})
+	}
+	return p
+}
+
+// ApollonianPiece returns a random planar triangulation piece with its
+// width-3 tree decomposition and attach cliques: all vertices, edges, and
+// the triangles recorded during construction.
+func ApollonianPiece(n int, rng *rand.Rand) *Piece {
+	a := NewApollonian(n, rng)
+	d := ApollonianDecomposition(a)
+	p := &Piece{G: a.G, Decomp: d}
+	for v := 0; v < a.G.N(); v++ {
+		p.Cliques = append(p.Cliques, []int{v})
+	}
+	for id := 0; id < a.G.M(); id++ {
+		ed := a.G.Edge(id)
+		p.Cliques = append(p.Cliques, []int{ed.U, ed.V})
+	}
+	p.Cliques = append(p.Cliques, []int{0, 1, 2})
+	for _, c := range a.Corners {
+		p.Cliques = append(p.Cliques, []int{c[0], c[1], c[2]})
+	}
+	return p
+}
+
+// KTreePiece returns a random k-tree piece with its native decomposition;
+// attach cliques are the recorded bags' clique parts.
+func KTreePiece(n, k int, rng *rand.Rand) *Piece {
+	kt := KTree(n, k, rng)
+	p := &Piece{G: kt.G, Decomp: kt.Decomp}
+	for v := 0; v < kt.G.N(); v++ {
+		p.Cliques = append(p.Cliques, []int{v})
+	}
+	for _, bag := range kt.Decomp.Bags {
+		if len(bag) >= 2 {
+			p.Cliques = append(p.Cliques, append([]int(nil), bag[:2]...))
+		}
+		if len(bag) > k {
+			p.Cliques = append(p.Cliques, append([]int(nil), bag[:k]...))
+		}
+	}
+	return p
+}
+
+// ApollonianDecomposition builds the natural width-3 tree decomposition of
+// an Apollonian network: root bag {0,1,2}; each inserted vertex v gets bag
+// {v} ∪ corners(v) attached under the bag of its youngest corner.
+func ApollonianDecomposition(a *Apollonian) *tw.Decomposition {
+	n := a.G.N()
+	bags := make([][]int, 1, n-2)
+	bags[0] = []int{0, 1, 2}
+	parent := make([]int, 1, n-2)
+	parent[0] = -1
+	for i, c := range a.Corners {
+		v := i + 3
+		bags = append(bags, []int{v, c[0], c[1], c[2]})
+		y := c[0]
+		if c[1] > y {
+			y = c[1]
+		}
+		if c[2] > y {
+			y = c[2]
+		}
+		if y < 3 {
+			parent = append(parent, 0)
+		} else {
+			parent = append(parent, y-2) // bag index of vertex y is y-2
+		}
+	}
+	d, err := tw.FromBags(a.G, bags, parent)
+	if err != nil {
+		panic(fmt.Sprintf("gen.ApollonianDecomposition: %v", err))
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/tw"
+)
+
+// KTreeGraph is a k-tree (or partial k-tree) together with its natural
+// width-k tree decomposition witness.
+type KTreeGraph struct {
+	G      *graph.Graph
+	Decomp *tw.Decomposition
+	K      int
+}
+
+// KTree generates a random k-tree on n vertices: start from K_{k+1}, then
+// each new vertex attaches to a uniformly random existing k-clique. The
+// natural tree decomposition (one bag per vertex from k onward) has width
+// exactly k.
+func KTree(n, k int, rng *rand.Rand) *KTreeGraph {
+	if n < k+1 {
+		panic(fmt.Sprintf("gen.KTree: need n >= k+1, got n=%d k=%d", n, k))
+	}
+	g := graph.New(n)
+	// Seed: K_{k+1} over vertices 0..k, built as vertex k attaching to the
+	// clique {0..k-1}.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	cliques := [][]int{seq(0, k)} // k-cliques available for attachment
+	attach := make([][]int, 0, n-k)
+	for v := k; v < n; v++ {
+		c := cliques[rng.Intn(len(cliques))]
+		for _, u := range c {
+			g.AddEdge(v, u, 1)
+		}
+		attach = append(attach, c)
+		for drop := range c {
+			nc := make([]int, 0, k)
+			nc = append(nc, v)
+			for i, u := range c {
+				if i != drop {
+					nc = append(nc, u)
+				}
+			}
+			cliques = append(cliques, nc)
+		}
+	}
+	// Bags: bag index v-k for vertex v in k..n-1. Bag = {v} ∪ attach set.
+	// Parent: bag of the youngest attach vertex (clamped to the root bag).
+	bags := make([][]int, n-k)
+	parent := make([]int, n-k)
+	for v := k; v < n; v++ {
+		bi := v - k
+		bags[bi] = append([]int{v}, attach[bi]...)
+		y := k
+		for _, u := range attach[bi] {
+			if u > y {
+				y = u
+			}
+		}
+		if v == k {
+			parent[bi] = -1
+		} else {
+			parent[bi] = y - k
+		}
+	}
+	d, err := tw.FromBags(g, bags, parent)
+	if err != nil {
+		panic(fmt.Sprintf("gen.KTree: internal decomposition error: %v", err))
+	}
+	return &KTreeGraph{G: g, Decomp: d, K: k}
+}
+
+// PartialKTree generates a k-tree and then removes each non-seed edge with
+// the given probability, keeping the graph connected (removals that would
+// disconnect are skipped). The decomposition witness remains valid (bags are
+// computed for the full k-tree; deleting edges never invalidates a tree
+// decomposition) but is rebuilt over the thinned graph.
+func PartialKTree(n, k int, dropProb float64, rng *rand.Rand) *KTreeGraph {
+	full := KTree(n, k, rng)
+	g := graph.New(n)
+	keptBagEdge := make([]bool, full.G.M())
+	// Decide drops; then verify connectivity, restoring edges if needed.
+	for id := 0; id < full.G.M(); id++ {
+		keptBagEdge[id] = rng.Float64() >= dropProb
+	}
+	// Always keep a spanning structure: run union-find over kept edges and
+	// restore dropped edges that would disconnect.
+	uf := graph.NewUnionFind(n)
+	for id := 0; id < full.G.M(); id++ {
+		if keptBagEdge[id] {
+			e := full.G.Edge(id)
+			uf.Union(e.U, e.V)
+		}
+	}
+	for id := 0; id < full.G.M(); id++ {
+		if !keptBagEdge[id] {
+			e := full.G.Edge(id)
+			if uf.Union(e.U, e.V) {
+				keptBagEdge[id] = true // restoring keeps connectivity
+			}
+		}
+	}
+	for id := 0; id < full.G.M(); id++ {
+		if keptBagEdge[id] {
+			e := full.G.Edge(id)
+			g.AddEdge(e.U, e.V, e.W)
+		}
+	}
+	d := &tw.Decomposition{G: g, Bags: full.Decomp.Bags, Adj: full.Decomp.Adj}
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("gen.PartialKTree: internal decomposition error: %v", err))
+	}
+	return &KTreeGraph{G: g, Decomp: d, K: k}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

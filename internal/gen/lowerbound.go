@@ -1,0 +1,62 @@
+package gen
+
+import "repro/internal/graph"
+
+// LowerBoundGraph is the classical hard instance for distributed
+// optimization from [SHK+12] (and [Elk06]): p long disjoint paths plus a
+// shallow balanced tree ("highway") touching every column. Its diameter is
+// O(log ℓ), yet any tree-restricted shortcut for the p paths as parts must
+// either congest the tree heavily or leave parts in many blocks, forcing
+// quality Ω(min(p, ℓ)) ≈ Ω(√n). The graph contains large clique minors, so
+// it is *not* in any fixed excluded-minor family — it is the contrast
+// workload for experiment E8.
+type LowerBoundGraph struct {
+	G     *graph.Graph
+	Paths [][]int // the p paths: the natural adversarial parts
+	Root  int     // root of the highway tree
+}
+
+// LowerBound builds the instance with p paths of length ell (p*ell path
+// vertices plus ~2*ell tree vertices).
+func LowerBound(p, ell int) *LowerBoundGraph {
+	if p < 1 || ell < 2 {
+		panic("gen.LowerBound: need p >= 1, ell >= 2")
+	}
+	g := graph.New(p * ell)
+	lb := &LowerBoundGraph{G: g}
+	at := func(i, j int) int { return i*ell + j }
+	for i := 0; i < p; i++ {
+		path := make([]int, ell)
+		for j := 0; j < ell; j++ {
+			path[j] = at(i, j)
+			if j > 0 {
+				g.AddEdge(at(i, j-1), at(i, j), 1)
+			}
+		}
+		lb.Paths = append(lb.Paths, path)
+	}
+	// Balanced binary tree over the ell columns: leaves[j] connects to
+	// column j of every path.
+	leaves := make([]int, ell)
+	for j := range leaves {
+		leaves[j] = g.AddVertex()
+		for i := 0; i < p; i++ {
+			g.AddEdge(leaves[j], at(i, j), 1)
+		}
+	}
+	level := leaves
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i < len(level); i += 2 {
+			parent := g.AddVertex()
+			g.AddEdge(parent, level[i], 1)
+			if i+1 < len(level) {
+				g.AddEdge(parent, level[i+1], 1)
+			}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	lb.Root = level[0]
+	return lb
+}

@@ -1,0 +1,369 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+)
+
+// Embedded couples a graph with a combinatorial embedding witness.
+type Embedded struct {
+	G   *graph.Graph
+	Emb *embed.Embedding
+}
+
+// Grid returns the rows x cols grid with an explicit planar embedding
+// (genus 0). Vertex (r,c) is r*cols + c. Diameter is rows+cols-2.
+func Grid(rows, cols int) *Embedded {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("gen.Grid: bad dimensions %dx%d", rows, cols))
+	}
+	g := graph.New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	right := make([]int, rows*cols) // edge ID of edge to (r, c+1), else -1
+	down := make([]int, rows*cols)
+	for i := range right {
+		right[i] = -1
+		down[i] = -1
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				right[at(r, c)] = g.AddEdge(at(r, c), at(r, c+1), 1)
+			}
+			if r+1 < rows {
+				down[at(r, c)] = g.AddEdge(at(r, c), at(r+1, c), 1)
+			}
+		}
+	}
+	// Counterclockwise rotation (rows grow downward): right, up, left, down.
+	dart := func(id, tail int) int {
+		if g.Edge(id).U == tail {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	rot := make([][]int, g.N())
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := at(r, c)
+			if id := right[v]; id != -1 {
+				rot[v] = append(rot[v], dart(id, v))
+			}
+			if r > 0 {
+				rot[v] = append(rot[v], dart(down[at(r-1, c)], v))
+			}
+			if c > 0 {
+				rot[v] = append(rot[v], dart(right[at(r, c-1)], v))
+			}
+			if id := down[v]; id != -1 {
+				rot[v] = append(rot[v], dart(id, v))
+			}
+		}
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.Grid: internal embedding error: %v", err))
+	}
+	return &Embedded{G: g, Emb: emb}
+}
+
+// Torus returns the rows x cols toroidal grid (all rows and columns wrap)
+// with its standard flat embedding of genus 1. Requires rows, cols >= 3 so
+// the graph stays simple.
+func Torus(rows, cols int) *Embedded {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("gen.Torus: need at least 3x3, got %dx%d", rows, cols))
+	}
+	g := graph.New(rows * cols)
+	at := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	right := make([]int, rows*cols)
+	down := make([]int, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			right[at(r, c)] = g.AddEdge(at(r, c), at(r, c+1), 1)
+			down[at(r, c)] = g.AddEdge(at(r, c), at(r+1, c), 1)
+		}
+	}
+	dart := func(id, tail int) int {
+		if g.Edge(id).U == tail {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	rot := make([][]int, g.N())
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := at(r, c)
+			rot[v] = []int{
+				dart(right[v], v),
+				dart(down[at(r-1, c)], v),
+				dart(right[at(r, c-1)], v),
+				dart(down[v], v),
+			}
+		}
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.Torus: internal embedding error: %v", err))
+	}
+	return &Embedded{G: g, Emb: emb}
+}
+
+// GenusChain glues k toroidal grids in a chain, identifying a corner vertex
+// of each with a corner of the next (rotations concatenated), producing an
+// embedding of genus exactly k.
+func GenusChain(k, rows, cols int) *Embedded {
+	if k < 1 {
+		panic("gen.GenusChain: k must be >= 1")
+	}
+	cur := Torus(rows, cols)
+	for i := 1; i < k; i++ {
+		next := Torus(rows, cols)
+		cur = glueAtVertex(cur, next, cur.G.N()-1, 0)
+	}
+	return cur
+}
+
+// glueAtVertex identifies vertex a of x with vertex b of y, concatenating
+// their rotations, which adds the genera (connected sum of surfaces).
+func glueAtVertex(x, y *Embedded, a, b int) *Embedded {
+	nx := x.G.N()
+	// Map y's vertices into the combined graph: b -> a, others shifted.
+	mapv := make([]int, y.G.N())
+	next := nx
+	for v := 0; v < y.G.N(); v++ {
+		if v == b {
+			mapv[v] = a
+		} else {
+			mapv[v] = next
+			next++
+		}
+	}
+	g := graph.New(nx + y.G.N() - 1)
+	for id := 0; id < x.G.M(); id++ {
+		e := x.G.Edge(id)
+		g.AddEdge(e.U, e.V, e.W)
+	}
+	yEdgeOffset := x.G.M()
+	for id := 0; id < y.G.M(); id++ {
+		e := y.G.Edge(id)
+		g.AddEdge(mapv[e.U], mapv[e.V], e.W)
+	}
+	// Rebuild rotations: x darts keep IDs; y dart d of edge id becomes dart
+	// of edge id+offset with same parity (endpoints keep U/V roles).
+	rot := make([][]int, g.N())
+	for v := 0; v < nx; v++ {
+		rot[v] = append(rot[v], x.Emb.Rotation(v)...)
+	}
+	for v := 0; v < y.G.N(); v++ {
+		nv := mapv[v]
+		for _, d := range y.Emb.Rotation(v) {
+			rot[nv] = append(rot[nv], d+2*yEdgeOffset)
+		}
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.glueAtVertex: internal embedding error: %v", err))
+	}
+	return &Embedded{G: g, Emb: emb}
+}
+
+// Apollonian returns a random planar triangulation (stacked/Apollonian
+// network) on n >= 3 vertices, built by repeatedly inserting a vertex into a
+// uniformly random face and connecting it to the face's three corners. The
+// result is maximal planar (m = 3n-6) and also a planar 3-tree.
+// InsertionFaces records, per inserted vertex v >= 3, the three corner
+// vertices it attached to (used to derive a width-3 tree decomposition).
+type Apollonian struct {
+	Embedded
+	Corners [][3]int // Corners[i] = attachment corners of vertex i+3
+}
+
+// NewApollonian builds a random Apollonian network.
+func NewApollonian(n int, rng *rand.Rand) *Apollonian {
+	if n < 3 {
+		panic("gen.NewApollonian: need n >= 3")
+	}
+	g := graph.New(3)
+	e01 := g.AddEdge(0, 1, 1)
+	e12 := g.AddEdge(1, 2, 1)
+	e20 := g.AddEdge(2, 0, 1)
+	// Planar embedding of the triangle: rotations listed explicitly.
+	rot := [][]int{
+		{2 * e01, 2*e20 + 1}, // at 0: 0->1, 0->2
+		{2*e01 + 1, 2 * e12}, // at 1: 1->0, 1->2
+		{2*e12 + 1, 2 * e20}, // at 2: 2->1, 2->0
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.NewApollonian: seed triangle: %v", err))
+	}
+	// Faces tracked as dart triples (d1: a->b, d2: b->c, d3: c->a) with
+	// next(d1)=d2 etc. Both faces of the triangle qualify.
+	faces, _ := emb.Faces()
+	type face [3]int
+	var live []face
+	for _, f := range faces {
+		if len(f) != 3 {
+			panic("gen.NewApollonian: seed face not a triangle")
+		}
+		live = append(live, face{f[0], f[1], f[2]})
+	}
+	a := &Apollonian{}
+	dartTo := func(id, tail int) int {
+		if g.Edge(id).U == tail {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	for v := 3; v < n; v++ {
+		fi := rng.Intn(len(live))
+		f := live[fi]
+		d1, d2, d3 := f[0], f[1], f[2]
+		va := embed.Tail(g, d1)
+		vb := embed.Tail(g, d2)
+		vc := embed.Tail(g, d3)
+		w := g.AddVertex()
+		ea := g.AddEdge(va, w, 1)
+		eb := g.AddEdge(vb, w, 1)
+		ec := g.AddEdge(vc, w, 1)
+		a.Corners = append(a.Corners, [3]int{va, vb, vc})
+		// Splice new darts: at a after a->c (= twin(d3)); at b after b->a
+		// (= twin(d1)); at c after c->b (= twin(d2)).
+		emb.InsertDartAfter(dartTo(ea, va), embed.Twin(d3))
+		emb.InsertDartAfter(dartTo(eb, vb), embed.Twin(d1))
+		emb.InsertDartAfter(dartTo(ec, vc), embed.Twin(d2))
+		// Rotation at w: (w->a, w->c, w->b).
+		emb.AppendDart(dartTo(ea, w))
+		emb.AppendDart(dartTo(ec, w))
+		emb.AppendDart(dartTo(eb, w))
+		// Replace face f with the three new faces.
+		live[fi] = face{d1, dartTo(eb, vb), dartTo(ea, w)}
+		live = append(live,
+			face{d2, dartTo(ec, vc), dartTo(eb, w)},
+			face{d3, dartTo(ea, va), dartTo(ec, w)},
+		)
+	}
+	a.G = g
+	a.Emb = emb
+	return a
+}
+
+// Wheel returns the wheel graph: an n-1 cycle (rim) plus a hub adjacent to
+// every rim vertex. The hub is vertex n-1. The wheel is the paper's running
+// example of an apex collapsing diameter (Θ(n) cycle -> Θ(1) wheel).
+func Wheel(n int) *Embedded {
+	if n < 4 {
+		panic("gen.Wheel: need n >= 4")
+	}
+	rim := n - 1
+	g := graph.New(n)
+	hub := n - 1
+	rimEdge := make([]int, rim)
+	for i := 0; i < rim; i++ {
+		rimEdge[i] = g.AddEdge(i, (i+1)%rim, 1)
+	}
+	spoke := make([]int, rim)
+	for i := 0; i < rim; i++ {
+		spoke[i] = g.AddEdge(hub, i, 1)
+	}
+	dart := func(id, tail int) int {
+		if g.Edge(id).U == tail {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	rot := make([][]int, n)
+	for i := 0; i < rim; i++ {
+		prev := (i - 1 + rim) % rim
+		// CCW at rim vertex (hub inside): next, hub, prev.
+		rot[i] = []int{
+			dart(rimEdge[i], i),
+			dart(spoke[i], i),
+			dart(rimEdge[prev], i),
+		}
+	}
+	for i := 0; i < rim; i++ {
+		rot[hub] = append(rot[hub], dart(spoke[i], hub))
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.Wheel: internal embedding error: %v", err))
+	}
+	return &Embedded{G: g, Emb: emb}
+}
+
+// Outerplanar returns a cycle on n vertices plus a set of non-crossing
+// random chords, embedded with all vertices on the outer face. Outerplanar
+// graphs are K4-minor-free and planar.
+func Outerplanar(n, chords int, rng *rand.Rand) *Embedded {
+	if n < 3 {
+		panic("gen.Outerplanar: need n >= 3")
+	}
+	g := graph.New(n)
+	type chord struct{ a, b, id int }
+	var all []chord
+	cyc := make([]int, n)
+	for i := 0; i < n; i++ {
+		cyc[i] = g.AddEdge(i, (i+1)%n, 1)
+	}
+	// Nested (hence non-crossing) chords via recursive interval splitting.
+	var split func(lo, hi, budget int)
+	split = func(lo, hi, budget int) {
+		if budget <= 0 || hi-lo < 2 {
+			return
+		}
+		if !(lo == 0 && hi == n-1) { // (0,n-1) is already a cycle edge
+			all = append(all, chord{a: lo, b: hi, id: g.AddEdge(lo, hi, 1)})
+			budget--
+		}
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		split(lo, mid, budget/2)
+		split(mid, hi, budget-budget/2)
+	}
+	split(0, n-1, chords)
+	// Rotation: at vertex i, order darts by the "span" of the edge along the
+	// cycle: next cycle edge, then chords to increasing distance, then prev
+	// cycle edge. For non-crossing chords this is a planar rotation.
+	dart := func(id, tail int) int {
+		if g.Edge(id).U == tail {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	rot := make([][]int, n)
+	for i := 0; i < n; i++ {
+		prev := (i - 1 + n) % n
+		type incident struct {
+			d    int
+			span int
+		}
+		var chordsHere []incident
+		for _, c := range all {
+			if c.a == i {
+				chordsHere = append(chordsHere, incident{dart(c.id, i), c.b - c.a})
+			} else if c.b == i {
+				chordsHere = append(chordsHere, incident{dart(c.id, i), n - (c.b - c.a)})
+			}
+		}
+		// Sort chords by span ascending (insertion sort; few chords).
+		for x := 1; x < len(chordsHere); x++ {
+			for y := x; y > 0 && chordsHere[y].span < chordsHere[y-1].span; y-- {
+				chordsHere[y], chordsHere[y-1] = chordsHere[y-1], chordsHere[y]
+			}
+		}
+		rot[i] = []int{dart(cyc[i], i)}
+		for _, c := range chordsHere {
+			rot[i] = append(rot[i], c.d)
+		}
+		rot[i] = append(rot[i], dart(cyc[prev], i))
+	}
+	emb, err := embed.New(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen.Outerplanar: internal embedding error: %v", err))
+	}
+	return &Embedded{G: g, Emb: emb}
+}

@@ -1,0 +1,219 @@
+package graph
+
+// BFSResult holds the outcome of a breadth-first search.
+type BFSResult struct {
+	Source     int
+	Dist       []int // hop distance from source; -1 if unreachable
+	Parent     []int // BFS-tree parent; -1 for source and unreachable
+	ParentEdge []int // edge ID to parent; -1 for source and unreachable
+	Order      []int // vertices in visit order
+}
+
+// BFS runs a breadth-first search from src.
+func BFS(g *Graph, src int) *BFSResult {
+	r := &BFSResult{
+		Source:     src,
+		Dist:       make([]int, g.N()),
+		Parent:     make([]int, g.N()),
+		ParentEdge: make([]int, g.N()),
+	}
+	for i := range r.Dist {
+		r.Dist[i] = -1
+		r.Parent[i] = -1
+		r.ParentEdge[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	r.Dist[src] = 0
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		r.Order = append(r.Order, v)
+		for _, a := range g.Adj(v) {
+			if r.Dist[a.To] == -1 {
+				r.Dist[a.To] = r.Dist[v] + 1
+				r.Parent[a.To] = v
+				r.ParentEdge[a.To] = a.ID
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return r
+}
+
+// MultiBFSResult holds the outcome of a multi-source BFS (Voronoi partition).
+type MultiBFSResult struct {
+	Sources    []int
+	Dist       []int // hop distance to nearest source; -1 if unreachable
+	Owner      []int // index into Sources of the owning source; -1 if unreachable
+	Parent     []int
+	ParentEdge []int
+}
+
+// MultiBFS runs a BFS simultaneously from all sources, assigning each vertex
+// to the source that reaches it first (ties broken by source order). The
+// resulting owner classes are the "cells" used throughout the shortcut
+// construction: each class is connected and has radius at most the BFS depth.
+func MultiBFS(g *Graph, sources []int) *MultiBFSResult {
+	r := &MultiBFSResult{
+		Sources:    append([]int(nil), sources...),
+		Dist:       make([]int, g.N()),
+		Owner:      make([]int, g.N()),
+		Parent:     make([]int, g.N()),
+		ParentEdge: make([]int, g.N()),
+	}
+	for i := range r.Dist {
+		r.Dist[i] = -1
+		r.Owner[i] = -1
+		r.Parent[i] = -1
+		r.ParentEdge[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	for i, s := range sources {
+		if r.Dist[s] == -1 {
+			r.Dist[s] = 0
+			r.Owner[s] = i
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Adj(v) {
+			if r.Dist[a.To] == -1 {
+				r.Dist[a.To] = r.Dist[v] + 1
+				r.Owner[a.To] = r.Owner[v]
+				r.Parent[a.To] = v
+				r.ParentEdge[a.To] = a.ID
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return r
+}
+
+// Components returns the connected components of g as vertex lists, along
+// with a vertex->component index map.
+func Components(g *Graph) (comps [][]int, of []int) {
+	of = make([]int, g.N())
+	for i := range of {
+		of[i] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		if of[v] != -1 {
+			continue
+		}
+		idx := len(comps)
+		var comp []int
+		stack := []int{v}
+		of[v] = idx
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for _, a := range g.Adj(x) {
+				if of[a.To] == -1 {
+					of[a.To] = idx
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps, of
+}
+
+// IsConnected reports whether g is connected (the empty graph is connected).
+func IsConnected(g *Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	r := BFS(g, 0)
+	return len(r.Order) == g.N()
+}
+
+// ConnectedSubset reports whether the vertex subset s induces a connected
+// subgraph of g. An empty subset is not connected.
+func ConnectedSubset(g *Graph, s []int) bool {
+	if len(s) == 0 {
+		return false
+	}
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	seen := map[int]bool{s[0]: true}
+	stack := []int{s[0]}
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.Adj(v) {
+			if in[a.To] && !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == len(s)
+}
+
+// Eccentricity returns the maximum hop distance from v to any reachable
+// vertex, and whether all vertices were reachable.
+func Eccentricity(g *Graph, v int) (ecc int, connected bool) {
+	r := BFS(g, v)
+	connected = true
+	for _, d := range r.Dist {
+		if d == -1 {
+			connected = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, connected
+}
+
+// Diameter computes the exact hop diameter by running a BFS from every
+// vertex. It is O(n·m); use DiameterApprox for large graphs. It returns -1
+// for disconnected graphs.
+func Diameter(g *Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		ecc, conn := Eccentricity(g, v)
+		if !conn {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DiameterApprox estimates the diameter with the double-sweep heuristic:
+// BFS from v0, then from the farthest vertex found. The result is a lower
+// bound on the true diameter and at least half of it; on trees it is exact.
+// It returns -1 for disconnected graphs.
+func DiameterApprox(g *Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	r1 := BFS(g, 0)
+	far, fd := 0, 0
+	for v, d := range r1.Dist {
+		if d == -1 {
+			return -1
+		}
+		if d > fd {
+			far, fd = v, d
+		}
+	}
+	ecc, _ := Eccentricity(g, far)
+	return ecc
+}

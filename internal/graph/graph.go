@@ -1,0 +1,268 @@
+// Package graph provides the core graph substrate used by the entire
+// repository: weighted undirected multigraphs with stable edge identifiers,
+// traversals, rooted spanning trees, LCA and heavy-light machinery,
+// union-find, sequential MST and min-cut reference algorithms, and minor
+// operations (contraction, deletion, reductions).
+//
+// Vertices are dense integers 0..N()-1. Edges carry stable integer IDs in
+// insertion order; all higher layers (shortcuts in particular) identify edges
+// by ID so that congestion accounting stays exact even in the presence of
+// parallel edges created by contractions.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Edge is an undirected weighted edge between U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Arc is one direction of an edge as stored in adjacency lists.
+type Arc struct {
+	To int // neighbor vertex
+	ID int // edge ID, an index into the graph's edge list
+}
+
+// Graph is an undirected weighted multigraph. The zero value is an empty
+// graph with no vertices; use New to create a graph with n vertices.
+//
+// Parallel edges are permitted (they arise naturally from contractions);
+// self-loops are rejected. Graph is not safe for concurrent mutation but is
+// safe for concurrent reads.
+type Graph struct {
+	adj   [][]Arc
+	edges []Edge
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph.New: negative vertex count %d", n))
+	}
+	return &Graph{adj: make([][]Arc, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts an undirected edge {u,v} with weight w and returns its ID.
+// It panics on out-of-range endpoints or self-loops: both indicate programmer
+// error in this codebase, where all construction sites control their inputs.
+func (g *Graph) AddEdge(u, v int, w float64) int {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph.AddEdge: endpoint out of range: {%d,%d} with n=%d", u, v, len(g.adj)))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph.AddEdge: self-loop at %d", u))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], Arc{To: v, ID: id})
+	g.adj[v] = append(g.adj[v], Arc{To: u, ID: id})
+	return id
+}
+
+// Adj returns the adjacency list of v. The returned slice must not be
+// modified by the caller.
+func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+
+// Degree returns the number of incident edge-endpoints at v (parallel edges
+// counted with multiplicity).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// SetWeight replaces the weight of edge id.
+func (g *Graph) SetWeight(id int, w float64) { g.edges[id].W = w }
+
+// Other returns the endpoint of edge id that is not v. It panics if v is not
+// an endpoint of the edge.
+func (g *Graph) Other(id, v int) int {
+	e := g.edges[id]
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph.Other: vertex %d not an endpoint of edge %d {%d,%d}", v, id, e.U, e.V))
+}
+
+// HasEdge reports whether at least one edge connects u and v.
+// It scans the shorter adjacency list.
+func (g *Graph) HasEdge(u, v int) bool {
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FindEdge returns the ID of some edge between u and v, or -1 if none exists.
+func (g *Graph) FindEdge(u, v int) int {
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return a.ID
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of g. Edge IDs are preserved.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:   make([][]Arc, len(g.adj)),
+		edges: make([]Edge, len(g.edges)),
+	}
+	copy(c.edges, g.edges)
+	for v, as := range g.adj {
+		c.adj[v] = append([]Arc(nil), as...)
+	}
+	return c
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// InducedSubgraph returns the subgraph induced by the vertex set keep, along
+// with the mapping old->new vertex index (-1 for dropped vertices) and, for
+// each new edge, the original edge ID.
+func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, oldToNew []int, edgeOrig []int) {
+	oldToNew = make([]int, g.N())
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for i, v := range keep {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("graph.InducedSubgraph: vertex %d out of range", v))
+		}
+		if oldToNew[v] != -1 {
+			panic(fmt.Sprintf("graph.InducedSubgraph: duplicate vertex %d", v))
+		}
+		oldToNew[v] = i
+	}
+	sub = New(len(keep))
+	for id, e := range g.edges {
+		nu, nv := oldToNew[e.U], oldToNew[e.V]
+		if nu != -1 && nv != -1 {
+			sub.AddEdge(nu, nv, e.W)
+			edgeOrig = append(edgeOrig, id)
+		}
+	}
+	return sub, oldToNew, edgeOrig
+}
+
+// Simplify returns a copy of g with parallel edges merged, keeping the
+// lightest edge of each parallel class. The returned slice maps each new edge
+// ID to the original ID it was kept from.
+func (g *Graph) Simplify() (*Graph, []int) {
+	type key struct{ a, b int }
+	best := make(map[key]int) // -> original edge ID
+	for id, e := range g.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if prev, ok := best[k]; !ok || e.W < g.edges[prev].W {
+			best[k] = id
+		}
+	}
+	s := New(g.N())
+	kept := make([]int, 0, len(best))
+	// Deterministic order: iterate original edges, emit those that won.
+	for id, e := range g.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if best[key{u, v}] == id {
+			s.AddEdge(e.U, e.V, e.W)
+			kept = append(kept, id)
+		}
+	}
+	return s, kept
+}
+
+// ErrDisconnected is returned by operations requiring a connected graph.
+var ErrDisconnected = errors.New("graph: not connected")
+
+// Validate performs internal consistency checks (adjacency mirrors edge list,
+// no self-loops). It is used by tests and generators.
+func (g *Graph) Validate() error {
+	deg := make([]int, g.N())
+	for id, e := range g.edges {
+		if e.U == e.V {
+			return fmt.Errorf("graph: edge %d is a self-loop at %d", id, e.U)
+		}
+		if e.U < 0 || e.U >= g.N() || e.V < 0 || e.V >= g.N() {
+			return fmt.Errorf("graph: edge %d endpoints {%d,%d} out of range", id, e.U, e.V)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v, as := range g.adj {
+		if len(as) != deg[v] {
+			return fmt.Errorf("graph: vertex %d adjacency length %d != degree %d", v, len(as), deg[v])
+		}
+		for _, a := range as {
+			if a.ID < 0 || a.ID >= g.M() {
+				return fmt.Errorf("graph: vertex %d has arc with bad edge ID %d", v, a.ID)
+			}
+			e := g.edges[a.ID]
+			if !((e.U == v && e.V == a.To) || (e.V == v && e.U == a.To)) {
+				return fmt.Errorf("graph: vertex %d arc to %d disagrees with edge %d {%d,%d}", v, a.To, a.ID, e.U, e.V)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxWeight returns the maximum edge weight, or 0 for an edgeless graph.
+func (g *Graph) MaxWeight() float64 {
+	m := math.Inf(-1)
+	if len(g.edges) == 0 {
+		return 0
+	}
+	for _, e := range g.edges {
+		if e.W > m {
+			m = e.W
+		}
+	}
+	return m
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGlobalMinCutBridge(t *testing.T) {
+	// Two triangles joined by a single bridge of weight 0.5.
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	g.AddEdge(2, 3, 0.5)
+	w, side, err := GlobalMinCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0.5 {
+		t.Fatalf("min cut %v want 0.5", w)
+	}
+	if got := CutWeight(g, side); got != w {
+		t.Fatalf("CutWeight(side) = %v want %v", got, w)
+	}
+	if len(side) != 3 {
+		t.Fatalf("side %v should be one triangle", side)
+	}
+}
+
+func TestGlobalMinCutCycle(t *testing.T) {
+	g := mustCycle(t, 8)
+	w, _, err := GlobalMinCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("cycle min cut %v want 2", w)
+	}
+}
+
+func TestGlobalMinCutCompleteGraph(t *testing.T) {
+	n := 6
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	w, side, err := GlobalMinCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != float64(n-1) {
+		t.Fatalf("K%d min cut %v want %d", n, w, n-1)
+	}
+	if len(side) != 1 && len(side) != n-1 {
+		t.Fatalf("optimal side of K%d should isolate one vertex, got %v", n, side)
+	}
+}
+
+func TestGlobalMinCutErrors(t *testing.T) {
+	if _, _, err := GlobalMinCut(New(1)); err == nil {
+		t.Fatal("expected error for single vertex")
+	}
+	d := New(3)
+	d.AddEdge(0, 1, 1)
+	if _, _, err := GlobalMinCut(d); err == nil {
+		t.Fatal("expected disconnected error")
+	}
+	neg := New(2)
+	neg.AddEdge(0, 1, -1)
+	if _, _, err := GlobalMinCut(neg); err == nil {
+		t.Fatal("expected negative weight error")
+	}
+}
+
+// bruteMinCut enumerates all 2^(n-1) cuts.
+func bruteMinCut(g *Graph) float64 {
+	n := g.N()
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		// Side S = vertices below n-1 with their bit set; vertex n-1 is
+		// always on the complement side, so S is a proper non-empty side.
+		var w float64
+		for _, e := range g.Edges() {
+			inU := e.U != n-1 && mask&(1<<e.U) != 0
+			inV := e.V != n-1 && mask&(1<<e.V) != 0
+			if inU != inV {
+				w += e.W
+			}
+		}
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestGlobalMinCutAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		g := randomConnected(rng, n, rng.Intn(2*n))
+		want := bruteMinCut(g)
+		got, side, err := GlobalMinCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: stoer-wagner %v brute %v", n, got, want)
+		}
+		if math.Abs(CutWeight(g, side)-got) > 1e-9 {
+			t.Fatalf("returned side has weight %v, reported %v", CutWeight(g, side), got)
+		}
+	}
+}
+
+func TestEdgeConnectivity(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path", mustPath(t, 5), 1},
+		{"cycle", mustCycle(t, 5), 2},
+		{"grid3x3", mustGrid(t, 3, 3), 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := EdgeConnectivity(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("connectivity %d want %d", got, tc.want)
+			}
+		})
+	}
+}

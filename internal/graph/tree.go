@@ -1,0 +1,316 @@
+package graph
+
+import "fmt"
+
+// Tree is a rooted spanning tree (or forest overlay) of an underlying graph.
+// Parent pointers are expressed as vertex indices plus the graph edge ID used
+// to reach the parent, so tree edges remain identified with graph edges.
+type Tree struct {
+	G          *Graph
+	Root       int
+	Parent     []int // -1 at root
+	ParentEdge []int // graph edge ID; -1 at root
+	Depth      []int
+	Order      []int   // vertices in top-down (BFS) order; Order[0] == Root
+	Children   [][]int // child lists
+	height     int
+}
+
+// BFSTree builds the BFS spanning tree of g rooted at root. g must be
+// connected.
+func BFSTree(g *Graph, root int) (*Tree, error) {
+	r := BFS(g, root)
+	if len(r.Order) != g.N() {
+		return nil, fmt.Errorf("graph.BFSTree: %w", ErrDisconnected)
+	}
+	t := &Tree{
+		G:          g,
+		Root:       root,
+		Parent:     r.Parent,
+		ParentEdge: r.ParentEdge,
+		Depth:      r.Dist,
+		Order:      r.Order,
+		Children:   make([][]int, g.N()),
+	}
+	for _, v := range t.Order {
+		if p := t.Parent[v]; p != -1 {
+			t.Children[p] = append(t.Children[p], v)
+		}
+		if t.Depth[v] > t.height {
+			t.height = t.Depth[v]
+		}
+	}
+	return t, nil
+}
+
+// TreeFromParents constructs a Tree from explicit parent and parent-edge
+// arrays. It validates that the arrays describe a spanning tree of g rooted
+// at root.
+func TreeFromParents(g *Graph, root int, parent, parentEdge []int) (*Tree, error) {
+	n := g.N()
+	if len(parent) != n || len(parentEdge) != n {
+		return nil, fmt.Errorf("graph.TreeFromParents: array length mismatch (n=%d)", n)
+	}
+	if parent[root] != -1 {
+		return nil, fmt.Errorf("graph.TreeFromParents: root %d has parent %d", root, parent[root])
+	}
+	t := &Tree{
+		G:          g,
+		Root:       root,
+		Parent:     append([]int(nil), parent...),
+		ParentEdge: append([]int(nil), parentEdge...),
+		Depth:      make([]int, n),
+		Children:   make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("graph.TreeFromParents: vertex %d has invalid parent %d", v, p)
+		}
+		id := parentEdge[v]
+		if id < 0 || id >= g.M() {
+			return nil, fmt.Errorf("graph.TreeFromParents: vertex %d has invalid parent edge %d", v, id)
+		}
+		e := g.Edge(id)
+		if !((e.U == v && e.V == p) || (e.V == v && e.U == p)) {
+			return nil, fmt.Errorf("graph.TreeFromParents: edge %d does not join %d and parent %d", id, v, p)
+		}
+		t.Children[p] = append(t.Children[p], v)
+	}
+	// Topological order from root; also detects cycles/disconnection.
+	t.Order = make([]int, 0, n)
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		t.Order = append(t.Order, v)
+		if v != root {
+			t.Depth[v] = t.Depth[parent[v]] + 1
+			if t.Depth[v] > t.height {
+				t.height = t.Depth[v]
+			}
+		}
+		queue = append(queue, t.Children[v]...)
+	}
+	if len(t.Order) != n {
+		return nil, fmt.Errorf("graph.TreeFromParents: parent pointers do not span the graph (reached %d of %d)", len(t.Order), n)
+	}
+	return t, nil
+}
+
+// Height returns the maximum depth of any vertex (the tree's radius from the
+// root). The tree's diameter is at most twice this value.
+func (t *Tree) Height() int { return t.height }
+
+// N returns the number of vertices in the tree.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// IsTreeEdge reports whether graph edge id is used by the tree.
+func (t *Tree) IsTreeEdge(id int) bool {
+	e := t.G.Edge(id)
+	return t.ParentEdge[e.U] == id || t.ParentEdge[e.V] == id
+}
+
+// TreeEdgeIDs returns the IDs of all tree edges, one per non-root vertex.
+func (t *Tree) TreeEdgeIDs() []int {
+	out := make([]int, 0, t.N()-1)
+	for v := 0; v < t.N(); v++ {
+		if t.ParentEdge[v] != -1 {
+			out = append(out, t.ParentEdge[v])
+		}
+	}
+	return out
+}
+
+// PathToRoot returns the vertices from v up to the root, inclusive.
+func (t *Tree) PathToRoot(v int) []int {
+	var path []int
+	for v != -1 {
+		path = append(path, v)
+		v = t.Parent[v]
+	}
+	return path
+}
+
+// EdgePathToRoot returns the edge IDs on the path from v up to the root.
+func (t *Tree) EdgePathToRoot(v int) []int {
+	var ids []int
+	for t.Parent[v] != -1 {
+		ids = append(ids, t.ParentEdge[v])
+		v = t.Parent[v]
+	}
+	return ids
+}
+
+// SubtreeSizes returns the size of each vertex's subtree.
+func (t *Tree) SubtreeSizes() []int {
+	size := make([]int, t.N())
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		size[v]++
+		if p := t.Parent[v]; p != -1 {
+			size[p] += size[v]
+		}
+	}
+	return size
+}
+
+// LCA answers lowest-common-ancestor queries on a Tree in O(log n) time after
+// O(n log n) preprocessing (binary lifting).
+type LCA struct {
+	t      *Tree
+	up     [][]int // up[k][v] = 2^k-th ancestor of v, or -1
+	levels int
+}
+
+// NewLCA preprocesses t for LCA queries.
+func NewLCA(t *Tree) *LCA {
+	n := t.N()
+	levels := 1
+	for (1 << levels) < n {
+		levels++
+	}
+	l := &LCA{t: t, levels: levels}
+	l.up = make([][]int, levels)
+	l.up[0] = append([]int(nil), t.Parent...)
+	for k := 1; k < levels; k++ {
+		l.up[k] = make([]int, n)
+		for v := 0; v < n; v++ {
+			mid := l.up[k-1][v]
+			if mid == -1 {
+				l.up[k][v] = -1
+			} else {
+				l.up[k][v] = l.up[k-1][mid]
+			}
+		}
+	}
+	return l
+}
+
+// Ancestor returns the d-th ancestor of v, or -1 if d exceeds v's depth.
+func (l *LCA) Ancestor(v, d int) int {
+	if d > l.t.Depth[v] {
+		return -1
+	}
+	for k := 0; k < l.levels && v != -1; k++ {
+		if d&(1<<k) != 0 {
+			v = l.up[k][v]
+		}
+	}
+	return v
+}
+
+// Query returns the lowest common ancestor of u and v.
+func (l *LCA) Query(u, v int) int {
+	t := l.t
+	if t.Depth[u] < t.Depth[v] {
+		u, v = v, u
+	}
+	u = l.Ancestor(u, t.Depth[u]-t.Depth[v])
+	if u == v {
+		return u
+	}
+	for k := l.levels - 1; k >= 0; k-- {
+		if l.up[k][u] != l.up[k][v] {
+			u = l.up[k][u]
+			v = l.up[k][v]
+		}
+	}
+	return t.Parent[u]
+}
+
+// Dist returns the hop distance between u and v along the tree.
+func (l *LCA) Dist(u, v int) int {
+	a := l.Query(u, v)
+	return l.t.Depth[u] + l.t.Depth[v] - 2*l.t.Depth[a]
+}
+
+// HLD is a heavy-light decomposition of a rooted tree: a partition of the
+// vertices into vertex-disjoint downward chains such that every root-leaf
+// path meets O(log n) chains. Used both for decomposition-tree folding
+// (paper, proof of Theorem 7) and as a general tree utility.
+type HLD struct {
+	t     *Tree
+	Head  []int // chain head (topmost vertex) of each vertex's chain
+	Heavy []int // heavy child of each vertex, or -1
+	Pos   []int // position in a global segment ordering (chains contiguous)
+}
+
+// NewHLD computes the heavy-light decomposition of t. The heavy child of a
+// vertex is its child with the largest subtree.
+func NewHLD(t *Tree) *HLD {
+	n := t.N()
+	h := &HLD{
+		t:     t,
+		Head:  make([]int, n),
+		Heavy: make([]int, n),
+		Pos:   make([]int, n),
+	}
+	size := t.SubtreeSizes()
+	for v := 0; v < n; v++ {
+		h.Heavy[v] = -1
+		best := -1
+		for _, c := range t.Children[v] {
+			if size[c] > best {
+				best = size[c]
+				h.Heavy[v] = c
+			}
+		}
+	}
+	pos := 0
+	// Iterative DFS that walks heavy paths first so chains are contiguous.
+	type frame struct{ v, head int }
+	stack := []frame{{t.Root, t.Root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Walk down the heavy chain starting at f.v.
+		for v := f.v; v != -1; v = h.Heavy[v] {
+			h.Head[v] = f.head
+			h.Pos[v] = pos
+			pos++
+			for _, c := range t.Children[v] {
+				if c != h.Heavy[v] {
+					stack = append(stack, frame{c, c})
+				}
+			}
+			if h.Heavy[v] != -1 {
+				f.head = h.Head[v] // same chain continues
+			}
+		}
+	}
+	return h
+}
+
+// ChainChanges returns the number of distinct chains met on the path from v
+// to the root. The heavy-light guarantee is that this is O(log n).
+func (h *HLD) ChainChanges(v int) int {
+	count := 0
+	for v != -1 {
+		count++
+		v = h.t.Parent[h.Head[v]]
+	}
+	return count
+}
+
+// Chains returns all chains as top-down vertex lists.
+func (h *HLD) Chains() [][]int {
+	byHead := make(map[int][]int)
+	for _, v := range h.t.Order { // top-down order keeps chains sorted
+		byHead[h.Head[v]] = append(byHead[h.Head[v]], v)
+	}
+	var heads []int
+	for _, v := range h.t.Order {
+		if h.Head[v] == v {
+			heads = append(heads, v)
+		}
+	}
+	out := make([][]int, 0, len(heads))
+	for _, hd := range heads {
+		out = append(out, byHead[hd])
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path compression.
+// The zero value is unusable; create with NewUnionFind.
+type UnionFind struct {
+	parent []int
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind returns a union-find structure over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Same reports whether x and y belong to the same set.
+func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Sets returns the current partition as a map from representative to members,
+// flattened into slices ordered by vertex index.
+func (u *UnionFind) Sets() [][]int {
+	byRep := make(map[int][]int)
+	var reps []int
+	for v := range u.parent {
+		r := u.Find(v)
+		if _, ok := byRep[r]; !ok {
+			reps = append(reps, r)
+		}
+		byRep[r] = append(byRep[r], v)
+	}
+	out := make([][]int, 0, len(reps))
+	for _, r := range reps {
+		out = append(out, byRep[r])
+	}
+	return out
+}

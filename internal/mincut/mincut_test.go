@@ -1,0 +1,133 @@
+package mincut_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+)
+
+func assertValidCut(t *testing.T, g *graph.Graph, r *mincut.Result) {
+	t.Helper()
+	if len(r.Side) == 0 || len(r.Side) >= g.N() {
+		t.Fatalf("degenerate side of size %d", len(r.Side))
+	}
+	if w := graph.CutWeight(g, r.Side); math.Abs(w-r.Value) > 1e-6 {
+		t.Fatalf("reported %v but side cuts %v", r.Value, w)
+	}
+}
+
+func TestApproxOnBridge(t *testing.T) {
+	// Two cliques joined by one light edge: the bridge is the min cut and
+	// 1-respects every spanning tree.
+	g := graph.New(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j, 1)
+			g.AddEdge(i+4, j+4, 1)
+		}
+	}
+	g.AddEdge(0, 4, 0.25)
+	r, err := mincut.Approx(g, mincut.Options{Trees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidCut(t, g, r)
+	if r.Value != 0.25 {
+		t.Fatalf("found %v want 0.25", r.Value)
+	}
+}
+
+func TestApproxMatchesExactOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		g := gen.ErdosRenyiConnected(14+rng.Intn(10), 40+rng.Intn(30), rng)
+		gen.UniformWeights(g, rng)
+		exact, _, err := graph.GlobalMinCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := mincut.Approx(g, mincut.Options{Trees: 24, TwoRespecting: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertValidCut(t, g, r)
+		if r.Value < exact-1e-9 {
+			t.Fatalf("found cut %v below exact minimum %v", r.Value, exact)
+		}
+		if r.Value > exact*(1+0.34)+1e-9 {
+			t.Fatalf("trial %d: found %v, exact %v: ratio %.3f too large",
+				trial, r.Value, exact, r.Value/exact)
+		}
+	}
+}
+
+func TestApproxOneRespectingOnlyStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Grid(5, 5).G, rng))
+	exact, _, err := graph.GlobalMinCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mincut.Approx(g, mincut.Options{Trees: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidCut(t, g, r)
+	if r.Value < exact-1e-9 {
+		t.Fatal("cut below minimum is impossible")
+	}
+	// 1-respecting alone guarantees a 2-approximation shape in practice on
+	// grids; assert a loose factor.
+	if r.Value > 3*exact {
+		t.Fatalf("1-respecting cut %v vs exact %v", r.Value, exact)
+	}
+}
+
+func TestApproxWithSimulatedMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Wheel(24).G, rng))
+	exact, _, err := graph.GlobalMinCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mincut.Approx(g, mincut.Options{Trees: 8, TwoRespecting: true, SimulateMST: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidCut(t, g, r)
+	if r.CommRounds <= 0 {
+		t.Fatal("simulated run recorded no rounds")
+	}
+	if r.Value > 2*exact {
+		t.Fatalf("cut %v vs exact %v", r.Value, exact)
+	}
+}
+
+func TestApproxErrors(t *testing.T) {
+	if _, err := mincut.Approx(graph.New(1), mincut.Options{}); err == nil {
+		t.Fatal("accepted single vertex")
+	}
+	d := graph.New(4)
+	d.AddEdge(0, 1, 1)
+	if _, err := mincut.Approx(d, mincut.Options{}); err == nil {
+		t.Fatal("accepted disconnected graph")
+	}
+}
+
+func TestApproxCycleExact(t *testing.T) {
+	// Any two tree-edge cuts of a cycle's spanning path give the exact
+	// min cut 2; TwoRespecting must find it.
+	g := gen.Cycle(12)
+	r, err := mincut.Approx(g, mincut.Options{Trees: 3, TwoRespecting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidCut(t, g, r)
+	if r.Value != 2 {
+		t.Fatalf("cycle min cut %v want 2", r.Value)
+	}
+}

@@ -1,0 +1,40 @@
+package mst_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+// TestSimulatedProviderExactMST: end-to-end fully simulated pipeline —
+// distributed shortcut construction feeding distributed Borůvka — still
+// produces the exact MST.
+func TestSimulatedProviderExactMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"wheel", gen.DistinctWeights(gen.UniformWeights(gen.Wheel(33).G, rng))},
+		{"grid", gen.DistinctWeights(gen.UniformWeights(gen.Grid(5, 5).G, rng))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := graph.BFSTree(tc.g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := mst.ShortcutBoruvka(tc.g, mst.SimulatedProvider(tc.g, tr, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertExactMST(t, tc.g, rs)
+			if rs.ChargedRounds <= 0 {
+				t.Fatal("simulated construction reported no rounds")
+			}
+		})
+	}
+}

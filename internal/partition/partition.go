@@ -1,0 +1,220 @@
+// Package partition implements the "parts" of the shortcut framework
+// (paper Definition 9): pairwise disjoint, individually connected vertex
+// subsets of a network graph, plus generators for the part families used in
+// experiments (Voronoi parts, Borůvka fragments, adversarial skinny parts).
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Parts is a family of disjoint connected vertex subsets. Not every vertex
+// needs to belong to a part.
+type Parts struct {
+	G    *graph.Graph
+	Sets [][]int // part index -> sorted vertex list
+	Of   []int   // vertex -> part index, or -1
+}
+
+// New builds and validates a Parts family.
+func New(g *graph.Graph, sets [][]int) (*Parts, error) {
+	p := &Parts{G: g, Sets: make([][]int, len(sets)), Of: make([]int, g.N())}
+	for i := range p.Of {
+		p.Of[i] = -1
+	}
+	for i, s := range sets {
+		p.Sets[i] = append([]int(nil), s...)
+		sort.Ints(p.Sets[i])
+		for _, v := range p.Sets[i] {
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("partition: part %d has invalid vertex %d", i, v)
+			}
+			if p.Of[v] != -1 {
+				return nil, fmt.Errorf("partition: vertex %d in parts %d and %d", v, p.Of[v], i)
+			}
+			p.Of[v] = i
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate re-checks disjointness (via Of) and per-part connectivity.
+func (p *Parts) Validate() error {
+	for i, s := range p.Sets {
+		if len(s) == 0 {
+			return fmt.Errorf("partition: part %d empty", i)
+		}
+		if !graph.ConnectedSubset(p.G, s) {
+			return fmt.Errorf("partition: part %d not connected", i)
+		}
+		for _, v := range s {
+			if p.Of[v] != i {
+				return fmt.Errorf("partition: Of[%d]=%d, expected %d", v, p.Of[v], i)
+			}
+		}
+	}
+	return nil
+}
+
+// NumParts returns the number of parts.
+func (p *Parts) NumParts() int { return len(p.Sets) }
+
+// Voronoi partitions all vertices of a connected graph into numSeeds
+// connected cells by multi-source BFS from random distinct seeds.
+func Voronoi(g *graph.Graph, numSeeds int, rng *rand.Rand) (*Parts, error) {
+	if numSeeds < 1 || numSeeds > g.N() {
+		return nil, fmt.Errorf("partition: %d seeds for %d vertices", numSeeds, g.N())
+	}
+	seeds := rng.Perm(g.N())[:numSeeds]
+	r := graph.MultiBFS(g, seeds)
+	sets := make([][]int, numSeeds)
+	for v, o := range r.Owner {
+		if o == -1 {
+			return nil, fmt.Errorf("partition: %w", graph.ErrDisconnected)
+		}
+		sets[o] = append(sets[o], v)
+	}
+	return New(g, sets)
+}
+
+// BoruvkaFragments returns the parts after `phases` rounds of sequential
+// Borůvka on g: each fragment (a partial MST component) is one part. This is
+// exactly the part family the distributed MST algorithm feeds to the
+// shortcut framework.
+func BoruvkaFragments(g *graph.Graph, phases int) (*Parts, error) {
+	uf := graph.NewUnionFind(g.N())
+	for ph := 0; ph < phases; ph++ {
+		best := make(map[int]int)
+		for id := 0; id < g.M(); id++ {
+			e := g.Edge(id)
+			ru, rv := uf.Find(e.U), uf.Find(e.V)
+			if ru == rv {
+				continue
+			}
+			for _, r := range [2]int{ru, rv} {
+				if b, ok := best[r]; !ok || graph.EdgeLess(g, id, b) {
+					best[r] = id
+				}
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		for _, id := range best {
+			e := g.Edge(id)
+			uf.Union(e.U, e.V)
+		}
+	}
+	return New(g, uf.Sets())
+}
+
+// GridRows returns the rows of a rows x cols grid as parts: long skinny
+// parts, the adversarial family for planar shortcut quality.
+func GridRows(g *graph.Graph, rows, cols int) (*Parts, error) {
+	if rows*cols != g.N() {
+		return nil, fmt.Errorf("partition: grid dims %dx%d do not match n=%d", rows, cols, g.N())
+	}
+	sets := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sets[r] = append(sets[r], r*cols+c)
+		}
+	}
+	return New(g, sets)
+}
+
+// PathsAsParts wraps explicit vertex lists (e.g. the paths of the
+// lower-bound family) as parts.
+func PathsAsParts(g *graph.Graph, paths [][]int) (*Parts, error) {
+	return New(g, paths)
+}
+
+// RimArcs splits the rim of a wheel graph (hub = vertex n-1) into numArcs
+// contiguous arcs, the paper's §2.3.2 cycle-vs-wheel scenario.
+func RimArcs(g *graph.Graph, numArcs int) (*Parts, error) {
+	rim := g.N() - 1
+	if numArcs < 1 || numArcs > rim {
+		return nil, fmt.Errorf("partition: %d arcs for rim of %d", numArcs, rim)
+	}
+	sets := make([][]int, numArcs)
+	for i := 0; i < rim; i++ {
+		a := i * numArcs / rim
+		sets[a] = append(sets[a], i)
+	}
+	return New(g, sets)
+}
+
+// SingletonParts makes each listed vertex its own part.
+func SingletonParts(g *graph.Graph, vs []int) (*Parts, error) {
+	sets := make([][]int, len(vs))
+	for i, v := range vs {
+		sets[i] = []int{v}
+	}
+	return New(g, sets)
+}
+
+// Restrict returns the sub-family of parts intersecting keep, with parts
+// clipped to keep ∩ part and split into connected components. Used when
+// projecting parts into a cell or bag.
+func Restrict(g *graph.Graph, p *Parts, keep []int) (clipped [][]int, origin []int) {
+	in := make(map[int]bool, len(keep))
+	for _, v := range keep {
+		in[v] = true
+	}
+	for i, s := range p.Sets {
+		var inter []int
+		for _, v := range s {
+			if in[v] {
+				inter = append(inter, v)
+			}
+		}
+		if len(inter) == 0 {
+			continue
+		}
+		for _, comp := range connectedPieces(g, inter) {
+			clipped = append(clipped, comp)
+			origin = append(origin, i)
+		}
+	}
+	return clipped, origin
+}
+
+// connectedPieces splits a vertex set into connected components of the
+// induced subgraph.
+func connectedPieces(g *graph.Graph, s []int) [][]int {
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	seen := make(map[int]bool, len(s))
+	var out [][]int
+	for _, v := range s {
+		if seen[v] {
+			continue
+		}
+		var comp []int
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for _, a := range g.Adj(x) {
+				if in[a.To] && !seen[a.To] {
+					seen[a.To] = true
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package partition_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := gen.Path(6)
+	// Valid.
+	p, err := partition.New(g, [][]int{{0, 1}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 2 || p.Of[2] != -1 || p.Of[4] != 1 {
+		t.Fatalf("parts wrong: %+v", p)
+	}
+	// Overlap rejected.
+	if _, err := partition.New(g, [][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Fatal("accepted overlapping parts")
+	}
+	// Disconnected part rejected.
+	if _, err := partition.New(g, [][]int{{0, 2}}); err == nil {
+		t.Fatal("accepted disconnected part")
+	}
+	// Empty part rejected.
+	if _, err := partition.New(g, [][]int{{}}); err == nil {
+		t.Fatal("accepted empty part")
+	}
+	// Out of range rejected.
+	if _, err := partition.New(g, [][]int{{99}}); err == nil {
+		t.Fatal("accepted invalid vertex")
+	}
+}
+
+func TestVoronoiCoversAndConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyiConnected(50, 120, rng)
+		k := 1 + rng.Intn(10)
+		p, err := partition.Voronoi(g, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumParts() != k {
+			t.Fatalf("parts %d want %d", p.NumParts(), k)
+		}
+		covered := 0
+		for _, s := range p.Sets {
+			covered += len(s)
+		}
+		if covered != g.N() {
+			t.Fatalf("covered %d of %d", covered, g.N())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVoronoiErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.Path(5)
+	if _, err := partition.Voronoi(g, 0, rng); err == nil {
+		t.Fatal("accepted 0 seeds")
+	}
+	if _, err := partition.Voronoi(g, 9, rng); err == nil {
+		t.Fatal("accepted more seeds than vertices")
+	}
+	d := graph.New(4)
+	d.AddEdge(0, 1, 1)
+	if _, err := partition.Voronoi(d, 1, rng); err == nil {
+		t.Fatal("accepted disconnected graph")
+	}
+}
+
+func TestBoruvkaFragmentsShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Grid(8, 8).G, rng))
+	prev := g.N() + 1
+	for phases := 0; phases <= 4; phases++ {
+		p, err := partition.BoruvkaFragments(g, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumParts() >= prev && p.NumParts() != 1 {
+			t.Fatalf("fragments did not shrink: %d -> %d", prev, p.NumParts())
+		}
+		prev = p.NumParts()
+	}
+	if prev != 1 {
+		t.Fatalf("expected full merge, have %d fragments", prev)
+	}
+}
+
+func TestGridRowsAndRimArcs(t *testing.T) {
+	e := gen.Grid(4, 6)
+	p, err := partition.GridRows(e.G, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 4 || len(p.Sets[0]) != 6 {
+		t.Fatalf("rows wrong")
+	}
+	if _, err := partition.GridRows(e.G, 3, 6); err == nil {
+		t.Fatal("accepted wrong dims")
+	}
+	w := gen.Wheel(17)
+	arcs, err := partition.RimArcs(w.G, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arcs.NumParts() != 4 {
+		t.Fatalf("arcs %d", arcs.NumParts())
+	}
+	total := 0
+	for _, s := range arcs.Sets {
+		total += len(s)
+	}
+	if total != 16 {
+		t.Fatalf("rim coverage %d want 16 (hub excluded)", total)
+	}
+	if arcs.Of[16] != -1 {
+		t.Fatal("hub should be unassigned")
+	}
+}
+
+func TestSingletonParts(t *testing.T) {
+	g := gen.Path(5)
+	p, err := partition.SingletonParts(g, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 2 || len(p.Sets[0]) != 1 {
+		t.Fatal("singletons wrong")
+	}
+}
+
+func TestRestrictSplitsComponents(t *testing.T) {
+	g := gen.Path(7)
+	p, err := partition.New(g, [][]int{{0, 1, 2, 3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep {0,1, 3, 5,6}: part splits into 3 components.
+	clipped, origin := partition.Restrict(g, p, []int{0, 1, 3, 5, 6})
+	if len(clipped) != 3 {
+		t.Fatalf("components %d want 3: %v", len(clipped), clipped)
+	}
+	for _, o := range origin {
+		if o != 0 {
+			t.Fatalf("origin %v", origin)
+		}
+	}
+}
+
+func TestPathsAsParts(t *testing.T) {
+	lb := gen.LowerBound(3, 5)
+	p, err := partition.PathsAsParts(lb.G, lb.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 3 {
+		t.Fatalf("parts %d", p.NumParts())
+	}
+}

@@ -1,0 +1,182 @@
+// Package shortcut implements tree-restricted low-congestion shortcuts
+// (paper Definitions 9-13): the Shortcut object, exact quality measurement
+// (congestion, block parameter, quality q(d) = b·d + c), and two
+// constructors — the oblivious tree-claiming construction in the spirit of
+// [HIZ16a] (uses no structural knowledge) and the treewidth-witness
+// construction realizing Theorem 5 ([HIZ16b]).
+package shortcut
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Shortcut assigns each part a set of tree edges (its Hᵢ). All edges must
+// belong to the spanning tree T (Definition 10: T-restricted).
+type Shortcut struct {
+	G     *graph.Graph
+	T     *graph.Tree
+	P     *partition.Parts
+	Edges [][]int // per part: sorted tree edge IDs
+}
+
+// New wraps and validates a shortcut assignment: every assigned edge must be
+// an edge of T, each part's list is deduplicated and sorted.
+func New(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int) (*Shortcut, error) {
+	if len(edges) != p.NumParts() {
+		return nil, fmt.Errorf("shortcut: %d edge sets for %d parts", len(edges), p.NumParts())
+	}
+	s := &Shortcut{G: g, T: t, P: p, Edges: make([][]int, len(edges))}
+	for i, ids := range edges {
+		dedup := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			if id < 0 || id >= g.M() {
+				return nil, fmt.Errorf("shortcut: part %d has invalid edge %d", i, id)
+			}
+			if !t.IsTreeEdge(id) {
+				return nil, fmt.Errorf("shortcut: part %d edge %d is not a tree edge", i, id)
+			}
+			dedup[id] = true
+		}
+		s.Edges[i] = make([]int, 0, len(dedup))
+		for id := range dedup {
+			s.Edges[i] = append(s.Edges[i], id)
+		}
+		sort.Ints(s.Edges[i])
+	}
+	return s, nil
+}
+
+// Empty returns the all-empty shortcut (every part gets no help).
+func Empty(g *graph.Graph, t *graph.Tree, p *partition.Parts) *Shortcut {
+	s, err := New(g, t, p, make([][]int, p.NumParts()))
+	if err != nil {
+		panic(fmt.Sprintf("shortcut.Empty: %v", err))
+	}
+	return s
+}
+
+// Measurement summarizes a shortcut's quality (Definitions 11-13).
+type Measurement struct {
+	Congestion   int   // max over edges of #parts using the edge
+	MaxBlocks    int   // block parameter b: max over parts of block count
+	Blocks       []int // per part
+	TreeDiameter int   // 2 * height of T (upper bound used for d_T)
+	Quality      int   // b * d_T + c
+}
+
+// Measure computes congestion, block parameters, and quality exactly.
+func (s *Shortcut) Measure() Measurement {
+	m := Measurement{TreeDiameter: 2 * s.T.Height()}
+	if m.TreeDiameter == 0 {
+		m.TreeDiameter = 1
+	}
+	use := make(map[int]int)
+	for _, ids := range s.Edges {
+		for _, id := range ids {
+			use[id]++
+		}
+	}
+	for _, c := range use {
+		if c > m.Congestion {
+			m.Congestion = c
+		}
+	}
+	m.Blocks = s.BlockCounts()
+	for _, b := range m.Blocks {
+		if b > m.MaxBlocks {
+			m.MaxBlocks = b
+		}
+	}
+	m.Quality = m.MaxBlocks*m.TreeDiameter + m.Congestion
+	return m
+}
+
+// BlockCounts returns, per part, the number of block components: connected
+// components of (V, Hᵢ) containing at least one vertex of the part
+// (Definition 12; a part vertex not covered by Hᵢ is a singleton block).
+func (s *Shortcut) BlockCounts() []int {
+	out := make([]int, s.P.NumParts())
+	for i, ids := range s.Edges {
+		uf := graph.NewUnionFind(s.G.N())
+		for _, id := range ids {
+			e := s.G.Edge(id)
+			uf.Union(e.U, e.V)
+		}
+		reps := make(map[int]bool)
+		for _, v := range s.P.Sets[i] {
+			reps[uf.Find(v)] = true
+		}
+		out[i] = len(reps)
+	}
+	return out
+}
+
+// AugmentedDiameter returns the hop diameter of G[Pᵢ] + Hᵢ — the subgraph
+// induced by the part plus its shortcut edges (with their endpoints). The
+// framework's promise is that this is O(bᵢ · d_T).
+func (s *Shortcut) AugmentedDiameter(i int) int {
+	in := make(map[int]bool)
+	for _, v := range s.P.Sets[i] {
+		in[v] = true
+	}
+	// Collect the augmented vertex set.
+	for _, id := range s.Edges[i] {
+		e := s.G.Edge(id)
+		in[e.U] = true
+		in[e.V] = true
+	}
+	verts := make([]int, 0, len(in))
+	for v := range in {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	idx := make(map[int]int, len(verts))
+	for li, v := range verts {
+		idx[v] = li
+	}
+	aug := graph.New(len(verts))
+	// Induced part edges.
+	partIn := make(map[int]bool, len(s.P.Sets[i]))
+	for _, v := range s.P.Sets[i] {
+		partIn[v] = true
+	}
+	for id := 0; id < s.G.M(); id++ {
+		e := s.G.Edge(id)
+		if partIn[e.U] && partIn[e.V] {
+			aug.AddEdge(idx[e.U], idx[e.V], 1)
+		}
+	}
+	for _, id := range s.Edges[i] {
+		e := s.G.Edge(id)
+		aug.AddEdge(idx[e.U], idx[e.V], 1)
+	}
+	d := graph.Diameter(aug)
+	return d
+}
+
+// Union merges another shortcut assignment (same G, T, P) into s,
+// part-by-part. Used to combine local and global shortcuts.
+func (s *Shortcut) Union(other *Shortcut) error {
+	if other.P.NumParts() != s.P.NumParts() {
+		return fmt.Errorf("shortcut: union over different part families")
+	}
+	for i := range s.Edges {
+		merged := make(map[int]bool, len(s.Edges[i])+len(other.Edges[i]))
+		for _, id := range s.Edges[i] {
+			merged[id] = true
+		}
+		for _, id := range other.Edges[i] {
+			merged[id] = true
+		}
+		s.Edges[i] = s.Edges[i][:0]
+		for id := range merged {
+			s.Edges[i] = append(s.Edges[i], id)
+		}
+		sort.Ints(s.Edges[i])
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package shortcut
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tw"
+)
+
+// TreewidthResult bundles the shortcut built from a treewidth witness with
+// the construction's internal quantities, which the experiments report
+// against Theorem 5's bounds.
+type TreewidthResult struct {
+	S            *Shortcut
+	FoldedHeight int // depth of the folded decomposition (O(log² n))
+	FoldedWidth  int // width after folding (≤ 3(k+1)-1)
+}
+
+// FromTreewidth realizes Theorem 5 ([HIZ16b]): given a tree decomposition of
+// width k, it builds a T-restricted shortcut with block parameter O(k) and
+// congestion O(k · log² n).
+//
+// Construction (see DESIGN.md §3): fold the decomposition to depth O(log²n);
+// root it; for each part P let h(P) be the highest (minimum-depth) bag
+// intersecting P; assign to P exactly the tree edges whose topmost
+// containing bag lies in the subtree under h(P). Correctness:
+//
+//   - blocks ≤ O(k): every vertex of P on the boundary of its block — and
+//     every singleton block — lies in bag h(P), which has O(k) vertices;
+//   - congestion ≤ (width+1)·depth: an edge with top bag t is assigned only
+//     to parts whose high bag is an ancestor-or-self of t, and each bag is
+//     the high bag of at most width+1 disjoint parts.
+func FromTreewidth(g *graph.Graph, t *graph.Tree, p *partition.Parts, d *tw.Decomposition) (*TreewidthResult, error) {
+	if d.G != g {
+		return nil, fmt.Errorf("shortcut: decomposition is not over the given graph")
+	}
+	rooted := d.Root(0)
+	folded, _, err := tw.FoldRooted(rooted)
+	if err != nil {
+		return nil, fmt.Errorf("shortcut: folding decomposition: %w", err)
+	}
+	res := &TreewidthResult{
+		FoldedHeight: folded.Height(),
+		FoldedWidth:  folded.D.Width(),
+	}
+	nb := len(folded.D.Bags)
+	// Euler intervals for ancestor tests on the folded bag tree.
+	tin := make([]int, nb)
+	tout := make([]int, nb)
+	children := make([][]int, nb)
+	for _, b := range folded.Order {
+		if folded.Parent[b] >= 0 {
+			children[folded.Parent[b]] = append(children[folded.Parent[b]], b)
+		}
+	}
+	timer := 0
+	type frame struct {
+		b    int
+		exit bool
+	}
+	stack := []frame{{folded.Root, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.exit {
+			tout[f.b] = timer
+			timer++
+			continue
+		}
+		tin[f.b] = timer
+		timer++
+		stack = append(stack, frame{f.b, true})
+		for _, c := range children[f.b] {
+			stack = append(stack, frame{c, false})
+		}
+	}
+	isAncestor := func(a, b int) bool { return tin[a] <= tin[b] && tout[b] <= tout[a] }
+
+	topBag := folded.TopBagOfEdge()
+	// High bag per part; partsAt groups parts by their high bag.
+	partsAt := make([][]int, nb)
+	for i, set := range p.Sets {
+		h := folded.HighestBag(set)
+		if h == -1 {
+			return nil, fmt.Errorf("shortcut: part %d meets no bag", i)
+		}
+		partsAt[h] = append(partsAt[h], i)
+	}
+	edges := make([][]int, p.NumParts())
+	for v := 0; v < g.N(); v++ {
+		id := t.ParentEdge[v]
+		if id == -1 {
+			continue
+		}
+		tb := topBag[id]
+		if tb == -1 {
+			return nil, fmt.Errorf("shortcut: tree edge %d in no bag", id)
+		}
+		// Walk ancestors of the edge's top bag; parts anchored there whose
+		// subtree contains tb receive the edge.
+		for a := tb; a != -1; a = folded.Parent[a] {
+			for _, i := range partsAt[a] {
+				if isAncestor(a, tb) { // always true on the ancestor walk
+					edges[i] = append(edges[i], id)
+				}
+			}
+		}
+	}
+	s, err := New(g, t, p, edges)
+	if err != nil {
+		return nil, fmt.Errorf("shortcut: assembling treewidth shortcut: %w", err)
+	}
+	res.S = s
+	return res, nil
+}

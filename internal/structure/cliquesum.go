@@ -1,0 +1,237 @@
+// Package structure defines the Graph Structure Theorem witness objects from
+// the paper's Section 1.3.2 — k-clique-sum decomposition trees (Definition 8)
+// and almost-embeddable structures (Definitions 2-5 with vortices per
+// Definition 4) — together with validators that check every property the
+// paper lists. Generators in internal/gen produce graphs carrying these
+// witnesses; the shortcut constructions in internal/core consume them.
+package structure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// CliqueSumTree is a k-clique-sum decomposition tree (Definition 8): a tree
+// whose nodes are bags (subgraphs of G) such that adjacent bags intersect in
+// a partial clique of at most K vertices.
+type CliqueSumTree struct {
+	G    *graph.Graph
+	Bags []Bag
+	Adj  [][]int // tree adjacency between bag indices
+	K    int     // clique-sum order: |Bi ∩ Bj| <= K across tree edges
+}
+
+// Bag is one node of the decomposition: a subgraph of G given by vertex and
+// edge ID lists.
+type Bag struct {
+	Vertices []int
+	Edges    []int
+}
+
+// Validate checks all five properties of Definition 8 plus the k-bound on
+// separators:
+//  1. bags cover V(G);
+//  2. each bag is a subgraph of G (edge endpoints inside the bag);
+//  3. adjacent bags intersect in at most K vertices (the partial clique);
+//  4. for every vertex, the bags containing it form a connected subtree;
+//  5. every edge of G appears in some bag.
+func (c *CliqueSumTree) Validate() error {
+	t := len(c.Bags)
+	if len(c.Adj) != t {
+		return fmt.Errorf("structure: %d bags, %d adjacency rows", t, len(c.Adj))
+	}
+	// Tree shape.
+	half := 0
+	for _, ns := range c.Adj {
+		half += len(ns)
+	}
+	if t > 0 && half != 2*(t-1) {
+		return fmt.Errorf("structure: decomposition has %d half-edges, want tree with %d", half, 2*(t-1))
+	}
+	if t > 0 {
+		seen := make([]bool, t)
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range c.Adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					count++
+					stack = append(stack, y)
+				}
+			}
+		}
+		if count != t {
+			return fmt.Errorf("structure: decomposition tree disconnected")
+		}
+	}
+	inBags := make([][]int, c.G.N())
+	vertexSet := make([]map[int]bool, t)
+	for bi := range c.Bags {
+		vertexSet[bi] = make(map[int]bool, len(c.Bags[bi].Vertices))
+		for _, v := range c.Bags[bi].Vertices {
+			if v < 0 || v >= c.G.N() {
+				return fmt.Errorf("structure: bag %d has invalid vertex %d", bi, v)
+			}
+			if vertexSet[bi][v] {
+				return fmt.Errorf("structure: bag %d lists vertex %d twice", bi, v)
+			}
+			vertexSet[bi][v] = true
+			inBags[v] = append(inBags[v], bi)
+		}
+	}
+	// (1) cover.
+	for v, bs := range inBags {
+		if len(bs) == 0 {
+			return fmt.Errorf("structure: vertex %d in no bag (property 1)", v)
+		}
+	}
+	// (2) bags are subgraphs.
+	edgeCovered := make([]bool, c.G.M())
+	for bi, b := range c.Bags {
+		for _, id := range b.Edges {
+			if id < 0 || id >= c.G.M() {
+				return fmt.Errorf("structure: bag %d has invalid edge %d", bi, id)
+			}
+			e := c.G.Edge(id)
+			if !vertexSet[bi][e.U] || !vertexSet[bi][e.V] {
+				return fmt.Errorf("structure: bag %d edge %d endpoint outside bag (property 2)", bi, id)
+			}
+			edgeCovered[id] = true
+		}
+	}
+	// (3) separators bounded by K.
+	for i := range c.Bags {
+		for _, j := range c.Adj[i] {
+			if j < i {
+				continue
+			}
+			inter := 0
+			for v := range vertexSet[i] {
+				if vertexSet[j][v] {
+					inter++
+				}
+			}
+			if inter > c.K {
+				return fmt.Errorf("structure: bags %d,%d share %d > K=%d vertices (property 3)", i, j, inter, c.K)
+			}
+		}
+	}
+	// (4) coherence.
+	mark := make([]int, t)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for v := 0; v < c.G.N(); v++ {
+		for _, b := range inBags[v] {
+			mark[b] = v
+		}
+		start := inBags[v][0]
+		visited := map[int]bool{start: true}
+		stack := []int{start}
+		count := 1
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range c.Adj[x] {
+				if mark[y] == v && !visited[y] {
+					visited[y] = true
+					count++
+					stack = append(stack, y)
+				}
+			}
+		}
+		if count != len(inBags[v]) {
+			return fmt.Errorf("structure: vertex %d bags not coherent (property 4)", v)
+		}
+	}
+	// (5) every edge in some bag.
+	for id, ok := range edgeCovered {
+		if !ok {
+			return fmt.Errorf("structure: edge %d in no bag (property 5)", id)
+		}
+	}
+	return nil
+}
+
+// Separator returns the sorted vertex intersection of two adjacent bags.
+func (c *CliqueSumTree) Separator(i, j int) []int {
+	in := make(map[int]bool, len(c.Bags[i].Vertices))
+	for _, v := range c.Bags[i].Vertices {
+		in[v] = true
+	}
+	var out []int
+	for _, v := range c.Bags[j].Vertices {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CompletedBag returns bag i's subgraph with every partial clique toward a
+// neighbor completed to a full clique (the paper's B⁰ₕ, guaranteed to be in
+// the original family F). Returned: the bag-local graph, a local->global
+// vertex map, and for each local edge its global edge ID (-1 for added
+// clique-completion edges).
+func (c *CliqueSumTree) CompletedBag(i int) (local *graph.Graph, toGlobal []int, edgeGlobal []int) {
+	toGlobal = append([]int(nil), c.Bags[i].Vertices...)
+	sort.Ints(toGlobal)
+	toLocal := make(map[int]int, len(toGlobal))
+	for li, v := range toGlobal {
+		toLocal[v] = li
+	}
+	local = graph.New(len(toGlobal))
+	type pair struct{ a, b int }
+	have := make(map[pair]bool)
+	addEdge := func(u, v int, w float64, gid int) {
+		a, b := toLocal[u], toLocal[v]
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || have[pair{a, b}] {
+			return
+		}
+		have[pair{a, b}] = true
+		local.AddEdge(a, b, w)
+		edgeGlobal = append(edgeGlobal, gid)
+	}
+	for _, id := range c.Bags[i].Edges {
+		e := c.G.Edge(id)
+		addEdge(e.U, e.V, e.W, id)
+	}
+	for _, j := range c.Adj[i] {
+		sep := c.Separator(i, j)
+		for x := 0; x < len(sep); x++ {
+			for y := x + 1; y < len(sep); y++ {
+				addEdge(sep[x], sep[y], 1, -1)
+			}
+		}
+	}
+	return local, toGlobal, edgeGlobal
+}
+
+// BagsMeeting returns the bag indices whose vertex set intersects the given
+// part.
+func (c *CliqueSumTree) BagsMeeting(part []int) []int {
+	in := make(map[int]bool, len(part))
+	for _, v := range part {
+		in[v] = true
+	}
+	var out []int
+	for bi, b := range c.Bags {
+		for _, v := range b.Vertices {
+			if in[v] {
+				out = append(out, bi)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+// Package tw implements tree decompositions: validation, rooting,
+// diameter-based constructions for embedded graphs, the vortex extension of
+// the paper's Lemma 2, and the heavy-light chain folding used to compress
+// decomposition trees to depth O(log² n) (paper, proof of Theorem 7).
+package tw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Decomposition is a tree decomposition of a graph: a tree whose nodes carry
+// vertex bags satisfying the three standard properties (cover, edge
+// containment, coherence).
+type Decomposition struct {
+	G    *graph.Graph
+	Bags [][]int // bag vertex lists
+	Adj  [][]int // tree adjacency between bag indices
+}
+
+// Width returns the decomposition width (max bag size minus one).
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// NumBags returns the number of bags.
+func (d *Decomposition) NumBags() int { return len(d.Bags) }
+
+// Validate checks that d is a valid tree decomposition of d.G:
+// (i) the tree is in fact a tree, (ii) bags cover all vertices,
+// (iii) every edge has both endpoints in some bag, and (iv) for each vertex
+// the bags containing it form a connected subtree.
+func (d *Decomposition) Validate() error {
+	t := len(d.Bags)
+	if len(d.Adj) != t {
+		return fmt.Errorf("tw: %d bags but %d adjacency rows", t, len(d.Adj))
+	}
+	// Tree check: connected with t-1 edges.
+	deg := 0
+	for _, ns := range d.Adj {
+		deg += len(ns)
+	}
+	if t > 0 && deg != 2*(t-1) {
+		return fmt.Errorf("tw: bag tree has %d half-edges, want %d", deg, 2*(t-1))
+	}
+	if t > 0 {
+		seen := make([]bool, t)
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range d.Adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					count++
+					stack = append(stack, y)
+				}
+			}
+		}
+		if count != t {
+			return fmt.Errorf("tw: bag tree disconnected (%d of %d reachable)", count, t)
+		}
+	}
+	// Cover.
+	inBag := make([][]int, d.G.N())
+	for bi, bag := range d.Bags {
+		seenV := make(map[int]bool, len(bag))
+		for _, v := range bag {
+			if v < 0 || v >= d.G.N() {
+				return fmt.Errorf("tw: bag %d contains invalid vertex %d", bi, v)
+			}
+			if seenV[v] {
+				return fmt.Errorf("tw: bag %d lists vertex %d twice", bi, v)
+			}
+			seenV[v] = true
+			inBag[v] = append(inBag[v], bi)
+		}
+	}
+	for v, bs := range inBag {
+		if len(bs) == 0 {
+			return fmt.Errorf("tw: vertex %d in no bag", v)
+		}
+	}
+	// Edge containment.
+	for id := 0; id < d.G.M(); id++ {
+		e := d.G.Edge(id)
+		ok := false
+		set := make(map[int]bool, len(inBag[e.U]))
+		for _, b := range inBag[e.U] {
+			set[b] = true
+		}
+		for _, b := range inBag[e.V] {
+			if set[b] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("tw: edge %d {%d,%d} contained in no bag", id, e.U, e.V)
+		}
+	}
+	// Coherence: bags containing v induce a connected subtree.
+	mark := make([]int, t)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for v := 0; v < d.G.N(); v++ {
+		for _, b := range inBag[v] {
+			mark[b] = v
+		}
+		start := inBag[v][0]
+		stack := []int{start}
+		visited := map[int]bool{start: true}
+		count := 1
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range d.Adj[x] {
+				if mark[y] == v && !visited[y] {
+					visited[y] = true
+					count++
+					stack = append(stack, y)
+				}
+			}
+		}
+		if count != len(inBag[v]) {
+			return fmt.Errorf("tw: vertex %d bags not coherent (%d of %d connected)", v, count, len(inBag[v]))
+		}
+	}
+	return nil
+}
+
+// RepairCoherence adds vertices to bags along tree paths so the coherence
+// property holds, leaving cover and edge containment intact. Constructions
+// that are coherent by design are unaffected; constructions derived from
+// geometric arguments (cotree bags) use this as a closing step. It mutates d.
+func (d *Decomposition) RepairCoherence() {
+	t := len(d.Bags)
+	if t == 0 {
+		return
+	}
+	// Root the bag tree at 0 and compute parents/depths.
+	parent := make([]int, t)
+	depth := make([]int, t)
+	order := make([]int, 0, t)
+	parent[0] = -1
+	stack := []int{0}
+	seen := make([]bool, t)
+	seen[0] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, x)
+		for _, y := range d.Adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				parent[y] = x
+				depth[y] = depth[x] + 1
+				stack = append(stack, y)
+			}
+		}
+	}
+	inBag := make([][]int, d.G.N())
+	for bi, bag := range d.Bags {
+		for _, v := range bag {
+			inBag[v] = append(inBag[v], bi)
+		}
+	}
+	present := make([]map[int]bool, t)
+	for i, bag := range d.Bags {
+		present[i] = make(map[int]bool, len(bag))
+		for _, v := range bag {
+			present[i][v] = true
+		}
+	}
+	for v := 0; v < d.G.N(); v++ {
+		bs := inBag[v]
+		if len(bs) <= 1 {
+			continue
+		}
+		// Union of pairwise tree paths from bs[0] to each other bag.
+		base := bs[0]
+		for _, b := range bs[1:] {
+			x, y := base, b
+			for x != y {
+				if depth[x] < depth[y] {
+					x, y = y, x
+				}
+				if !present[x][v] {
+					present[x][v] = true
+					d.Bags[x] = append(d.Bags[x], v)
+				}
+				x = parent[x]
+			}
+			if !present[x][v] {
+				present[x][v] = true
+				d.Bags[x] = append(d.Bags[x], v)
+			}
+		}
+	}
+	for i := range d.Bags {
+		sort.Ints(d.Bags[i])
+	}
+}
+
+// Rooted is a decomposition with a chosen root and precomputed parent,
+// depth, and top-down order over bags.
+type Rooted struct {
+	D      *Decomposition
+	Root   int
+	Parent []int
+	Depth  []int
+	Order  []int // top-down
+}
+
+// Root roots the decomposition's bag tree at bag r.
+func (d *Decomposition) Root(r int) *Rooted {
+	t := len(d.Bags)
+	rd := &Rooted{
+		D:      d,
+		Root:   r,
+		Parent: make([]int, t),
+		Depth:  make([]int, t),
+	}
+	for i := range rd.Parent {
+		rd.Parent[i] = -2
+	}
+	rd.Parent[r] = -1
+	queue := []int{r}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		rd.Order = append(rd.Order, x)
+		for _, y := range d.Adj[x] {
+			if rd.Parent[y] == -2 {
+				rd.Parent[y] = x
+				rd.Depth[y] = rd.Depth[x] + 1
+				queue = append(queue, y)
+			}
+		}
+	}
+	return rd
+}
+
+// Height returns the maximum bag depth.
+func (r *Rooted) Height() int {
+	h := 0
+	for _, d := range r.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// HighestBag returns, for each part (vertex set), the bag of minimum depth
+// intersecting it, or -1 for an empty part. By coherence, the bags meeting a
+// connected part form a subtree, so the highest bag is unique.
+func (r *Rooted) HighestBag(part []int) int {
+	in := make(map[int]bool, len(part))
+	for _, v := range part {
+		in[v] = true
+	}
+	best := -1
+	for bi, bag := range r.D.Bags {
+		hit := false
+		for _, v := range bag {
+			if in[v] {
+				hit = true
+				break
+			}
+		}
+		if hit && (best == -1 || r.Depth[bi] < r.Depth[best]) {
+			best = bi
+		}
+	}
+	return best
+}
+
+// TopBagOfEdge returns, for every graph edge, the minimum-depth bag
+// containing both endpoints (-1 if none, which Validate would reject).
+func (r *Rooted) TopBagOfEdge() []int {
+	inBag := make([][]int, r.D.G.N())
+	for bi, bag := range r.D.Bags {
+		for _, v := range bag {
+			inBag[v] = append(inBag[v], bi)
+		}
+	}
+	out := make([]int, r.D.G.M())
+	for id := 0; id < r.D.G.M(); id++ {
+		e := r.D.G.Edge(id)
+		set := make(map[int]bool, len(inBag[e.U]))
+		for _, b := range inBag[e.U] {
+			set[b] = true
+		}
+		best := -1
+		for _, b := range inBag[e.V] {
+			if set[b] && (best == -1 || r.Depth[b] < r.Depth[best]) {
+				best = b
+			}
+		}
+		out[id] = best
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package tw_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tw"
+)
+
+func TestValidateAcceptsKTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 3, 5} {
+		kt := gen.KTree(50, k, rng)
+		if err := kt.Decomp.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if w := kt.Decomp.Width(); w != k {
+			t.Fatalf("k=%d: width %d", k, w)
+		}
+	}
+}
+
+func TestValidateRejectsBadDecompositions(t *testing.T) {
+	g := gen.Path(4)
+	// Missing vertex.
+	d := &tw.Decomposition{G: g, Bags: [][]int{{0, 1}, {1, 2}}, Adj: [][]int{{1}, {0}}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("accepted missing vertex")
+	}
+	// Missing edge.
+	d = &tw.Decomposition{G: g, Bags: [][]int{{0, 1}, {1, 2}, {3}}, Adj: [][]int{{1}, {0, 2}, {1}}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("accepted missing edge")
+	}
+	// Incoherent: vertex 1 in bags 0 and 2 but not 1.
+	d = &tw.Decomposition{G: g, Bags: [][]int{{0, 1}, {2, 3}, {1, 2}}, Adj: [][]int{{1}, {0, 2}, {1}}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("accepted incoherent decomposition")
+	}
+	// Not a tree.
+	d = &tw.Decomposition{G: g, Bags: [][]int{{0, 1}, {1, 2}, {2, 3}}, Adj: [][]int{{1, 2}, {0, 2}, {0, 1}}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("accepted cyclic bag graph")
+	}
+}
+
+func TestRepairCoherence(t *testing.T) {
+	g := gen.Path(4)
+	d := &tw.Decomposition{
+		G:    g,
+		Bags: [][]int{{0, 1}, {2, 3}, {1, 2}},
+		Adj:  [][]int{{1}, {0, 2}, {1}},
+	}
+	d.RepairCoherence()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("repair did not fix coherence: %v", err)
+	}
+}
+
+func TestCotreeDecompositionOnPlanarFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		name string
+		e    *gen.Embedded
+	}{
+		{"grid5x5", gen.Grid(5, 5)},
+		{"grid2x20", gen.Grid(2, 20)},
+		{"wheel20", gen.Wheel(20)},
+		{"outerplanar", gen.Outerplanar(30, 10, rng)},
+		{"apollonian", &gen.NewApollonian(40, rng).Embedded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := graph.BFSTree(tc.e.G, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := tw.FromEmbeddingByCotree(tc.e.Emb, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Width should be bounded by O(maxFace * height).
+			if w := d.Width(); w > 8*(tr.Height()+1) {
+				t.Fatalf("width %d too large for tree height %d", w, tr.Height())
+			}
+		})
+	}
+}
+
+func TestCotreeRejectsNonPlanar(t *testing.T) {
+	e := gen.Torus(4, 4)
+	tr, _ := graph.BFSTree(e.G, 0)
+	if _, err := tw.FromEmbeddingByCotree(e.Emb, tr); err == nil {
+		t.Fatal("accepted torus embedding")
+	}
+}
+
+func TestRootedHighestBagAndTopEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kt := gen.KTree(60, 3, rng)
+	r := kt.Decomp.Root(0)
+	if r.Height() < 1 {
+		t.Fatal("degenerate rooted decomposition")
+	}
+	// HighestBag of a whole-graph part is the root.
+	all := make([]int, kt.G.N())
+	for i := range all {
+		all[i] = i
+	}
+	if hb := r.HighestBag(all); hb != 0 {
+		t.Fatalf("highest bag of V = %d want root 0", hb)
+	}
+	if hb := r.HighestBag(nil); hb != -1 {
+		t.Fatalf("highest bag of empty part = %d want -1", hb)
+	}
+	tops := r.TopBagOfEdge()
+	for id, b := range tops {
+		if b == -1 {
+			t.Fatalf("edge %d has no containing bag", id)
+		}
+		e := kt.G.Edge(id)
+		inU, inV := false, false
+		for _, v := range kt.Decomp.Bags[b] {
+			if v == e.U {
+				inU = true
+			}
+			if v == e.V {
+				inV = true
+			}
+		}
+		if !inU || !inV {
+			t.Fatalf("top bag %d of edge %d does not contain it", b, id)
+		}
+	}
+}
+
+func TestPartialKTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pk := gen.PartialKTree(80, 3, 0.4, rng)
+	if !graph.IsConnected(pk.G) {
+		t.Fatal("partial k-tree disconnected")
+	}
+	if err := pk.Decomp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	full := gen.KTree(80, 3, rand.New(rand.NewSource(4)))
+	if pk.G.M() >= full.G.M() {
+		t.Fatal("no edges were dropped")
+	}
+}

@@ -1,0 +1,208 @@
+package tw
+
+import "fmt"
+
+// Folded is the result of compressing a rooted tree to depth O(log² n) by
+// heavy-light decomposition plus recursive chain folding, exactly the scheme
+// in the paper's proof of Theorem 7 (Figure 4): each heavy chain is folded
+// into a balanced binary tree whose root group holds the chain's first,
+// middle, and last nodes, and chain roots re-attach to the group holding
+// their original parent.
+//
+// Each group holds at most 3 original nodes; following the paper, a group
+// has at most two children reached by "double edges" (the two recursive
+// halves of its own chain fold); all other children attach by ordinary
+// edges.
+type Folded struct {
+	Groups  [][]int // group -> original nodes (1..3)
+	Parent  []int   // group tree; -1 at root
+	GroupOf []int   // original node -> its group
+	Depth   []int   // group depths
+}
+
+// Fold compresses the rooted tree given by parent pointers (parent[root] ==
+// -1). It panics on malformed input since callers construct the tree.
+func Fold(parent []int, root int) *Folded {
+	n := len(parent)
+	if n == 0 {
+		return &Folded{}
+	}
+	if parent[root] != -1 {
+		panic(fmt.Sprintf("tw.Fold: root %d has parent %d", root, parent[root]))
+	}
+	children := make([][]int, n)
+	for v, p := range parent {
+		if p != -1 {
+			children[p] = append(children[p], v)
+		}
+	}
+	// Subtree sizes bottom-up via topological order.
+	order := make([]int, 0, n)
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		stack = append(stack, children[v]...)
+	}
+	if len(order) != n {
+		panic("tw.Fold: parent array does not form a tree")
+	}
+	size := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		size[v]++
+		if parent[v] != -1 {
+			size[parent[v]] += size[v]
+		}
+	}
+	// Heavy chains: heavy[v] = child with max subtree.
+	heavy := make([]int, n)
+	for v := range heavy {
+		heavy[v] = -1
+		best := -1
+		for _, c := range children[v] {
+			if size[c] > best {
+				best = size[c]
+				heavy[v] = c
+			}
+		}
+	}
+	f := &Folded{GroupOf: make([]int, n)}
+	for i := range f.GroupOf {
+		f.GroupOf[i] = -1
+	}
+	newGroup := func(nodes []int, parentGroup int) int {
+		gi := len(f.Groups)
+		f.Groups = append(f.Groups, nodes)
+		f.Parent = append(f.Parent, parentGroup)
+		d := 0
+		if parentGroup != -1 {
+			d = f.Depth[parentGroup] + 1
+		}
+		f.Depth = append(f.Depth, d)
+		for _, v := range nodes {
+			f.GroupOf[v] = gi
+		}
+		return gi
+	}
+	// foldChain folds chain[lo..hi] (inclusive) into a binary tree of
+	// groups, returning the root group, attached under parentGroup.
+	var foldChain func(chain []int, lo, hi, parentGroup int) int
+	foldChain = func(chain []int, lo, hi, parentGroup int) int {
+		switch hi - lo {
+		case 0:
+			return newGroup([]int{chain[lo]}, parentGroup)
+		case 1:
+			return newGroup([]int{chain[lo], chain[hi]}, parentGroup)
+		}
+		mid := (lo + hi) / 2
+		gi := newGroup([]int{chain[lo], chain[mid], chain[hi]}, parentGroup)
+		if lo+1 <= mid-1 {
+			foldChain(chain, lo+1, mid-1, gi)
+		}
+		if mid+1 <= hi-1 {
+			foldChain(chain, mid+1, hi-1, gi)
+		}
+		return gi
+	}
+	// Process chains in top-down order of their heads so that the parent
+	// group of a chain head's original parent already exists.
+	for _, v := range order {
+		isHead := parent[v] == -1 || heavy[parent[v]] != v
+		if !isHead {
+			continue
+		}
+		var chain []int
+		for x := v; x != -1; x = heavy[x] {
+			chain = append(chain, x)
+		}
+		pg := -1
+		if parent[v] != -1 {
+			pg = f.GroupOf[parent[v]]
+			if pg == -1 {
+				panic("tw.Fold: parent group not yet created")
+			}
+		}
+		foldChain(chain, 0, len(chain)-1, pg)
+	}
+	return f
+}
+
+// IdentityFold wraps a rooted tree as a Folded with singleton groups and no
+// depth compression — the Lemma 1 baseline whose congestion carries the raw
+// decomposition depth d_DT. Used by the folding-ablation experiment (E10).
+func IdentityFold(parent []int, root int) *Folded {
+	n := len(parent)
+	f := &Folded{
+		Groups:  make([][]int, n),
+		Parent:  append([]int(nil), parent...),
+		GroupOf: make([]int, n),
+		Depth:   make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		f.Groups[v] = []int{v}
+		f.GroupOf[v] = v
+	}
+	// Depths top-down.
+	children := make([][]int, n)
+	for v, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range children[v] {
+			f.Depth[c] = f.Depth[v] + 1
+			stack = append(stack, c)
+		}
+	}
+	return f
+}
+
+// Height returns the maximum group depth.
+func (f *Folded) Height() int {
+	h := 0
+	for _, d := range f.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// FoldRooted folds a rooted tree decomposition: groups become merged bags
+// (unions), producing a new valid decomposition of depth O(log² n) and
+// width at most 3·(w+1)-1. The returned Rooted is over the new
+// decomposition.
+func FoldRooted(r *Rooted) (*Rooted, *Folded, error) {
+	f := Fold(r.Parent, r.Root)
+	nd := &Decomposition{G: r.D.G, Bags: make([][]int, len(f.Groups)), Adj: make([][]int, len(f.Groups))}
+	for gi, nodes := range f.Groups {
+		in := make(map[int]bool)
+		for _, bi := range nodes {
+			for _, v := range r.D.Bags[bi] {
+				in[v] = true
+			}
+		}
+		for v := range in {
+			nd.Bags[gi] = append(nd.Bags[gi], v)
+		}
+	}
+	rootGroup := f.GroupOf[r.Root]
+	for gi, p := range f.Parent {
+		if p != -1 {
+			nd.Adj[gi] = append(nd.Adj[gi], p)
+			nd.Adj[p] = append(nd.Adj[p], gi)
+		}
+	}
+	// Folding a chain can break coherence across groups; repair then verify.
+	nd.RepairCoherence()
+	if err := nd.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("tw.FoldRooted: %w", err)
+	}
+	return nd.Root(rootGroup), f, nil
+}

@@ -1,0 +1,170 @@
+package tw_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/tw"
+)
+
+// logSq returns an O(log² n) budget with explicit constant: (log2 n + 2)².
+func logSq(n int) int {
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return (lg + 2) * (lg + 2)
+}
+
+func TestFoldPathDepth(t *testing.T) {
+	// A path of t nodes folds to depth O(log t).
+	for _, n := range []int{1, 2, 3, 10, 100, 1000} {
+		parent := make([]int, n)
+		parent[0] = -1
+		for i := 1; i < n; i++ {
+			parent[i] = i - 1
+		}
+		f := tw.Fold(parent, 0)
+		lg := 1
+		for 1<<lg < n {
+			lg++
+		}
+		if f.Height() > lg+2 {
+			t.Fatalf("n=%d: folded path height %d > %d", n, f.Height(), lg+2)
+		}
+		assertFoldShape(t, parent, f)
+	}
+}
+
+func TestFoldCaterpillarAndRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(2000)
+		parent := make([]int, n)
+		parent[0] = -1
+		for i := 1; i < n; i++ {
+			// Mix of path-like and random attachments to stress chains.
+			if rng.Float64() < 0.7 {
+				parent[i] = i - 1
+			} else {
+				parent[i] = rng.Intn(i)
+			}
+		}
+		f := tw.Fold(parent, 0)
+		if f.Height() > logSq(n) {
+			t.Fatalf("n=%d: folded height %d exceeds log² bound %d", n, f.Height(), logSq(n))
+		}
+		assertFoldShape(t, parent, f)
+	}
+}
+
+// assertFoldShape checks structural invariants of a fold: groups partition
+// the nodes with size <= 3, and for every original parent-child pair the two
+// groups are identical or in ancestor-descendant relation... specifically
+// the group of a child must be a descendant-or-self of the group of some
+// node adjacent in the folded tree (weaker sanity: group tree is connected
+// and GroupOf is total).
+func assertFoldShape(t *testing.T, parent []int, f *tw.Folded) {
+	t.Helper()
+	n := len(parent)
+	seen := make([]bool, n)
+	for gi, nodes := range f.Groups {
+		if len(nodes) == 0 || len(nodes) > 3 {
+			t.Fatalf("group %d has %d nodes", gi, len(nodes))
+		}
+		for _, v := range nodes {
+			if seen[v] {
+				t.Fatalf("node %d in two groups", v)
+			}
+			seen[v] = true
+			if f.GroupOf[v] != gi {
+				t.Fatalf("GroupOf[%d] inconsistent", v)
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d unassigned", v)
+		}
+	}
+	// Folded parent pointers form a tree rooted at a single -1 group.
+	roots := 0
+	for gi, p := range f.Parent {
+		if p == -1 {
+			roots++
+		} else if p < 0 || p >= len(f.Groups) {
+			t.Fatalf("group %d has invalid parent %d", gi, p)
+		} else if f.Depth[gi] != f.Depth[p]+1 {
+			t.Fatalf("group %d depth %d but parent depth %d", gi, f.Depth[gi], f.Depth[p])
+		}
+	}
+	if len(f.Groups) > 0 && roots != 1 {
+		t.Fatalf("%d root groups", roots)
+	}
+}
+
+func TestFoldRootedPreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, tc := range []struct {
+		name string
+		kt   *gen.KTreeGraph
+	}{
+		{"k2", gen.KTree(300, 2, rng)},
+		{"k4", gen.KTree(500, 4, rng)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tc.kt.Decomp.Root(0)
+			fr, f, err := tw.FoldRooted(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fr.D.Validate(); err != nil {
+				t.Fatalf("folded decomposition invalid: %v", err)
+			}
+			n := tc.kt.Decomp.NumBags()
+			if fr.Height() > logSq(n) {
+				t.Fatalf("folded height %d > log² bound %d (bags=%d, orig height %d)",
+					fr.Height(), logSq(n), n, r.Height())
+			}
+			// Width grows by at most 3x (three bags merged per group).
+			if fr.D.Width()+1 > 3*(tc.kt.Decomp.Width()+1) {
+				t.Fatalf("folded width %d > 3x original %d", fr.D.Width(), tc.kt.Decomp.Width())
+			}
+			if f.Height() != fr.Height() {
+				t.Fatalf("Folded and Rooted heights disagree: %d vs %d", f.Height(), fr.Height())
+			}
+		})
+	}
+}
+
+func TestFoldRootedOnDeepPathDecomposition(t *testing.T) {
+	// A long path graph has a path decomposition of depth n; folding must
+	// crush the depth while staying valid.
+	n := 800
+	g := gen.Path(n)
+	bags := make([][]int, n-1)
+	parent := make([]int, n-1)
+	for i := 0; i+1 < n; i++ {
+		bags[i] = []int{i, i + 1}
+		parent[i] = i - 1 // -1 for i==0
+	}
+	d, err := tw.FromBags(g, bags, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Root(0)
+	if r.Height() != n-2 {
+		t.Fatalf("expected deep decomposition, height %d", r.Height())
+	}
+	fr, _, err := tw.FoldRooted(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Height() > logSq(n) {
+		t.Fatalf("folded height %d", fr.Height())
+	}
+	if err := fr.D.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+// Package xrand centralizes deterministic, seedable randomness so that every
+// generator, test, and benchmark in the repository is reproducible.
+package xrand
+
+import "math/rand"
+
+// New returns a deterministic *rand.Rand for the given seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Perm returns a deterministic permutation of n elements for the given rng.
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// Shuffle shuffles xs in place deterministically.
+func Shuffle[T any](rng *rand.Rand, xs []T) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Pick returns a uniformly random element of xs.
+func Pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}

@@ -1,0 +1,47 @@
+package xrand_test
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := xrand.New(7), xrand.New(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := xrand.New(8)
+	same := true
+	a2 := xrand.New(7)
+	for i := 0; i < 10; i++ {
+		if a2.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	rng := xrand.New(1)
+	p := xrand.Perm(rng, 10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []string{"a", "b", "c", "d"}
+	xrand.Shuffle(rng, xs)
+	if len(xs) != 4 {
+		t.Fatal("shuffle changed length")
+	}
+	if got := xrand.Pick(rng, xs); got == "" {
+		t.Fatal("pick returned zero value")
+	}
+}

@@ -1,0 +1,266 @@
+// Package repro is a reproduction of "Minor Excluded Network Families Admit
+// Fast Distributed Algorithms" (Haeupler, Li, Zuzic; PODC 2018): a library
+// for building networks from excluded-minor graph families, constructing
+// tree-restricted low-congestion shortcuts on them — both obliviously and
+// from Graph-Structure-Theorem witnesses — and running the shortcut-
+// framework distributed algorithms (MST, (1+ε)-approximate min-cut) on a
+// CONGEST simulator with exact round accounting.
+//
+// This package is the high-level facade; the machinery lives in internal/
+// packages (graph, embed, tw, structure, gen, partition, shortcut, core,
+// congest, mst, mincut). Type aliases re-export what users need.
+//
+// Quick start:
+//
+//	nw, _ := repro.GridNetwork(16, 16, 1)
+//	parts, _ := nw.VoronoiParts(12)
+//	sc, _ := nw.BuildShortcut(parts)
+//	fmt.Println(sc.Measurement.Quality)
+//	res, _ := nw.MST()
+//	fmt.Println(res.CommRounds, res.Weight)
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+	"repro/internal/mst"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+	"repro/internal/structure"
+	"repro/internal/xrand"
+)
+
+// Graph is the weighted undirected multigraph used throughout.
+type Graph = graph.Graph
+
+// Tree is a rooted spanning tree with graph-edge identities.
+type Tree = graph.Tree
+
+// Parts is a family of disjoint connected vertex subsets (Definition 9).
+type Parts = partition.Parts
+
+// Shortcut is a tree-restricted shortcut assignment (Definition 10).
+type Shortcut = shortcut.Shortcut
+
+// Measurement holds congestion, block parameter and quality (Defs. 11-13).
+type Measurement = shortcut.Measurement
+
+// Network couples a connected graph with a BFS spanning tree and whatever
+// structural witnesses its generator provided. Witnesses steer BuildShortcut
+// toward the matching construction from the paper.
+type Network struct {
+	G    *Graph
+	Tree *Tree
+
+	// At most one witness is typically set.
+	CliqueSum   *core.CliqueSumWitness
+	AlmostEmbed *structure.AlmostEmbeddable
+	KTree       *gen.KTreeGraph
+
+	seed int64
+}
+
+// NewNetwork wraps a connected graph, rooting a BFS tree at root.
+func NewNetwork(g *Graph, root int) (*Network, error) {
+	t, err := graph.BFSTree(g, root)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Network{G: g, Tree: t, seed: 1}, nil
+}
+
+// GridNetwork builds a rows x cols planar grid network with uniformly random
+// edge weights (deterministic in seed).
+func GridNetwork(rows, cols int, seed int64) (*Network, error) {
+	rng := xrand.New(seed)
+	e := gen.Grid(rows, cols)
+	gen.DistinctWeights(gen.UniformWeights(e.G, rng))
+	nw, err := NewNetwork(e.G, 0)
+	if err != nil {
+		return nil, err
+	}
+	nw.seed = seed
+	return nw, nil
+}
+
+// PlanarNetwork builds a random maximal planar network (Apollonian) on n
+// vertices.
+func PlanarNetwork(n int, seed int64) (*Network, error) {
+	rng := xrand.New(seed)
+	a := gen.NewApollonian(n, rng)
+	gen.DistinctWeights(gen.UniformWeights(a.G, rng))
+	nw, err := NewNetwork(a.G, 0)
+	if err != nil {
+		return nil, err
+	}
+	nw.seed = seed
+	return nw, nil
+}
+
+// ExcludedMinorNetwork builds a K5-minor-free network: a 3-clique-sum of
+// random planar triangulations (Wagner's characterization), carrying its
+// clique-sum witness so BuildShortcut can realize Theorem 6.
+func ExcludedMinorNetwork(numBags, bagSize int, seed int64) (*Network, error) {
+	rng := xrand.New(seed)
+	pieces := make([]*gen.Piece, numBags)
+	for i := range pieces {
+		pieces[i] = gen.ApollonianPiece(bagSize, rng)
+	}
+	cs := gen.CliqueSum(pieces, 3, rng)
+	gen.DistinctWeights(gen.UniformWeights(cs.G, rng))
+	nw, err := NewNetwork(cs.G, 0)
+	if err != nil {
+		return nil, err
+	}
+	nw.CliqueSum = &core.CliqueSumWitness{
+		CST:         cs.CST,
+		BagGraphs:   cs.BagGraphs,
+		BagDecomp:   cs.BagDecomp,
+		BagToGlobal: cs.BagToGlobal,
+	}
+	nw.seed = seed
+	return nw, nil
+}
+
+// ApexNetwork builds a planar grid plus one apex connected to every base
+// vertex (the paper's diameter-collapsing scenario, §2.3.2), rooted at the
+// apex, carrying its almost-embeddable witness.
+func ApexNetwork(rows, cols int, seed int64) (*Network, error) {
+	rng := xrand.New(seed)
+	a := gen.PlanarWithApex(rows, cols, rng)
+	gen.DistinctWeights(gen.UniformWeights(a.G, rng))
+	nw, err := NewNetwork(a.G, a.Apices[0])
+	if err != nil {
+		return nil, err
+	}
+	nw.AlmostEmbed = a
+	nw.seed = seed
+	return nw, nil
+}
+
+// KTreeNetwork builds a random k-tree network carrying its treewidth
+// witness.
+func KTreeNetwork(n, k int, seed int64) (*Network, error) {
+	rng := xrand.New(seed)
+	kt := gen.KTree(n, k, rng)
+	gen.DistinctWeights(gen.UniformWeights(kt.G, rng))
+	nw, err := NewNetwork(kt.G, 0)
+	if err != nil {
+		return nil, err
+	}
+	nw.KTree = kt
+	nw.seed = seed
+	return nw, nil
+}
+
+// VoronoiParts partitions the network into numSeeds connected parts by
+// multi-source BFS from random seeds.
+func (nw *Network) VoronoiParts(numSeeds int) (*Parts, error) {
+	return partition.Voronoi(nw.G, numSeeds, xrand.New(nw.seed+101))
+}
+
+// FragmentParts returns the Borůvka fragments after the given number of
+// phases — the part family the MST algorithm actually queries.
+func (nw *Network) FragmentParts(phases int) (*Parts, error) {
+	return partition.BoruvkaFragments(nw.G, phases)
+}
+
+// ShortcutResult couples a shortcut with its measurement and diagnostics.
+type ShortcutResult struct {
+	S           *Shortcut
+	Measurement Measurement
+	Info        map[string]int
+}
+
+// BuildShortcut constructs a tree-restricted shortcut for the given parts:
+// the witness-matched construction when a witness is present (Theorems 6-8,
+// via internal/core), compared against the oblivious construction
+// ([HIZ16a]-style), returning whichever measures better — mirroring the
+// paper's remark that the framework algorithm is free to do better than the
+// existence bound.
+func (nw *Network) BuildShortcut(p *Parts) (*ShortcutResult, error) {
+	candidates := []*core.Result{core.FromOblivious(nw.G, nw.Tree, p)}
+	switch {
+	case nw.CliqueSum != nil:
+		r, err := core.ExcludedMinorShortcut(nw.G, nw.Tree, p, nw.CliqueSum)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, r)
+	case nw.AlmostEmbed != nil:
+		r, err := core.AlmostEmbeddableShortcut(nw.G, nw.Tree, p, nw.AlmostEmbed)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, r)
+	case nw.KTree != nil:
+		tr, err := shortcut.FromTreewidth(nw.G, nw.Tree, p, nw.KTree.Decomp)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, &core.Result{S: tr.S, M: tr.S.Measure(), Info: map[string]int{
+			"foldedHeight": tr.FoldedHeight,
+			"foldedWidth":  tr.FoldedWidth,
+		}})
+	}
+	best := core.BestOf(candidates...)
+	return &ShortcutResult{S: best.S, Measurement: best.M, Info: best.Info}, nil
+}
+
+// MSTResult reports a distributed MST run.
+type MSTResult = mst.RunStats
+
+// MST runs the shortcut-framework Borůvka (Theorem 1 + Corollary 1) on the
+// network, using witness-based shortcuts when available.
+func (nw *Network) MST() (*MSTResult, error) {
+	provider := func(p *Parts) (*Shortcut, int, error) {
+		sc, err := nw.BuildShortcut(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sc.S, sc.Measurement.Quality, nil
+	}
+	return mst.ShortcutBoruvka(nw.G, provider)
+}
+
+// MSTBaseline runs the same algorithm without any shortcuts (naive
+// fragment-internal flooding).
+func (nw *Network) MSTBaseline() (*MSTResult, error) {
+	return mst.ShortcutBoruvka(nw.G, mst.EmptyProvider(nw.G, nw.Tree))
+}
+
+// MSTPipelined runs the O(D+√n)-style two-phase baseline.
+func (nw *Network) MSTPipelined() (*MSTResult, error) {
+	return mst.PipelinedMST(nw.G)
+}
+
+// CutResult reports an approximate min-cut run.
+type CutResult = mincut.Result
+
+// ApproxMinCut runs the tree-packing (1+ε)-approximate minimum cut
+// (Corollary 1). TwoRespecting evaluation is enabled for networks small
+// enough to afford it.
+func (nw *Network) ApproxMinCut(eps float64) (*CutResult, error) {
+	return mincut.Approx(nw.G, mincut.Options{
+		Eps:           eps,
+		TwoRespecting: nw.G.N() <= 400,
+	})
+}
+
+// ExactMinCut computes the exact minimum cut (Stoer-Wagner reference).
+func (nw *Network) ExactMinCut() (float64, []int, error) {
+	return graph.GlobalMinCut(nw.G)
+}
+
+// Diameter returns the exact hop diameter for small networks and the
+// double-sweep estimate for large ones (> 4000 vertices).
+func (nw *Network) Diameter() int {
+	if nw.G.N() > 4000 {
+		return graph.DiameterApprox(nw.G)
+	}
+	return graph.Diameter(nw.G)
+}

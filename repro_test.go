@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+func TestGridNetworkFacade(t *testing.T) {
+	nw, err := repro.GridNetwork(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := nw.VoronoiParts(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := nw.BuildShortcut(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Measurement.Quality <= 0 {
+		t.Fatal("no quality measured")
+	}
+	res, err := nw.MST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kW := graph.Kruskal(nw.G)
+	if diff := res.Weight - kW; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("MST weight %v want %v", res.Weight, kW)
+	}
+}
+
+func TestExcludedMinorNetworkFacade(t *testing.T) {
+	nw, err := repro.ExcludedMinorNetwork(4, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.CliqueSum == nil {
+		t.Fatal("witness missing")
+	}
+	parts, err := nw.VoronoiParts(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := nw.BuildShortcut(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.S == nil {
+		t.Fatal("no shortcut")
+	}
+}
+
+func TestApexNetworkFacade(t *testing.T) {
+	nw, err := repro.ApexNetwork(6, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := nw.Diameter(); d != 2 {
+		t.Fatalf("apex network diameter %d want 2", d)
+	}
+	parts, err := nw.FragmentParts(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.BuildShortcut(parts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKTreeNetworkFacadeAndMinCut(t *testing.T) {
+	nw, err := repro.KTreeNetwork(60, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := nw.ApproxMinCut(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _, err := nw.ExactMinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Value < exact-1e-9 {
+		t.Fatal("cut below exact minimum")
+	}
+}
+
+func TestBaselinesProduceSameTree(t *testing.T) {
+	nw, err := repro.PlanarNetwork(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := nw.MST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.MSTBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := nw.MSTPipelined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.EdgeIDs) != len(b.EdgeIDs) || len(b.EdgeIDs) != len(c.EdgeIDs) {
+		t.Fatal("algorithms disagree on MST size")
+	}
+	for i := range a.EdgeIDs {
+		if a.EdgeIDs[i] != b.EdgeIDs[i] || b.EdgeIDs[i] != c.EdgeIDs[i] {
+			t.Fatal("algorithms disagree on MST edges")
+		}
+	}
+}
