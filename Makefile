@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-smoke bench-baseline
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+bench-smoke:
+	$(GO) test -bench=E5 -benchtime=1x -run=NONE .
+
+# bench-baseline records the full benchmark suite as JSON for perf
+# trajectory tracking across PRs (compare with benchstat or jq).
+bench-baseline:
+	$(GO) test -bench=. -benchtime=1x -run=NONE -json . > BENCH_baseline.json

@@ -82,6 +82,19 @@ func BenchmarkE6MST(b *testing.B) {
 	reportLastCell(b, t, "r_shortcut", "rounds")
 }
 
+// BenchmarkE6MSTLarge runs the MST table one size notch up (rim 512),
+// headroom opened by the dense-slice accounting and the barrier-synchronous
+// CONGEST engine.
+func BenchmarkE6MSTLarge(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E6MST([]int{64, 128, 256, 512}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "r_shortcut", "rounds")
+}
+
 func BenchmarkE6bMSTExcludedMinor(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
@@ -96,6 +109,19 @@ func BenchmarkE6cAggregation(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		t = experiments.AggregationShowcase([]int{16, 32, 64}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "rounds_shortcut", "rounds")
+}
+
+// BenchmarkE6cAggregationLarge runs the aggregation showcase one size notch
+// up (corridors to 128 columns), headroom opened by the round-driven
+// CONGEST scheduler.
+func BenchmarkE6cAggregationLarge(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.AggregationShowcase([]int{16, 32, 64, 128}, benchSeed)
 	}
 	b.StopTimer()
 	fmt.Println(t)

@@ -53,7 +53,7 @@ func main() {
 		a := gen.NewApollonian(*n, rng)
 		d := gen.ApollonianDecomposition(a)
 		describe(a.G, fmt.Sprintf("planar embedding genus=%d, tree decomposition width=%d (both validated)",
-			a.Emb.Genus(), d.Width()))
+			a.EnsureEmbedding().Genus(), d.Width()))
 	case "outerplanar":
 		e := gen.Outerplanar(*n, *n/3, rng)
 		describe(e.G, fmt.Sprintf("outerplanar embedding genus=%d, K4-minor-free=%v",

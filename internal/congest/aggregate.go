@@ -36,28 +36,49 @@ func AggregateMin(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys
 	if len(keys) != g.N() {
 		return nil, fmt.Errorf("congest: %d keys for %d vertices", len(keys), g.N())
 	}
-	// Channels: per edge, the parts communicating over it.
-	partsOnEdge := make(map[int][]int)
-	for id := 0; id < g.M(); id++ {
+	// Channels: per edge, the parts communicating over it, in CSR layout.
+	// An edge carries its induced part (both endpoints in the same part)
+	// plus every part whose shortcut borrows it.
+	peOff := make([]int32, g.M()+1)
+	induced := func(id int) int {
 		e := g.Edge(id)
 		if pi := p.Of[e.U]; pi != -1 && pi == p.Of[e.V] {
-			partsOnEdge[id] = append(partsOnEdge[id], pi)
+			return pi
+		}
+		return -1
+	}
+	for id := 0; id < g.M(); id++ {
+		if induced(id) != -1 {
+			peOff[id+1]++
 		}
 	}
 	for pi, ids := range s.Edges {
 		for _, id := range ids {
-			dup := false
-			for _, x := range partsOnEdge[id] {
-				if x == pi {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				partsOnEdge[id] = append(partsOnEdge[id], pi)
+			if induced(id) != pi {
+				peOff[id+1]++
 			}
 		}
 	}
+	for id := 0; id < g.M(); id++ {
+		peOff[id+1] += peOff[id]
+	}
+	peStore := make([]int32, peOff[g.M()])
+	peLen := make([]int32, g.M())
+	for id := 0; id < g.M(); id++ {
+		if pi := induced(id); pi != -1 {
+			peStore[peOff[id]] = int32(pi)
+			peLen[id] = 1
+		}
+	}
+	for pi, ids := range s.Edges {
+		for _, id := range ids {
+			if induced(id) != pi {
+				peStore[peOff[id]+peLen[id]] = int32(pi)
+				peLen[id]++
+			}
+		}
+	}
+	partsOnEdge := func(id int) []int32 { return peStore[peOff[id] : peOff[id]+peLen[id]] }
 	// Expected answers for convergence checking (the environment's
 	// ground-truth; a real deployment would rely on the proven bound).
 	want := make([]uint64, p.NumParts())
@@ -85,65 +106,129 @@ func AggregateMin(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys
 	return nil, fmt.Errorf("congest: aggregation failed to converge within budget %d", budget)
 }
 
-func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge map[int][]int, keys, want []uint64, budget int) (*AggregateResult, bool, error) {
+func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []int32, keys, want []uint64, budget int) (*AggregateResult, bool, error) {
 	n := g.N()
-	finalBest := make([]map[int]uint64, n)
-	f := func(nd *Node) {
-		// State: best-known key per participating part; dirty flags per
-		// (port, part) channel.
-		best := make(map[int]uint64)
-		type channel struct{ port, part int }
-		var channels []channel
-		dirty := make(map[channel]bool)
-		for port := 0; port < nd.Degree(); port++ {
-			for _, pi := range partsOnEdge[nd.PortEdge(port)] {
-				channels = append(channels, channel{port, pi})
-				if _, ok := best[pi]; !ok {
-					best[pi] = math.MaxUint64
-				}
-			}
-		}
-		if pi := p.Of[nd.ID]; pi != -1 {
-			if b, ok := best[pi]; !ok || keys[nd.ID] < b {
-				best[pi] = keys[nd.ID]
-			}
-		}
-		for _, ch := range channels {
-			if best[ch.part] != math.MaxUint64 {
-				dirty[ch] = true
-			}
-		}
-		for r := 0; r < budget; r++ {
-			// One pending update per port, lowest part ID first.
-			sent := make(map[int]bool)
-			for _, ch := range channels {
-				if !dirty[ch] || sent[ch.port] {
-					continue
-				}
-				nd.Send(ch.port, Words{uint64(ch.part), best[ch.part]})
-				dirty[ch] = false
-				sent[ch.port] = true
-			}
-			msgs, ok := nd.Step()
-			if !ok {
-				return
-			}
-			for _, msg := range msgs {
-				pi := int(msg.Payload[0])
-				key := msg.Payload[1]
-				if cur, ok := best[pi]; ok && key < cur {
-					best[pi] = key
-					for _, ch := range channels {
-						if ch.part == pi && ch.port != msg.Port {
-							dirty[ch] = true
-						}
-					}
-				}
-			}
-		}
-		finalBest[nd.ID] = best
+	// finalBest[v] = best-known key of v's own part when the budget ran out.
+	finalBest := make([]uint64, n)
+	for v := range finalBest {
+		finalBest[v] = math.MaxUint64
 	}
-	stats, err := Run(g, f, Options{MaxRounds: budget + 64})
+	// Per-node protocol state lives in shared slab arrays (CSR per node),
+	// and every node shares one RoundFunc that indexes the slabs by node
+	// ID, so a whole run performs a constant number of allocations.
+	type channel struct{ port, part int32 }
+	type nodeState struct {
+		chOff, chEnd int32 // into channels/dirty
+		ptOff, ptEnd int32 // into parts/best
+		own          int32 // index into parts/best, or -1
+		round        int32
+	}
+	totCh := 0
+	for id := 0; id < g.M(); id++ {
+		totCh += 2 * len(partsOnEdge(id))
+	}
+	channels := make([]channel, 0, totCh)
+	dirty := make([]bool, totCh)
+	parts := make([]int32, 0, totCh+n)
+	best := make([]uint64, 0, totCh+n)
+	sentRound := make([]int32, 0, totCh)
+	state := make([]nodeState, n)
+	for v := 0; v < n; v++ {
+		st := &state[v]
+		st.chOff = int32(len(channels))
+		st.ptOff = int32(len(parts))
+		st.own = -1
+		localIdx := func(part int32) int32 {
+			for li := st.ptOff; li < int32(len(parts)); li++ {
+				if parts[li] == part {
+					return li
+				}
+			}
+			return -1
+		}
+		for port, a := range g.Adj(v) {
+			sentRound = append(sentRound, -1)
+			for _, pi := range partsOnEdge(a.ID) {
+				channels = append(channels, channel{int32(port), pi})
+				if localIdx(pi) == -1 {
+					parts = append(parts, pi)
+					best = append(best, math.MaxUint64)
+				}
+			}
+		}
+		if pi := p.Of[v]; pi != -1 {
+			if li := localIdx(int32(pi)); li != -1 {
+				st.own = li
+				if keys[v] < best[li] {
+					best[li] = keys[v]
+				}
+			} else {
+				// Isolated member: no channels carry its part, but it still
+				// reports its own key.
+				parts = append(parts, int32(pi))
+				best = append(best, keys[v])
+				st.own = int32(len(parts) - 1)
+			}
+		}
+		st.chEnd = int32(len(channels))
+		st.ptEnd = int32(len(parts))
+		for ci := st.chOff; ci < st.chEnd; ci++ {
+			if li := localIdx(channels[ci].part); li != -1 && best[li] != math.MaxUint64 {
+				dirty[ci] = true
+			}
+		}
+	}
+	portOff := make([]int32, n+1) // node -> offset into sentRound
+	for v := 0; v < n; v++ {
+		portOff[v+1] = portOff[v] + int32(g.Degree(v))
+	}
+	step := func(nd *Node, msgs []Message) bool {
+		st := &state[nd.ID]
+		localIdx := func(part int32) int32 {
+			for li := st.ptOff; li < st.ptEnd; li++ {
+				if parts[li] == part {
+					return li
+				}
+			}
+			return -1
+		}
+		// Fold in the previous round's deliveries.
+		for _, msg := range msgs {
+			pi := int32(msg.Payload[0])
+			key := msg.Payload[1]
+			li := localIdx(pi)
+			if li == -1 || key >= best[li] {
+				continue
+			}
+			best[li] = key
+			for ci := st.chOff; ci < st.chEnd; ci++ {
+				if channels[ci].part == pi && int(channels[ci].port) != msg.Port {
+					dirty[ci] = true
+				}
+			}
+		}
+		if int(st.round) == budget {
+			if st.own != -1 {
+				finalBest[nd.ID] = best[st.own]
+			}
+			return false
+		}
+		// One pending update per port, lowest part ID first (channels are
+		// built in (port, part) order).
+		sent := sentRound[portOff[nd.ID]:portOff[nd.ID+1]]
+		for ci := st.chOff; ci < st.chEnd; ci++ {
+			ch := channels[ci]
+			if !dirty[ci] || sent[ch.port] == st.round {
+				continue
+			}
+			nd.Send(int(ch.port), Words{uint64(ch.part), best[localIdx(ch.part)]})
+			dirty[ci] = false
+			sent[ch.port] = st.round
+		}
+		st.round++
+		return true
+	}
+	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, Options{MaxRounds: budget + 64})
 	if err != nil {
 		return nil, false, err
 	}
@@ -151,7 +236,7 @@ func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge map[int][]int,
 	converged := true
 	for i, w := range want {
 		for _, v := range p.Sets[i] {
-			if finalBest[v] == nil || finalBest[v][i] != w {
+			if finalBest[v] != w {
 				converged = false
 			}
 		}

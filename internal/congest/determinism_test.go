@@ -1,0 +1,162 @@
+package congest_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+// transcriptRun executes a flooding protocol and returns a full transcript:
+// every message every node received, in delivery order, plus the final
+// stats. The engine promises this is a pure function of the graph and
+// protocol, independent of GOMAXPROCS and scheduling.
+func transcriptRun(t *testing.T, g *graph.Graph, rounds int) string {
+	t.Helper()
+	var sb []strings.Builder
+	sb = make([]strings.Builder, g.N())
+	f := func(n *congest.Node) {
+		best := uint64(n.ID)
+		for r := 0; r < rounds; r++ {
+			n.Broadcast(congest.Words{best})
+			msgs, ok := n.Step()
+			if !ok {
+				return
+			}
+			for _, m := range msgs {
+				fmt.Fprintf(&sb[n.ID], "r%d p%d f%d e%d w%d;", r, m.Port, m.From, m.Edge, m.Payload[0])
+				if m.Payload[0] < best {
+					best = m.Payload[0]
+				}
+			}
+		}
+		fmt.Fprintf(&sb[n.ID], "final=%d", best)
+	}
+	stats, err := congest.Run(g, f, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	for v := range sb {
+		fmt.Fprintf(&out, "node %d: %s\n", v, sb[v].String())
+	}
+	fmt.Fprintf(&out, "stats: %+v\n", stats)
+	return out.String()
+}
+
+// TestTranscriptsIdenticalAcrossGOMAXPROCS runs the same CONGEST program
+// under GOMAXPROCS=1 and GOMAXPROCS=8 and requires byte-identical
+// transcripts and results: the barrier-synchronous scheduler's sharding
+// must not leak into observable behavior.
+func TestTranscriptsIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	e := gen.Grid(7, 9)
+	prev := runtime.GOMAXPROCS(1)
+	one := transcriptRun(t, e.G, 12)
+	runtime.GOMAXPROCS(8)
+	eight := transcriptRun(t, e.G, 12)
+	runtime.GOMAXPROCS(prev)
+	if one != eight {
+		t.Fatalf("transcripts differ between GOMAXPROCS=1 and GOMAXPROCS=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", one, eight)
+	}
+}
+
+// TestAggregationIdenticalAcrossGOMAXPROCS runs the round-driven
+// aggregation protocol (the RunSync path) at both GOMAXPROCS settings and
+// compares full results.
+func TestAggregationIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	e := gen.Wheel(65)
+	tr, err := graph.BFSTree(e.G, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.RimArcs(e.G, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, e.G.N())
+	for v := range keys {
+		keys[v] = uint64(v*2654435761 + 17)
+	}
+	s, _ := shortcut.ObliviousAuto(e.G, tr, p)
+	run := func() string {
+		res, err := congest.AggregateMin(e.G, p, s, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v %d %d %+v", res.Mins, res.EffectiveRounds, res.Budget, res.Stats)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(8)
+	eight := run()
+	runtime.GOMAXPROCS(prev)
+	if one != eight {
+		t.Fatalf("aggregation results differ:\nGOMAXPROCS=1: %s\nGOMAXPROCS=8: %s", one, eight)
+	}
+}
+
+// TestRunSyncMatchesBlockingRun expresses one protocol in both engine modes
+// and requires identical stats: the round-driven form is a drop-in
+// replacement for the blocking form.
+func TestRunSyncMatchesBlockingRun(t *testing.T) {
+	e := gen.Grid(5, 6)
+	const rounds = 9
+	finalsA := make([]uint64, e.G.N())
+	blocking := func(n *congest.Node) {
+		best := uint64(n.ID)
+		for r := 0; r < rounds; r++ {
+			n.Broadcast(congest.Words{best})
+			msgs, ok := n.Step()
+			if !ok {
+				return
+			}
+			for _, m := range msgs {
+				if m.Payload[0] < best {
+					best = m.Payload[0]
+				}
+			}
+		}
+		finalsA[n.ID] = best
+	}
+	statsA, err := congest.Run(e.G, blocking, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalsB := make([]uint64, e.G.N())
+	proto := func(n *congest.Node) congest.RoundFunc {
+		best := uint64(n.ID)
+		r := 0
+		return func(n *congest.Node, msgs []congest.Message) bool {
+			for _, m := range msgs {
+				if m.Payload[0] < best {
+					best = m.Payload[0]
+				}
+			}
+			if r == rounds {
+				finalsB[n.ID] = best
+				return false
+			}
+			n.Broadcast(congest.Words{best})
+			r++
+			return true
+		}
+	}
+	statsB, err := congest.RunSync(e.G, proto, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsA != statsB {
+		t.Fatalf("stats differ: blocking %+v vs sync %+v", statsA, statsB)
+	}
+	for v := range finalsA {
+		if finalsA[v] != finalsB[v] {
+			t.Fatalf("node %d: blocking %d vs sync %d", v, finalsA[v], finalsB[v])
+		}
+	}
+}

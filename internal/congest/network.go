@@ -1,10 +1,33 @@
 // Package congest simulates the CONGEST model (paper §1.3.1): a synchronous
 // message-passing network where, per round, each node may send one B-bit
-// message across each incident edge (B = Θ(log n)). Nodes run as goroutines
-// executing ordinary sequential protocol code against a blocking Node API;
-// the engine enforces bandwidth, counts rounds and messages, and delivers
-// messages deterministically (sorted by port) so runs are reproducible
-// regardless of goroutine scheduling.
+// message across each incident edge (B = Θ(log n)). Nodes run protocol code
+// against a blocking Node API; the engine enforces bandwidth, counts rounds
+// and messages, and delivers messages deterministically (in port order) so
+// runs are reproducible regardless of scheduling.
+//
+// Engine design (barrier-synchronous round scheduler). Each node's protocol
+// still executes on its own goroutine — the blocking Step API requires a
+// stack per node — but the goroutines are coroutines, not free-running
+// threads: a fixed worker pool shards the nodes and drives each round in two
+// phases. In the compute phase every worker walks its shard in node order,
+// handing the baton to one node at a time (an unbuffered-channel handoff);
+// the node runs its protocol until the next Step and queues sends into its
+// own dense per-port outbox slots. In the deliver phase the workers build
+// inboxes receiver-side: each receiver scans its ports and pulls the
+// message, if any, from the neighbor's opposite slot (precomputed reverse
+// ports), so inboxes come out in port order with no sorting and no routing
+// map; per-shard statistics are merged in shard order after the phase
+// barrier. There is no global lock anywhere on the round path, and all
+// per-round buffers (outbox slots, inboxes, payload arenas) are reused, so
+// a round allocates nothing.
+//
+// Determinism: the engine's observable behavior — inbox contents and order,
+// statistics, error outcomes — is a pure function of the graph and the
+// protocol, independent of GOMAXPROCS and scheduling.
+//
+// Message payloads are valid until the receiving node's next Step call (the
+// engine reuses the underlying arena); protocols that need a payload longer
+// must copy it.
 //
 // Every goroutine is joined before Run returns; the engine owns all
 // channels.
@@ -14,8 +37,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -38,7 +62,8 @@ func Float64Word(f float64) uint64 { return math.Float64bits(f) }
 // WordFloat64 decodes a payload word into a float64.
 func WordFloat64(w uint64) float64 { return math.Float64frombits(w) }
 
-// Message is a received message.
+// Message is a received message. Payload is valid until the receiver's next
+// Step.
 type Message struct {
 	Port    int // adjacency index at the receiver the message arrived on
 	From    int // sender vertex ID
@@ -84,21 +109,46 @@ type Node struct {
 	ports []graph.Arc
 
 	eng     *engine
-	outbox  []send
-	inbox   []Message
 	round   int
 	stopped bool
+	exited  bool
+	fn      RoundFunc // non-nil in round-driven mode
+
+	out       []outSlot // per port: queued send for this round
+	sendArena []uint64  // backing storage for queued payload words
+	resume    chan struct{}
+	yield     chan struct{}
 }
 
-type send struct {
-	port    int
-	payload Words
+type outSlot struct {
+	has  bool
+	off  int32 // into sendArena
+	len  int32
+	bits int32
 }
 
 // NodeFunc is the protocol executed at every node. Returning ends the
 // node's participation (it stays silent but the network keeps running until
 // all nodes return).
 type NodeFunc func(n *Node)
+
+// RoundFunc is the round-driven (synchronous-callback) protocol form: the
+// engine calls it once per round with the messages delivered at the end of
+// the previous round (nil in round 1). The callback inspects the messages,
+// queues this round's sends with n.Send, and reports whether the node keeps
+// participating; returning false ends participation and discards any sends
+// queued in that final call (matching the blocking API, where returning
+// from a NodeFunc after Step discards queued sends).
+//
+// Protocols written in this form run with zero goroutine switches — shard
+// workers invoke the callbacks directly — which is roughly two orders of
+// magnitude cheaper per node-round than the blocking Step API. Prefer it
+// for any protocol that is naturally a per-round state machine.
+type RoundFunc func(n *Node, msgs []Message) bool
+
+// SyncProtocol builds the per-node state of a round-driven protocol: called
+// once per node before round 1, it returns the node's RoundFunc.
+type SyncProtocol func(n *Node) RoundFunc
 
 // Degree returns the number of incident edge-ports.
 func (n *Node) Degree() int { return len(n.ports) }
@@ -115,19 +165,20 @@ func (n *Node) Round() int { return n.round }
 
 // Send queues a message on a port for delivery at the next Step. At most
 // one message per port per round; exceeding bandwidth or double-sending
-// aborts the run with an error.
+// aborts the run with an error. The payload is copied, so the caller may
+// reuse it.
 func (n *Node) Send(port int, payload Words) {
-	for _, s := range n.outbox {
-		if s.port == port {
-			n.eng.fail(fmt.Errorf("congest: node %d sent twice on port %d in round %d", n.ID, port, n.round))
-			return
-		}
+	if n.out[port].has {
+		n.eng.fail(fmt.Errorf("congest: node %d sent twice on port %d in round %d", n.ID, port, n.round))
+		return
 	}
 	if payload.Bits() > n.eng.bandwidth {
 		n.eng.fail(fmt.Errorf("congest: node %d message of %d bits exceeds bandwidth %d", n.ID, payload.Bits(), n.eng.bandwidth))
 		return
 	}
-	n.outbox = append(n.outbox, send{port: port, payload: payload})
+	off := len(n.sendArena)
+	n.sendArena = append(n.sendArena, payload...)
+	n.out[port] = outSlot{has: true, off: int32(off), len: int32(len(payload)), bits: int32(payload.Bits())}
 }
 
 // Broadcast queues the same message on every port.
@@ -138,20 +189,32 @@ func (n *Node) Broadcast(payload Words) {
 }
 
 // Step submits the queued sends, advances one synchronous round, and
-// returns the messages received (sorted by port). It returns false if the
+// returns the messages received (in port order). It returns false if the
 // run was aborted.
 func (n *Node) Step() ([]Message, bool) {
+	if n.fn != nil {
+		panic("congest: Step called from a round-driven (RoundFunc) protocol")
+	}
 	if n.stopped {
 		return nil, false
 	}
-	msgs, ok := n.eng.step(n.ID, n.outbox, false)
-	n.outbox = n.outbox[:0]
+	n.yield <- struct{}{} // hand the baton back to the shard worker
+	<-n.resume            // resumed in the next round's compute phase
 	n.round++
-	if !ok {
+	if n.eng.failed() {
 		n.stopped = true
+		return nil, false
 	}
-	n.inbox = msgs
-	return msgs, ok
+	// The previous round's sends were delivered; the slots are ours again.
+	n.clearOut()
+	return n.eng.inboxes[n.ID], true
+}
+
+func (n *Node) clearOut() {
+	for p := range n.out {
+		n.out[p].has = false
+	}
+	n.sendArena = n.sendArena[:0]
 }
 
 // engine coordinates the synchronous rounds.
@@ -160,114 +223,266 @@ type engine struct {
 	bandwidth int
 	maxRounds int
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	phase     int // round counter for the barrier
-	waiting   int
-	active    int
-	pending   [][]send // per node: sends submitted this round
-	done      []bool
-	inboxes   [][]Message
+	nodes   []Node
+	revPort [][]int32 // revPort[v][p]: port index at the neighbor for the same edge
+	alive   []bool
+	active  int
+
+	inboxes    [][]Message
+	inboxArena [][]uint64 // per receiver: payload backing, reused per round
+
+	// Fixed worker pool.
+	workers   int
+	bounds    []int // shard s covers nodes [bounds[s], bounds[s+1])
+	taskCh    chan int
+	phaseFn   func(shard int)
+	phaseWg   sync.WaitGroup
+	shardWork []shardResult
+
 	stats     Stats
-	edgeLoad  []int
-	err       error
-	announced bool
+	edgeLoad2 []int32 // per edge direction: messages delivered
+
+	errFlag atomic.Bool // lock-free fast path for the per-Step check
+	errMu   sync.Mutex
+	err     error
+}
+
+// shardResult is one shard's per-phase scratch output, merged by the
+// scheduler in shard order.
+type shardResult struct {
+	messages int
+	bits     int
+	anyMsg   bool
+	exited   int
+	_        [4]int64 // pad to keep shards off each other's cache lines
 }
 
 func (e *engine) fail(err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.errMu.Lock()
 	if e.err == nil {
 		e.err = err
+		e.errFlag.Store(true)
 	}
-	e.cond.Broadcast() // release any nodes blocked at the barrier
+	e.errMu.Unlock()
 }
 
-// step is the barrier: node id submits its sends (or its exit) and blocks
-// until every active node has done so; the last arrival routes messages.
-func (e *engine) step(id int, out []send, exiting bool) ([]Message, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.err != nil {
-		return nil, false
+func (e *engine) failed() bool { return e.errFlag.Load() }
+
+// runPhase executes fn over all shards on the worker pool and waits.
+func (e *engine) runPhase(fn func(shard int)) {
+	e.phaseFn = fn
+	e.phaseWg.Add(e.workers)
+	for s := 0; s < e.workers; s++ {
+		e.taskCh <- s
 	}
-	e.pending[id] = append(e.pending[id][:0], out...)
-	if exiting {
-		e.done[id] = true
-	}
-	myPhase := e.phase
-	e.waiting++
-	if e.waiting == e.active {
-		e.route()
-		e.waiting = 0
-		for i := range e.done {
-			if e.done[i] {
-				e.active--
-				e.done[i] = false // counted
-			}
-		}
-		e.phase++
-		e.cond.Broadcast()
-	} else {
-		for e.phase == myPhase && e.err == nil {
-			e.cond.Wait()
-		}
-	}
-	if e.err != nil {
-		e.cond.Broadcast()
-		return nil, false
-	}
-	if exiting {
-		return nil, true
-	}
-	inbox := e.inboxes[id]
-	return inbox, true
+	e.phaseWg.Wait()
 }
 
-// route delivers all pending sends; caller holds the lock.
-func (e *engine) route() {
-	for i := range e.inboxes {
-		e.inboxes[i] = nil
-	}
-	for from, sends := range e.pending {
-		for _, s := range sends {
-			arc := e.g.Adj(from)[s.port]
-			to := arc.To
-			// Find the receiving port at `to`.
-			rport := -1
-			for pi, a := range e.g.Adj(to) {
-				if a.ID == arc.ID {
-					rport = pi
-					break
-				}
+// computeShard runs the compute phase over the shard's live nodes in node
+// order. Round-driven nodes are direct calls; blocking-API nodes get the
+// baton via a channel handoff and run until their next Step (or exit).
+func (e *engine) computeShard(shard int) {
+	res := &e.shardWork[shard]
+	res.exited = 0
+	failed := e.failed()
+	for v := e.bounds[shard]; v < e.bounds[shard+1]; v++ {
+		if !e.alive[v] {
+			continue
+		}
+		nd := &e.nodes[v]
+		if nd.fn != nil {
+			nd.round++
+			nd.clearOut()
+			if failed || !nd.fn(nd, e.inboxes[v]) {
+				nd.clearOut()
+				e.alive[v] = false
+				res.exited++
 			}
-			e.inboxes[to] = append(e.inboxes[to], Message{
-				Port:    rport,
-				From:    from,
-				Edge:    arc.ID,
-				Payload: s.payload,
+			continue
+		}
+		nd.resume <- struct{}{}
+		<-nd.yield
+		if nd.exited {
+			e.alive[v] = false
+			res.exited++
+		}
+	}
+}
+
+// deliverShard builds the inboxes of the shard's nodes receiver-side, in
+// port order, from the senders' outbox slots.
+func (e *engine) deliverShard(shard int) {
+	res := &e.shardWork[shard]
+	res.messages, res.bits, res.anyMsg = 0, 0, false
+	for v := e.bounds[shard]; v < e.bounds[shard+1]; v++ {
+		inbox := e.inboxes[v][:0]
+		arena := e.inboxArena[v][:0]
+		for p, a := range e.g.Adj(v) {
+			sp := e.revPort[v][p]
+			slot := &e.nodes[a.To].out[sp]
+			if !slot.has {
+				continue
+			}
+			words := e.nodes[a.To].sendArena[slot.off : slot.off+slot.len]
+			off := len(arena)
+			arena = append(arena, words...)
+			inbox = append(inbox, Message{
+				Port:    p,
+				From:    a.To,
+				Edge:    a.ID,
+				Payload: arena[off : off+len(words)],
 			})
-			e.stats.Messages++
-			e.stats.TotalBits += s.payload.Bits()
-			e.edgeLoad[arc.ID]++
-			e.stats.LastActiveRound = e.stats.Rounds + 1
+			res.messages++
+			res.bits += int(slot.bits)
+			dir := 0
+			if e.g.Edge(a.ID).V == v {
+				dir = 1
+			}
+			e.edgeLoad2[2*a.ID+dir]++
 		}
-		e.pending[from] = e.pending[from][:0]
-	}
-	for i := range e.inboxes {
-		sort.Slice(e.inboxes[i], func(a, b int) bool { return e.inboxes[i][a].Port < e.inboxes[i][b].Port })
-	}
-	e.stats.Rounds++
-	if e.stats.Rounds > e.maxRounds && e.err == nil {
-		e.err = fmt.Errorf("congest: exceeded %d rounds", e.maxRounds)
+		if len(inbox) > 0 {
+			res.anyMsg = true
+		}
+		e.inboxes[v] = inbox
+		e.inboxArena[v] = arena
 	}
 }
 
 // ErrAborted is wrapped by Run when the protocol was cut short.
 var ErrAborted = errors.New("congest: run aborted")
 
-// Run executes f at every node of g until all nodes return.
+// enginePool recycles engine scaffolding (channels, slot arrays, inboxes)
+// across runs, so starting a simulation allocates O(1) once warm.
+var enginePool = sync.Pool{New: func() any { return &engine{} }}
+
+// prepare (re)sizes pooled engine state for graph g.
+func (e *engine) prepare(g *graph.Graph, bw, maxRounds int) {
+	n := g.N()
+	e.g = g
+	e.bandwidth = bw
+	e.maxRounds = maxRounds
+	e.err = nil
+	e.errFlag.Store(false)
+	e.stats = Stats{}
+	e.active = n
+
+	if cap(e.nodes) < n {
+		e.nodes = make([]Node, n)
+	}
+	e.nodes = e.nodes[:n]
+	if cap(e.alive) < n {
+		e.alive = make([]bool, n)
+	}
+	e.alive = e.alive[:n]
+	if cap(e.inboxes) < n {
+		e.inboxes = make([][]Message, n)
+	}
+	e.inboxes = e.inboxes[:n]
+	for v := range e.inboxes {
+		e.inboxes[v] = e.inboxes[v][:0] // round 1 must see no stale messages
+	}
+	if cap(e.inboxArena) < n {
+		e.inboxArena = make([][]uint64, n)
+	}
+	e.inboxArena = e.inboxArena[:n]
+	if cap(e.revPort) < n {
+		e.revPort = make([][]int32, n)
+	}
+	e.revPort = e.revPort[:n]
+	if cap(e.edgeLoad2) < 2*g.M() {
+		e.edgeLoad2 = make([]int32, 2*g.M())
+	}
+	e.edgeLoad2 = e.edgeLoad2[:2*g.M()]
+	for i := range e.edgeLoad2 {
+		e.edgeLoad2[i] = 0
+	}
+
+	// Reverse ports: for edge {u,v} with ports pu (at u) and pv (at v),
+	// revPort[u][pu] = pv and revPort[v][pv] = pu. Computed in one sweep:
+	// the ascending vertex scan visits each edge first from its smaller
+	// endpoint, so the staging slot only needs the first port, and the
+	// first endpoint is recovered as Other(edge, v).
+	stage := g.AcquireScratch() // edge ID -> port at the first-seen endpoint
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		if cap(e.revPort[v]) < len(adj) {
+			e.revPort[v] = make([]int32, len(adj))
+		}
+		e.revPort[v] = e.revPort[v][:len(adj)]
+		nd := &e.nodes[v]
+		*nd = Node{
+			ID:        v,
+			NumV:      n,
+			ports:     adj,
+			eng:       e,
+			out:       nd.out,
+			sendArena: nd.sendArena[:0],
+			resume:    nd.resume,
+			yield:     nd.yield,
+		}
+		if cap(nd.out) < len(adj) {
+			nd.out = make([]outSlot, len(adj))
+		}
+		nd.out = nd.out[:len(adj)]
+		nd.clearOut()
+		if nd.resume == nil {
+			nd.resume = make(chan struct{})
+			nd.yield = make(chan struct{})
+		}
+		e.alive[v] = true
+	}
+	for v := 0; v < n; v++ {
+		for p, a := range g.Adj(v) {
+			if fp, ok := stage.Get(a.ID); ok {
+				fv := g.Other(a.ID, v)
+				e.revPort[v][p] = fp
+				e.revPort[fv][fp] = int32(p)
+			} else {
+				stage.Set(a.ID, int32(p))
+			}
+		}
+	}
+	g.ReleaseScratch(stage)
+
+	// Shards: one contiguous range per worker.
+	e.workers = runtime.GOMAXPROCS(0)
+	if e.workers > n {
+		e.workers = n
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if cap(e.bounds) < e.workers+1 {
+		e.bounds = make([]int, e.workers+1)
+	}
+	e.bounds = e.bounds[:e.workers+1]
+	for s := 0; s <= e.workers; s++ {
+		e.bounds[s] = s * n / e.workers
+	}
+	if cap(e.shardWork) < e.workers {
+		e.shardWork = make([]shardResult, e.workers)
+	}
+	e.shardWork = e.shardWork[:e.workers]
+	e.taskCh = make(chan int, e.workers)
+}
+
+// Run executes the blocking-API protocol f at every node of g until all
+// nodes return.
 func Run(g *graph.Graph, f NodeFunc, opts Options) (Stats, error) {
+	return run(g, f, nil, opts)
+}
+
+// RunSync executes a round-driven protocol: proto is called once per node
+// to build its state and per-round callback, then the engine drives rounds
+// until every callback has returned false. Semantics (rounds, bandwidth,
+// statistics, determinism) are identical to Run; only the control transfer
+// differs — no node goroutines exist, so a node-round costs a function
+// call.
+func RunSync(g *graph.Graph, proto SyncProtocol, opts Options) (Stats, error) {
+	return run(g, nil, proto, opts)
+}
+
+func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, error) {
 	n := g.N()
 	bw := opts.Bandwidth
 	if bw == 0 {
@@ -281,39 +496,87 @@ func Run(g *graph.Graph, f NodeFunc, opts Options) (Stats, error) {
 	if maxRounds == 0 {
 		maxRounds = 64*n + 1024
 	}
-	e := &engine{
-		g:         g,
-		bandwidth: bw,
-		maxRounds: maxRounds,
-		pending:   make([][]send, n),
-		done:      make([]bool, n),
-		inboxes:   make([][]Message, n),
-		edgeLoad:  make([]int, g.M()),
-		active:    n,
+	e := enginePool.Get().(*engine)
+	e.prepare(g, bw, maxRounds)
+	if n == 0 {
+		enginePool.Put(e)
+		return Stats{}, nil
 	}
-	e.cond = sync.NewCond(&e.mu)
-	var wg sync.WaitGroup
-	for v := 0; v < n; v++ {
-		wg.Add(1)
-		node := &Node{ID: v, NumV: n, ports: g.Adj(v), eng: e}
+
+	// Fixed worker pool: workers pull shard indexes and run the current
+	// phase function until the task channel closes.
+	var poolWg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		poolWg.Add(1)
 		go func() {
-			defer wg.Done()
-			f(node)
-			// Node finished: keep satisfying the barrier as an exiting
-			// participant exactly once; afterwards it is inactive.
-			if !node.stopped {
-				e.step(node.ID, nil, true)
+			defer poolWg.Done()
+			for s := range e.taskCh {
+				e.phaseFn(s)
+				e.phaseWg.Done()
 			}
 		}()
 	}
-	wg.Wait()
-	for _, l := range e.edgeLoad {
-		if l > e.stats.MaxEdgeLoad {
-			e.stats.MaxEdgeLoad = l
+	var nodeWg sync.WaitGroup
+	if proto != nil {
+		// Round-driven mode: build per-node state; no goroutines.
+		for v := 0; v < n; v++ {
+			e.nodes[v].fn = proto(&e.nodes[v])
+		}
+	} else {
+		// Blocking mode: node coroutines, parked until their shard worker
+		// hands them the baton.
+		for v := 0; v < n; v++ {
+			nodeWg.Add(1)
+			nd := &e.nodes[v]
+			go func() {
+				defer nodeWg.Done()
+				<-nd.resume
+				f(nd)
+				// Exiting: discard queued sends and yield one final time;
+				// the node occupies (silently) one compute slot this round.
+				nd.clearOut()
+				nd.exited = true
+				nd.yield <- struct{}{}
+			}()
 		}
 	}
-	if e.err != nil {
-		return e.stats, fmt.Errorf("%w: %v", ErrAborted, e.err)
+
+	for e.active > 0 {
+		e.runPhase(e.computeShard)
+		for s := range e.shardWork {
+			e.active -= e.shardWork[s].exited
+		}
+		if !e.failed() {
+			e.runPhase(e.deliverShard)
+			anyMsg := false
+			for s := range e.shardWork {
+				e.stats.Messages += e.shardWork[s].messages
+				e.stats.TotalBits += e.shardWork[s].bits
+				anyMsg = anyMsg || e.shardWork[s].anyMsg
+			}
+			if anyMsg {
+				e.stats.LastActiveRound = e.stats.Rounds + 1
+			}
+		}
+		e.stats.Rounds++
+		if e.stats.Rounds > e.maxRounds {
+			e.fail(fmt.Errorf("congest: exceeded %d rounds", e.maxRounds))
+		}
 	}
-	return e.stats, nil
+	nodeWg.Wait()
+	close(e.taskCh)
+	poolWg.Wait()
+
+	// Edge load counts both directions of an edge together.
+	for id := 0; id < g.M(); id++ {
+		if both := int(e.edgeLoad2[2*id] + e.edgeLoad2[2*id+1]); both > e.stats.MaxEdgeLoad {
+			e.stats.MaxEdgeLoad = both
+		}
+	}
+	stats, err := e.stats, e.err
+	enginePool.Put(e)
+	if err != nil {
+		return stats, fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	return stats, nil
 }

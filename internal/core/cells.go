@@ -105,86 +105,120 @@ type AssignmentStats struct {
 // with no assignments).
 func AssignCells(p *partition.Parts, cp *CellPartition, skip []bool) ([][]int, AssignmentStats) {
 	numParts := p.NumParts()
-	// Incidence sets.
-	cellsOfPart := make([]map[int]bool, numParts)
-	partsOfCell := make([]map[int]bool, len(cp.Cells))
-	for ci := range cp.Cells {
-		partsOfCell[ci] = make(map[int]bool)
-	}
+	numCells := len(cp.Cells)
+	// Incidence lists (deduplicated; part sets are sorted, and CellOf maps
+	// consecutive members to runs of cells, so dedup is a last-seen check
+	// after collecting + sorting).
+	cellsOfPart := make([][]int32, numParts)
+	partsOfCell := make([][]int32, numCells)
 	for i := 0; i < numParts; i++ {
-		cellsOfPart[i] = make(map[int]bool)
 		if skip != nil && skip[i] {
 			continue
 		}
+		cells := make([]int32, 0, len(p.Sets[i]))
 		for _, v := range p.Sets[i] {
 			if ci := cp.CellOf[v]; ci != -1 {
-				cellsOfPart[i][ci] = true
-				partsOfCell[ci][i] = true
+				cells = append(cells, int32(ci))
 			}
+		}
+		sort.Slice(cells, func(a, b int) bool { return cells[a] < cells[b] })
+		w := 0
+		for r, ci := range cells {
+			if r == 0 || ci != cells[w-1] {
+				cells[w] = ci
+				w++
+			}
+		}
+		cellsOfPart[i] = cells[:w]
+		for _, ci := range cellsOfPart[i] {
+			partsOfCell[ci] = append(partsOfCell[ci], int32(i))
 		}
 	}
 	assigned := make([][]int, numParts)
 	var stats AssignmentStats
-	liveParts := make(map[int]bool)
+	// Live state and degree counters; all picks and sweeps run in ascending
+	// index order, so the procedure is deterministic (ties in the
+	// minimum-degree choice go to the lowest cell index).
+	partLive := make([]bool, numParts)
+	liveParts := 0
 	for i := 0; i < numParts; i++ {
-		if skip != nil && skip[i] {
-			continue
-		}
-		if len(cellsOfPart[i]) > 0 {
-			liveParts[i] = true
+		if (skip == nil || !skip[i]) && len(cellsOfPart[i]) > 0 {
+			partLive[i] = true
+			liveParts++
 		}
 	}
-	liveCells := make(map[int]bool)
-	for ci := range cp.Cells {
+	cellLive := make([]bool, numCells) // live normal cells
+	liveCells := 0
+	for ci := 0; ci < numCells; ci++ {
 		if !cp.Special[ci] {
-			liveCells[ci] = true
+			cellLive[ci] = true
+			liveCells++
 		}
 	}
-	for len(liveParts) > 0 {
+	deg := make([]int, numCells) // live parts incident to the cell
+	for ci := range partsOfCell {
+		deg[ci] = len(partsOfCell[ci])
+	}
+	remCells := make([]int, numParts) // incident cells not yet assigned
+	for i := range cellsOfPart {
+		remCells[i] = len(cellsOfPart[i])
+	}
+	deferPart := func(i int) {
+		partLive[i] = false
+		liveParts--
+		for _, ci := range cellsOfPart[i] {
+			deg[ci]--
+		}
+		stats.DeferredParts++
+	}
+	for liveParts > 0 {
 		// Defer any part with at most 2 incident cells (counting both
 		// normal and special cells, per Lemma 4).
 		deferredAny := false
-		for i := range liveParts {
-			if len(cellsOfPart[i]) <= 2 {
-				delete(liveParts, i)
-				for ci := range cellsOfPart[i] {
-					delete(partsOfCell[ci], i)
-				}
-				stats.DeferredParts++
+		for i := 0; i < numParts; i++ {
+			if partLive[i] && remCells[i] <= 2 {
+				deferPart(i)
 				deferredAny = true
 			}
 		}
 		if deferredAny {
 			continue
 		}
-		if len(liveCells) == 0 {
+		if liveCells == 0 {
 			// Only special cells remain incident to the surviving parts;
 			// they are all served locally in those (≤ L) special cells.
-			for i := range liveParts {
-				delete(liveParts, i)
-				stats.DeferredParts++
+			for i := 0; i < numParts; i++ {
+				if partLive[i] {
+					partLive[i] = false
+					liveParts--
+					stats.DeferredParts++
+				}
 			}
 			break
 		}
-		// Pick the minimum-degree live normal cell.
+		// Pick the minimum-degree live normal cell (lowest index on ties).
 		best, bestDeg := -1, 0
-		for ci := range liveCells {
-			if best == -1 || len(partsOfCell[ci]) < bestDeg {
-				best, bestDeg = ci, len(partsOfCell[ci])
+		for ci := 0; ci < numCells; ci++ {
+			if cellLive[ci] && (best == -1 || deg[ci] < bestDeg) {
+				best, bestDeg = ci, deg[ci]
 			}
 		}
 		if bestDeg > stats.ObservedBeta {
 			stats.ObservedBeta = bestDeg
 		}
-		for i := range partsOfCell[best] {
-			assigned[i] = append(assigned[i], best)
-			delete(cellsOfPart[i], best)
+		for _, i32 := range partsOfCell[best] {
+			if i := int(i32); partLive[i] {
+				assigned[i] = append(assigned[i], best)
+				remCells[i]--
+			}
 		}
-		delete(liveCells, best)
+		cellLive[best] = false
+		liveCells--
 		stats.AssignedCells++
 		// Note: removing the cell may drop some parts to <= 2 cells; the
 		// loop's defer step will catch them next iteration.
 	}
+	// Assignments were appended in assignment order; report them sorted.
 	for i := range assigned {
 		sort.Ints(assigned[i])
 	}

@@ -36,29 +36,30 @@ type steinerEdge struct {
 //
 // Returned: the edge list and the root (the bag vertex of minimum t-depth).
 func steinerContract(t *graph.Tree, bagVerts []int) (edges []steinerEdge, root int) {
-	inBag := make(map[int]bool, len(bagVerts))
+	// image[v] = nearest bag ancestor-or-self of v (-1 above the root),
+	// memoized along root paths in an epoch arena. Bag vertices are their
+	// own image; intermediate walked vertices are never bag vertices.
+	image := t.G.AcquireScratch()
+	defer t.G.ReleaseScratch(image)
 	for _, v := range bagVerts {
-		inBag[v] = true
+		image.Set(v, int32(v))
 	}
-	// image[v] = nearest bag ancestor-or-self of v (-1 above the root).
-	// Computed lazily with memoization along root paths.
-	image := make(map[int]int)
-	var imageOf func(v int) int
-	imageOf = func(v int) int {
-		if v == -1 {
-			return -1
+	imageOf := func(v int) int {
+		start := v
+		for v != -1 {
+			if iv, ok := image.Get(v); ok {
+				res := int(iv)
+				for u := start; u != v; u = t.Parent[u] {
+					image.Set(u, int32(res))
+				}
+				return res
+			}
+			v = t.Parent[v]
 		}
-		if iv, ok := image[v]; ok {
-			return iv
+		for u := start; u != -1; u = t.Parent[u] {
+			image.Set(u, -1)
 		}
-		var iv int
-		if inBag[v] {
-			iv = v
-		} else {
-			iv = imageOf(t.Parent[v])
-		}
-		image[v] = iv
-		return iv
+		return -1
 	}
 	root = -1
 	for _, v := range bagVerts {
@@ -66,6 +67,7 @@ func steinerContract(t *graph.Tree, bagVerts []int) (edges []steinerEdge, root i
 			root = v
 		}
 	}
+	edges = make([]steinerEdge, 0, len(bagVerts))
 	for _, v := range bagVerts {
 		p := imageOf(t.Parent[v])
 		if p == -1 {

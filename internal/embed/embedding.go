@@ -51,7 +51,10 @@ func New(g *graph.Graph, rot [][]int) (*Embedding, error) {
 		return nil, fmt.Errorf("embed: rotation has %d vertices, graph has %d", len(rot), g.N())
 	}
 	e := &Embedding{G: g, rot: rot, pos: make([]int, 2*g.M())}
-	seen := make([]bool, 2*g.M())
+	seen := g.AcquireScratch() // dart-indexed; 2M slots
+	defer g.ReleaseScratch(seen)
+	seen.Grow(2 * g.M())
+	total := 0
 	for v, ds := range rot {
 		for i, d := range ds {
 			if d < 0 || d >= 2*g.M() {
@@ -60,19 +63,35 @@ func New(g *graph.Graph, rot [][]int) (*Embedding, error) {
 			if Tail(g, d) != v {
 				return nil, fmt.Errorf("embed: dart %d (tail %d) listed at vertex %d", d, Tail(g, d), v)
 			}
-			if seen[d] {
+			if !seen.Visit(d) {
 				return nil, fmt.Errorf("embed: dart %d listed twice", d)
 			}
-			seen[d] = true
+			total++
 			e.pos[d] = i
 		}
 	}
-	for d, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("embed: dart %d missing from rotation", d)
+	if total != 2*g.M() {
+		for d := 0; d < 2*g.M(); d++ {
+			if !seen.Has(d) {
+				return nil, fmt.Errorf("embed: dart %d missing from rotation", d)
+			}
 		}
 	}
 	return e, nil
+}
+
+// NewTrusted wraps a rotation system that is correct by construction (a
+// generator's own output), skipping New's per-dart validation: it only
+// builds the dart-position index. Surgery results and externally supplied
+// rotations must keep using New.
+func NewTrusted(g *graph.Graph, rot [][]int) *Embedding {
+	e := &Embedding{G: g, rot: rot, pos: make([]int, 2*g.M())}
+	for _, ds := range rot {
+		for i, d := range ds {
+			e.pos[d] = i
+		}
+	}
+	return e
 }
 
 // FromAdjacencyOrder builds the embedding whose rotation at each vertex is
@@ -208,6 +227,10 @@ func (e *Embedding) InsertDartAfter(d, after int) {
 func (e *Embedding) AppendDart(d int) {
 	v := Tail(e.G, d)
 	e.growPos(d)
+	if e.rot[v] == nil {
+		// Fresh vertex: one allocation covers the common small rotations.
+		e.rot[v] = make([]int, 0, 4)
+	}
 	e.rot[v] = append(e.rot[v], d)
 	e.pos[d] = len(e.rot[v]) - 1
 }
@@ -218,5 +241,16 @@ func (e *Embedding) growPos(d int) {
 	}
 	for len(e.rot) < e.G.N() {
 		e.rot = append(e.rot, nil)
+	}
+}
+
+// ReserveDarts pre-sizes the embedding's internal tables for a graph that
+// will grow to m edges (2m darts), so incremental generators avoid repeated
+// growth.
+func (e *Embedding) ReserveDarts(m int) {
+	if cap(e.pos) < 2*m {
+		np := make([]int, len(e.pos), 2*m)
+		copy(np, e.pos)
+		e.pos = np
 	}
 }

@@ -104,6 +104,7 @@ func TestApollonianMaximalPlanar(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for _, n := range []int{3, 4, 10, 50, 200} {
 		a := gen.NewApollonian(n, rng)
+		a.EnsureEmbedding()
 		if err := a.Emb.Validate(); err != nil {
 			t.Fatal(err)
 		}

@@ -16,7 +16,7 @@ func TestQuickEulerFormulaApollonian(t *testing.T) {
 	f := func(seed int64, sizeRaw uint8) bool {
 		n := 3 + int(sizeRaw)%80
 		a := gen.NewApollonian(n, rand.New(rand.NewSource(seed)))
-		faces, _ := a.Emb.Faces()
+		faces, _ := a.EnsureEmbedding().Faces()
 		return a.G.N()-a.G.M()+len(faces) == 2
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -32,6 +32,7 @@ func TestQuickCutPreservesEdgeMultiplicity(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 4 + int(sizeRaw)%40
 		a := gen.NewApollonian(n, rng)
+		a.EnsureEmbedding()
 		var cutIDs []int
 		prob := float64(density%90+5) / 100
 		for id := 0; id < a.G.M(); id++ {
@@ -110,6 +111,7 @@ func TestQuickInduceSubgraphStaysPlanar(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 5 + int(sizeRaw)%60
 		a := gen.NewApollonian(n, rng)
+		a.EnsureEmbedding()
 		var keep []int
 		for v := 0; v < a.G.N(); v++ {
 			if rng.Float64() < 0.6 {

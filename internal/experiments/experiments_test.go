@@ -31,7 +31,15 @@ func TestE2BlocksBounded(t *testing.T) {
 }
 
 func TestE5SlopeAtMostTwo(t *testing.T) {
-	tbl := experiments.E5Main([]int{2, 4, 8}, 1)
+	tbl := experiments.E5Main([]int{2, 4, 8, 16}, 1)
+	// Pointwise, quality must stay within the Õ(d²) shape.
+	for r := range tbl.Rows {
+		q := cellFloat(t, tbl, r, "quality")
+		dd := cellFloat(t, tbl, r, "d*d")
+		if q > 2*dd {
+			t.Fatalf("row %d: quality %v far exceeds d² = %v", r, q, dd)
+		}
+	}
 	found := false
 	for _, n := range tbl.Notes {
 		if strings.Contains(n, "slope") {

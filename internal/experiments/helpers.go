@@ -18,22 +18,25 @@ func aggregate(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys []
 }
 
 // All runs every experiment at bench-friendly sizes and returns the tables
-// in ID order. Used by cmd/allbench and smoke tests.
+// in ID order. The tables build concurrently (each one also parallelizes
+// its own grid points); results are deterministic either way. Used by
+// cmd/allbench and smoke tests.
 func All(seed int64) []*Table {
-	return []*Table{
-		E1PlanarQuality([]int{6, 10, 14, 18}, seed),
-		E2Treewidth(400, []int{2, 3, 4, 6}, seed),
-		E3CliqueSum([]int{2, 4, 8, 12}, 18, 3, seed),
-		E4AlmostEmbeddable(seed),
-		E5Main([]int{2, 4, 8, 16}, seed),
-		E6MST([]int{64, 128, 256}, seed),
-		E6bMSTExcludedMinor([]int{2, 4, 8}, seed),
-		AggregationShowcase([]int{16, 32, 64}, seed),
-		E7MinCut([]int{40, 80, 160}, seed),
-		E8LowerBound([]int{4, 8, 12, 16}, seed),
-		E8bLowerBoundMST([]int{4, 6, 8}, seed),
-		E10FoldingAblation([]int{8, 16, 32, 64}, seed),
-		E11ApexEffect([]int{32, 64, 128}, seed),
-		E12Planarize([]int{0, 1, 2, 3}, seed),
+	runners := []func() *Table{
+		func() *Table { return E1PlanarQuality([]int{6, 10, 14, 18}, seed) },
+		func() *Table { return E2Treewidth(400, []int{2, 3, 4, 6}, seed) },
+		func() *Table { return E3CliqueSum([]int{2, 4, 8, 12}, 18, 3, seed) },
+		func() *Table { return E4AlmostEmbeddable(seed) },
+		func() *Table { return E5Main([]int{2, 4, 8, 16}, seed) },
+		func() *Table { return E6MST([]int{64, 128, 256, 512}, seed) },
+		func() *Table { return E6bMSTExcludedMinor([]int{2, 4, 8}, seed) },
+		func() *Table { return AggregationShowcase([]int{16, 32, 64, 128}, seed) },
+		func() *Table { return E7MinCut([]int{40, 80, 160}, seed) },
+		func() *Table { return E8LowerBound([]int{4, 8, 12, 16}, seed) },
+		func() *Table { return E8bLowerBoundMST([]int{4, 6, 8}, seed) },
+		func() *Table { return E10FoldingAblation([]int{8, 16, 32, 64}, seed) },
+		func() *Table { return E11ApexEffect([]int{32, 64, 128}, seed) },
+		func() *Table { return E12Planarize([]int{0, 1, 2, 3}, seed) },
 	}
+	return forEachPoint(len(runners), func(i int) *Table { return runners[i]() })
 }

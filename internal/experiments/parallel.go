@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// forEachPoint evaluates fn over n independent grid points concurrently on
+// a worker pool bounded by GOMAXPROCS, returning the results in index order
+// — so tables keep deterministic row order no matter how the points
+// interleave. A panic in any point is re-raised in the caller (the
+// experiments treat generator/construction failures as fatal).
+func forEachPoint[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+				<-sem
+				wg.Done()
+			}()
+			out[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}
+
+// pointRNG derives an independent deterministic RNG for grid point i of a
+// run seeded with seed. Points draw from disjoint streams, so their results
+// do not depend on evaluation order.
+func pointRNG(seed int64, i int) *rand.Rand {
+	return xrand.New(seed*1_000_003 + int64(i)*7919 + 1)
+}

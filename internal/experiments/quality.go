@@ -9,7 +9,6 @@ import (
 	"repro/internal/partition"
 	"repro/internal/shortcut"
 	"repro/internal/tw"
-	"repro/internal/xrand"
 )
 
 // witness converts a generated clique-sum into the core input.
@@ -22,6 +21,9 @@ func witness(cs *gen.CliqueSumGraph) *core.CliqueSumWitness {
 	}
 }
 
+// row is one grid point's formatted output cells.
+type row []interface{}
+
 // E1PlanarQuality measures shortcut quality on planar families against
 // Theorem 4's b=O(log d), c=O(d·log d): grids of growing diameter with the
 // adversarial row parts, comparing the oblivious and treewidth-witness
@@ -32,7 +34,8 @@ func E1PlanarQuality(sides []int, seed int64) *Table {
 		Title:  "planar shortcut quality (Theorem 4 shape: b=Õ(1), c=Õ(d))",
 		Header: []string{"n", "diam", "parts", "b_obliv", "c_obliv", "q_obliv", "b_tw", "c_tw", "q_tw"},
 	}
-	for _, s := range sides {
+	rows := forEachPoint(len(sides), func(i int) row {
+		s := sides[i]
 		e := gen.Grid(s, s)
 		tr, err := graph.BFSTree(e.G, 0)
 		if err != nil {
@@ -53,9 +56,12 @@ func E1PlanarQuality(sides []int, seed int64) *Table {
 			panic(err)
 		}
 		mt := res.S.Measure()
-		t.AddRow(e.G.N(), 2*(s-1), p.NumParts(),
+		return row{e.G.N(), 2 * (s - 1), p.NumParts(),
 			mo.MaxBlocks, mo.Congestion, mo.Quality,
-			mt.MaxBlocks, mt.Congestion, mt.Quality)
+			mt.MaxBlocks, mt.Congestion, mt.Quality}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -68,8 +74,9 @@ func E2Treewidth(n int, ks []int, seed int64) *Table {
 		Title:  fmt.Sprintf("treewidth shortcut quality, n=%d (Theorem 5: b=O(k), c=O(k·log²n))", n),
 		Header: []string{"k", "foldedWidth", "foldedDepth", "blocks", "congestion", "quality", "b<=k+2?"},
 	}
-	rng := xrand.New(seed)
-	for _, k := range ks {
+	rows := forEachPoint(len(ks), func(i int) row {
+		k := ks[i]
+		rng := pointRNG(seed, i)
 		kt := gen.KTree(n, k, rng)
 		tr, err := graph.BFSTree(kt.G, 0)
 		if err != nil {
@@ -85,7 +92,10 @@ func E2Treewidth(n int, ks []int, seed int64) *Table {
 		}
 		m := res.S.Measure()
 		ok := m.MaxBlocks <= res.FoldedWidth+3
-		t.AddRow(k, res.FoldedWidth, res.FoldedHeight, m.MaxBlocks, m.Congestion, m.Quality, ok)
+		return row{k, res.FoldedWidth, res.FoldedHeight, m.MaxBlocks, m.Congestion, m.Quality, ok}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -98,11 +108,12 @@ func E3CliqueSum(bagCounts []int, bagSize, k int, seed int64) *Table {
 		Title:  fmt.Sprintf("clique-sum shortcut quality, planar bags of ~%d (Theorem 7)", bagSize),
 		Header: []string{"bags", "n", "foldedDepth", "blocks", "congestion", "quality", "q_obliv"},
 	}
-	rng := xrand.New(seed)
-	for _, nb := range bagCounts {
+	rows := forEachPoint(len(bagCounts), func(i int) row {
+		nb := bagCounts[i]
+		rng := pointRNG(seed, i)
 		pieces := make([]*gen.Piece, nb)
-		for i := range pieces {
-			pieces[i] = gen.ApollonianPiece(bagSize, rng)
+		for j := range pieces {
+			pieces[j] = gen.ApollonianPiece(bagSize, rng)
 		}
 		cs := gen.CliqueSum(pieces, k, rng)
 		tr, err := graph.BFSTree(cs.G, 0)
@@ -118,7 +129,10 @@ func E3CliqueSum(bagCounts []int, bagSize, k int, seed int64) *Table {
 			panic(err)
 		}
 		_, mo := shortcut.ObliviousAuto(cs.G, tr, p)
-		t.AddRow(nb, cs.G.N(), res.Info["foldedDepth"], res.M.MaxBlocks, res.M.Congestion, res.M.Quality, mo.Quality)
+		return row{nb, cs.G.N(), res.Info["foldedDepth"], res.M.MaxBlocks, res.M.Congestion, res.M.Quality, mo.Quality}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -130,22 +144,23 @@ func E4AlmostEmbeddable(seed int64) *Table {
 		Title:  "almost-embeddable shortcut quality (Theorem 8: b=O(q+(g+1)kℓ²d))",
 		Header: []string{"base", "q(apex)", "ℓ(vortex)", "k(depth)", "n", "diam", "blocks", "congestion", "quality", "beta"},
 	}
-	rng := xrand.New(seed)
 	configs := []struct {
 		name    string
-		base    *gen.Embedded
+		side    int
 		genus   int
 		q, l, k int
 	}{
-		{"grid10", gen.Grid(10, 10), 0, 0, 1, 2},
-		{"grid10", gen.Grid(10, 10), 0, 1, 0, 0},
-		{"grid10", gen.Grid(10, 10), 0, 1, 1, 2},
-		{"grid10", gen.Grid(10, 10), 0, 2, 2, 2},
-		{"grid14", gen.Grid(14, 14), 0, 1, 2, 3},
+		{"grid10", 10, 0, 0, 1, 2},
+		{"grid10", 10, 0, 1, 0, 0},
+		{"grid10", 10, 0, 1, 1, 2},
+		{"grid10", 10, 0, 2, 2, 2},
+		{"grid14", 14, 0, 1, 2, 3},
 	}
-	for _, cfg := range configs {
+	rows := forEachPoint(len(configs), func(i int) row {
+		cfg := configs[i]
+		rng := pointRNG(seed, i)
 		a := gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
-			Base:        cfg.base,
+			Base:        gen.Grid(cfg.side, cfg.side),
 			Genus:       cfg.genus,
 			NumVortices: cfg.l,
 			VortexDepth: cfg.k,
@@ -172,8 +187,11 @@ func E4AlmostEmbeddable(seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(cfg.name, cfg.q, cfg.l, cfg.k, a.G.N(), graph.DiameterApprox(a.G),
-			res.M.MaxBlocks, res.M.Congestion, res.M.Quality, res.Info["observedBeta"])
+		return row{cfg.name, cfg.q, cfg.l, cfg.k, a.G.N(), graph.DiameterApprox(a.G),
+			res.M.MaxBlocks, res.M.Congestion, res.M.Quality, res.Info["observedBeta"]}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -187,12 +205,16 @@ func E5Main(bagCounts []int, seed int64) *Table {
 		Title:  "main theorem: quality vs diameter on K5-minor-free networks (q = Õ(d²))",
 		Header: []string{"bags", "n", "diam", "blocks", "congestion", "quality", "d*d"},
 	}
-	rng := xrand.New(seed)
-	var ds, qs []float64
-	for _, nb := range bagCounts {
+	type point struct {
+		cells row
+		d, q  float64
+	}
+	points := forEachPoint(len(bagCounts), func(i int) point {
+		nb := bagCounts[i]
+		rng := pointRNG(seed, i)
 		pieces := make([]*gen.Piece, nb)
-		for i := range pieces {
-			pieces[i] = gen.ApollonianPiece(18+rng.Intn(8), rng)
+		for j := range pieces {
+			pieces[j] = gen.ApollonianPiece(18+rng.Intn(8), rng)
 		}
 		cs := gen.CliqueSum(pieces, 3, rng)
 		tr, err := graph.BFSTree(cs.G, 0)
@@ -208,9 +230,17 @@ func E5Main(bagCounts []int, seed int64) *Table {
 			panic(err)
 		}
 		d := graph.DiameterApprox(cs.G)
-		t.AddRow(nb, cs.G.N(), d, res.M.MaxBlocks, res.M.Congestion, res.M.Quality, d*d)
-		ds = append(ds, float64(d))
-		qs = append(qs, float64(res.M.Quality))
+		return point{
+			cells: row{nb, cs.G.N(), d, res.M.MaxBlocks, res.M.Congestion, res.M.Quality, d * d},
+			d:     float64(d),
+			q:     float64(res.M.Quality),
+		}
+	})
+	var ds, qs []float64
+	for _, pt := range points {
+		t.AddRow(pt.cells...)
+		ds = append(ds, pt.d)
+		qs = append(qs, pt.q)
 	}
 	slope := logLogSlope(ds, qs)
 	t.Notes = append(t.Notes, fmt.Sprintf("log-log slope of quality vs diameter: %.2f (theorem predicts <= 2)", slope))
@@ -225,7 +255,8 @@ func E8LowerBound(sizes []int, seed int64) *Table {
 		Title:  "lower-bound family contrast ([SHK+12]): quality ~ √n despite small diameter",
 		Header: []string{"p=ell", "n", "diam", "quality", "sqrt(n)", "quality/sqrt(n)"},
 	}
-	for _, s := range sizes {
+	rows := forEachPoint(len(sizes), func(i int) row {
+		s := sizes[i]
 		lb := gen.LowerBound(s, s)
 		tr, err := graph.BFSTree(lb.G, lb.Root)
 		if err != nil {
@@ -241,7 +272,10 @@ func E8LowerBound(sizes []int, seed int64) *Table {
 		for sq*sq < n {
 			sq++
 		}
-		t.AddRow(s, n, graph.DiameterApprox(lb.G), m.Quality, sq, float64(m.Quality)/float64(sq))
+		return row{s, n, graph.DiameterApprox(lb.G), m.Quality, sq, float64(m.Quality) / float64(sq)}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -254,11 +288,12 @@ func E10FoldingAblation(chainLengths []int, seed int64) *Table {
 		Title:  "folding ablation (Lemma 1 vs Theorem 7): congestion vs decomposition depth",
 		Header: []string{"bags", "rawDepth", "foldedDepth", "c_unfolded", "c_folded", "q_unfolded", "q_folded"},
 	}
-	rng := xrand.New(seed)
-	for _, L := range chainLengths {
+	rows := forEachPoint(len(chainLengths), func(i int) row {
+		L := chainLengths[i]
+		rng := pointRNG(seed, i)
 		pieces := make([]*gen.Piece, L)
-		for i := range pieces {
-			pieces[i] = gen.GridPiece(4, 4)
+		for j := range pieces {
+			pieces[j] = gen.GridPiece(4, 4)
 		}
 		cs := gen.CliqueSumChain(pieces, 1, rng) // chain: raw depth = L-1
 		tr, err := graph.BFSTree(cs.G, 0)
@@ -277,9 +312,12 @@ func E10FoldingAblation(chainLengths []int, seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(L, unfolded.Info["foldedDepth"], folded.Info["foldedDepth"],
+		return row{L, unfolded.Info["foldedDepth"], folded.Info["foldedDepth"],
 			unfolded.M.Congestion, folded.M.Congestion,
-			unfolded.M.Quality, folded.M.Quality)
+			unfolded.M.Quality, folded.M.Quality}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -293,8 +331,9 @@ func E11ApexEffect(ns []int, seed int64) *Table {
 		Title:  "apex effect (cycle -> wheel, §2.3.2): naive vs apex-aware quality",
 		Header: []string{"n", "cycleDiam", "wheelDiam", "arcs", "q_naive(empty)", "q_oblivious", "q_apexAware"},
 	}
-	rng := xrand.New(seed)
-	for _, n := range ns {
+	rows := forEachPoint(len(ns), func(i int) row {
+		n := ns[i]
+		rng := pointRNG(seed, i)
 		a := gen.CycleWithApex(n, rng)
 		tr, err := graph.BFSTree(a.G, a.Apices[0])
 		if err != nil {
@@ -311,7 +350,10 @@ func E11ApexEffect(ns []int, seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(n+1, n/2, 2, arcs, empty.Quality, mo.Quality, res.M.Quality)
+		return row{n + 1, n / 2, 2, arcs, empty.Quality, mo.Quality, res.M.Quality}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }

@@ -11,7 +11,6 @@ import (
 	"repro/internal/mst"
 	"repro/internal/partition"
 	"repro/internal/shortcut"
-	"repro/internal/xrand"
 )
 
 // E6MST compares MST round counts across algorithms on the apex scenario
@@ -24,8 +23,9 @@ func E6MST(rimSizes []int, seed int64) *Table {
 		Title:  "distributed MST rounds (Corollary 1): wheel networks, adversarial weights",
 		Header: []string{"n", "diam", "r_shortcut", "r_naive", "r_pipelined", "charged_sc", "agree"},
 	}
-	rng := xrand.New(seed)
-	for _, rim := range rimSizes {
+	rows := forEachPoint(len(rimSizes), func(i int) row {
+		rim := rimSizes[i]
+		rng := pointRNG(seed, i)
 		g := gen.Wheel(rim + 1).G
 		hub := g.N() - 1
 		for id := 0; id < g.M(); id++ {
@@ -55,14 +55,17 @@ func E6MST(rimSizes []int, seed int64) *Table {
 		}
 		kIDs, _ := graph.Kruskal(g)
 		agree := len(sc.EdgeIDs) == len(kIDs) && len(naive.EdgeIDs) == len(kIDs) && len(piped.EdgeIDs) == len(kIDs)
-		for i := range kIDs {
+		for j := range kIDs {
 			if !agree {
 				break
 			}
-			agree = sc.EdgeIDs[i] == kIDs[i] && naive.EdgeIDs[i] == kIDs[i] && piped.EdgeIDs[i] == kIDs[i]
+			agree = sc.EdgeIDs[j] == kIDs[j] && naive.EdgeIDs[j] == kIDs[j] && piped.EdgeIDs[j] == kIDs[j]
 		}
-		t.AddRow(g.N(), graph.DiameterApprox(g), sc.CommRounds, naive.CommRounds,
-			piped.CommRounds, sc.ChargedRounds, agree)
+		return row{g.N(), graph.DiameterApprox(g), sc.CommRounds, naive.CommRounds,
+			piped.CommRounds, sc.ChargedRounds, agree}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.Notes = append(t.Notes,
 		"r_shortcut stays near O(D·polylog) while r_naive grows with fragment width ~ n")
@@ -77,11 +80,12 @@ func E6bMSTExcludedMinor(bagCounts []int, seed int64) *Table {
 		Title:  "distributed MST rounds on K5-minor-free clique-sums",
 		Header: []string{"bags", "n", "diam", "r_witness", "r_naive", "r_pipelined"},
 	}
-	rng := xrand.New(seed)
-	for _, nb := range bagCounts {
+	rows := forEachPoint(len(bagCounts), func(i int) row {
+		nb := bagCounts[i]
+		rng := pointRNG(seed, i)
 		pieces := make([]*gen.Piece, nb)
-		for i := range pieces {
-			pieces[i] = gen.ApollonianPiece(20, rng)
+		for j := range pieces {
+			pieces[j] = gen.ApollonianPiece(20, rng)
 		}
 		cs := gen.CliqueSum(pieces, 3, rng)
 		gen.DistinctWeights(gen.UniformWeights(cs.G, rng))
@@ -109,8 +113,11 @@ func E6bMSTExcludedMinor(bagCounts []int, seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(nb, cs.G.N(), graph.DiameterApprox(cs.G),
-			scRes.CommRounds, naive.CommRounds, piped.CommRounds)
+		return row{nb, cs.G.N(), graph.DiameterApprox(cs.G),
+			scRes.CommRounds, naive.CommRounds, piped.CommRounds}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -123,8 +130,9 @@ func E7MinCut(sizes []int, seed int64) *Table {
 		Title:  "(1+ε)-approximate min cut (Corollary 1): achieved ratio vs exact",
 		Header: []string{"n", "m", "exact", "approx", "ratio", "trees", "rounds(charged)"},
 	}
-	rng := xrand.New(seed)
-	for _, n := range sizes {
+	rows := forEachPoint(len(sizes), func(i int) row {
+		n := sizes[i]
+		rng := pointRNG(seed, i)
 		a := gen.NewApollonian(n, rng)
 		gen.UniformWeights(a.G, rng)
 		exact, _, err := graph.GlobalMinCut(a.G)
@@ -135,7 +143,10 @@ func E7MinCut(sizes []int, seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(a.G.N(), a.G.M(), exact, r.Value, r.Value/exact, r.Trees, r.ChargedRounds+r.CommRounds)
+		return row{a.G.N(), a.G.M(), exact, r.Value, r.Value / exact, r.Trees, r.ChargedRounds + r.CommRounds}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -148,8 +159,9 @@ func E8bLowerBoundMST(sizes []int, seed int64) *Table {
 		Title:  "MST rounds on the lower-bound family: ~√n despite D=O(log n)",
 		Header: []string{"p=ell", "n", "diam", "r_oblivious", "r_naive", "sqrt(n)"},
 	}
-	rng := xrand.New(seed)
-	for _, s := range sizes {
+	rows := forEachPoint(len(sizes), func(i int) row {
+		s := sizes[i]
+		rng := pointRNG(seed, i)
 		lb := gen.LowerBound(s, s)
 		gen.DistinctWeights(gen.UniformWeights(lb.G, rng))
 		tr, err := graph.BFSTree(lb.G, lb.Root)
@@ -169,7 +181,10 @@ func E8bLowerBoundMST(sizes []int, seed int64) *Table {
 		for sq*sq < n {
 			sq++
 		}
-		t.AddRow(s, n, graph.DiameterApprox(lb.G), sc.CommRounds, naive.CommRounds, sq)
+		return row{s, n, graph.DiameterApprox(lb.G), sc.CommRounds, naive.CommRounds, sq}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -182,7 +197,8 @@ func E12Planarize(genera []int, seed int64) *Table {
 		Title:  "planarization (Lemma 11): cutting genus-g graphs along 2g generating cycles",
 		Header: []string{"genus", "n", "m", "cut_n", "cut_m", "outer", "resultGenus", "outerOnOneFace"},
 	}
-	for _, g := range genera {
+	rows := forEachPoint(len(genera), func(i int) row {
+		g := genera[i]
 		var e *gen.Embedded
 		if g == 0 {
 			e = gen.Grid(6, 6)
@@ -204,7 +220,10 @@ func E12Planarize(genera []int, seed int64) *Table {
 			}
 		}
 		onFace := outerOnCommonFace(cut)
-		t.AddRow(g, e.G.N(), e.G.M(), cut.PG.N(), cut.PG.M(), outer, cut.Emb.Genus(), onFace)
+		return row{g, e.G.N(), e.G.M(), cut.PG.N(), cut.PG.M(), outer, cut.Emb.Genus(), onFace}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -247,9 +266,10 @@ func AggregationShowcase(widths []int, seed int64) *Table {
 		Title:  "part-wise aggregation rounds (Theorem 1 primitive): grid+apex corridors",
 		Header: []string{"cols", "n", "diam", "rounds_naive", "rounds_shortcut", "quality"},
 	}
-	rng := xrand.New(seed)
 	const rows = 8
-	for _, cols := range widths {
+	outRows := forEachPoint(len(widths), func(i int) row {
+		cols := widths[i]
+		rng := pointRNG(seed, i)
 		a := gen.PlanarWithApex(rows, cols, rng)
 		tr, err := graph.BFSTree(a.G, a.Apices[0])
 		if err != nil {
@@ -257,8 +277,9 @@ func AggregationShowcase(widths []int, seed int64) *Table {
 		}
 		sets := make([][]int, rows)
 		for r := 0; r < rows; r++ {
+			sets[r] = make([]int, cols)
 			for c := 0; c < cols; c++ {
-				sets[r] = append(sets[r], r*cols+c)
+				sets[r][c] = r*cols + c
 			}
 		}
 		p, err := partition.New(a.G, sets)
@@ -282,7 +303,10 @@ func AggregationShowcase(widths []int, seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(cols, a.G.N(), 2, rn, rs, res.M.Quality)
+		return row{cols, a.G.N(), 2, rn, rs, res.M.Quality}
+	})
+	for _, r := range outRows {
+		t.AddRow(r...)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("rows fixed at %d; naive grows with corridor length, shortcut with quality", rows))
 	return t

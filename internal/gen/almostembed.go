@@ -56,7 +56,16 @@ type AlmostEmbedOpts struct {
 // returned structure witness passes structure.Validate.
 func AlmostEmbeddableGraph(opts AlmostEmbedOpts, rng *rand.Rand) *structure.AlmostEmbeddable {
 	base := opts.Base
-	g := graph.New(base.G.N())
+	// Pre-size for the common apex-only case: every base vertex gains up to
+	// NumApices incident apex edges on top of its base degree.
+	g := graph.NewWithEdgeCapacity(base.G.N(), base.G.M()+opts.NumApices*base.G.N())
+	baseVs := make([]int, base.G.N())
+	baseDeg := make([]int32, base.G.N())
+	for v := range baseVs {
+		baseVs[v] = v
+		baseDeg[v] = int32(base.G.Degree(v) + opts.NumApices)
+	}
+	g.ReserveAdjBatch(baseVs, baseDeg)
 	for id := 0; id < base.G.M(); id++ {
 		e := base.G.Edge(id)
 		g.AddEdge(e.U, e.V, e.W)
@@ -73,26 +82,30 @@ func AlmostEmbeddableGraph(opts AlmostEmbedOpts, rng *rand.Rand) *structure.Almo
 		BaseTD:  opts.BaseTD,
 	}
 	// Choose vortex faces: faces whose vertex sequence is a simple cycle of
-	// length >= 3, largest first so vortices have room.
-	faces, _ := base.Emb.Faces()
+	// length >= 3, largest first so vortices have room. Skipped entirely
+	// when no vortices are requested (the common apex-only scenarios).
 	var candidates [][]int
-	for _, f := range faces {
-		vs := base.Emb.FaceVertices(f)
-		if len(vs) < 3 {
-			continue
-		}
-		seen := make(map[int]bool, len(vs))
-		simple := true
-		for _, v := range vs {
-			if seen[v] {
-				simple = false
-				break
+	if opts.NumVortices > 0 {
+		faces, _ := base.Emb.Faces()
+		seen := base.G.AcquireScratch()
+		for _, f := range faces {
+			vs := base.Emb.FaceVertices(f)
+			if len(vs) < 3 {
+				continue
 			}
-			seen[v] = true
+			seen.Reset()
+			simple := true
+			for _, v := range vs {
+				if !seen.Visit(v) {
+					simple = false
+					break
+				}
+			}
+			if simple {
+				candidates = append(candidates, vs)
+			}
 		}
-		if simple {
-			candidates = append(candidates, vs)
-		}
+		base.G.ReleaseScratch(seen)
 	}
 	// Sort candidates by length descending (insertion sort, few faces used).
 	for i := 1; i < len(candidates); i++ {

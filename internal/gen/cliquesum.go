@@ -16,9 +16,102 @@ import (
 // the glued bags equal their own clique-completions (B⁰ = B, Definition 1
 // with no deleted edges).
 type Piece struct {
-	G       *graph.Graph
-	Decomp  *tw.Decomposition
-	Cliques [][]int
+	G      *graph.Graph
+	Decomp *tw.Decomposition
+	// VertexCliques / EdgeCliques declare the implicit attach-clique
+	// families — every vertex as a singleton clique, every edge as a pair —
+	// without materializing them (for a piece with n vertices and m edges
+	// that is n+m slices of bookkeeping). Candidate enumeration orders
+	// vertices first, then edges, then the explicit extras in Cliques.
+	VertexCliques bool
+	EdgeCliques   bool
+	Cliques       [][]int // explicit extra attach cliques (e.g. triangles)
+}
+
+// numCliquesLenLE counts attach cliques of size in [1, k].
+func (p *Piece) numCliquesLenLE(k int) int {
+	count := 0
+	if p.VertexCliques && k >= 1 {
+		count += p.G.N()
+	}
+	if p.EdgeCliques && k >= 2 {
+		count += p.G.M()
+	}
+	for _, c := range p.Cliques {
+		if len(c) >= 1 && len(c) <= k {
+			count++
+		}
+	}
+	return count
+}
+
+// cliqueLenLEAt materializes the idx-th attach clique of size <= k into buf.
+func (p *Piece) cliqueLenLEAt(k, idx int, buf []int) []int {
+	if p.VertexCliques && k >= 1 {
+		if idx < p.G.N() {
+			return append(buf[:0], idx)
+		}
+		idx -= p.G.N()
+	}
+	if p.EdgeCliques && k >= 2 {
+		if idx < p.G.M() {
+			e := p.G.Edge(idx)
+			return append(buf[:0], e.U, e.V)
+		}
+		idx -= p.G.M()
+	}
+	for _, c := range p.Cliques {
+		if len(c) >= 1 && len(c) <= k {
+			if idx == 0 {
+				return append(buf[:0], c...)
+			}
+			idx--
+		}
+	}
+	panic("gen.Piece: clique index out of range")
+}
+
+// numCliquesLenEQ counts attach cliques of size exactly s.
+func (p *Piece) numCliquesLenEQ(s int) int {
+	count := 0
+	if p.VertexCliques && s == 1 {
+		count += p.G.N()
+	}
+	if p.EdgeCliques && s == 2 {
+		count += p.G.M()
+	}
+	for _, c := range p.Cliques {
+		if len(c) == s {
+			count++
+		}
+	}
+	return count
+}
+
+// cliqueLenEQAt materializes the idx-th attach clique of size s into buf.
+func (p *Piece) cliqueLenEQAt(s, idx int, buf []int) []int {
+	if p.VertexCliques && s == 1 {
+		if idx < p.G.N() {
+			return append(buf[:0], idx)
+		}
+		idx -= p.G.N()
+	}
+	if p.EdgeCliques && s == 2 {
+		if idx < p.G.M() {
+			e := p.G.Edge(idx)
+			return append(buf[:0], e.U, e.V)
+		}
+		idx -= p.G.M()
+	}
+	for _, c := range p.Cliques {
+		if len(c) == s {
+			if idx == 0 {
+				return append(buf[:0], c...)
+			}
+			idx--
+		}
+	}
+	panic("gen.Piece: clique index out of range")
 }
 
 // CliqueSumGraph is a graph assembled as a k-clique-sum of pieces, carrying
@@ -56,28 +149,65 @@ func cliqueSum(pieces []*Piece, k int, rng *rand.Rand, chain bool) *CliqueSumGra
 	}
 	cs := &CliqueSumGraph{K: k}
 	g := graph.New(0)
+	// Upper bounds over all merges: every piece vertex/edge lands at most
+	// once in the global graph.
+	sumN, sumM := 0, 0
+	for _, p := range pieces {
+		sumN += p.G.N()
+		sumM += p.G.M()
+	}
+	g.ReserveVertices(sumN)
+	g.ReserveEdges(sumM)
 	cst := &structure.CliqueSumTree{K: k}
 	var bagEdges [][]int
 
-	addPiece := func(p *Piece, mapTo map[int]int) []int {
-		// mapTo: piece-local -> global for identified vertices.
+	// addPiece merges a piece; srcVs/tgVs (parallel, at most K entries)
+	// identify piece-local vertices with existing global ones.
+	addPiece := func(p *Piece, srcVs, tgVs []int) []int {
+		mapTo := func(v int) (int, bool) {
+			for i, sv := range srcVs {
+				if sv == v {
+					return tgVs[i], true
+				}
+			}
+			return 0, false
+		}
 		toGlobal := make([]int, p.G.N())
+		// Adjacency growth for this merge: every piece edge adds at most one
+		// global edge, and its endpoints' adjacency grows by the piece-local
+		// degree. (Vertex and edge capacity were reserved for all pieces.)
+		next := g.AddVertices(p.G.N() - len(srcVs))
+		newVs := make([]int, 0, p.G.N()-len(srcVs))
+		newCaps := make([]int32, 0, p.G.N()-len(srcVs))
+		identified := make([]bool, p.G.N())
 		for v := 0; v < p.G.N(); v++ {
-			if gv, ok := mapTo[v]; ok {
+			if gv, ok := mapTo(v); ok {
 				toGlobal[v] = gv
+				identified[v] = true
+				// Identified (clique) vertices already carry arcs.
+				g.ReserveAdj(gv, p.G.Degree(v))
 			} else {
-				toGlobal[v] = g.AddVertex()
+				toGlobal[v] = next
+				next++
+				newVs = append(newVs, toGlobal[v])
+				newCaps = append(newCaps, int32(p.G.Degree(v)))
 			}
 		}
-		var edges []int
+		g.ReserveAdjBatch(newVs, newCaps)
+		edges := make([]int, 0, p.G.M())
 		for id := 0; id < p.G.M(); id++ {
 			e := p.G.Edge(id)
 			gu, gv := toGlobal[e.U], toGlobal[e.V]
-			if ex := g.FindEdge(gu, gv); ex != -1 {
-				edges = append(edges, ex) // shared clique edge, already present
-			} else {
-				edges = append(edges, g.AddEdge(gu, gv, e.W))
+			// Only edges with both endpoints identified into the attach
+			// clique can already exist; everything else is new, skipping
+			// the FindEdge scan.
+			if identified[e.U] && identified[e.V] {
+				if ex := g.FindEdge(gu, gv); ex != -1 {
+					edges = append(edges, ex) // shared clique edge, already present
+					continue
+				}
 			}
+			edges = append(edges, g.AddEdge(gu, gv, e.W))
 		}
 		verts := append([]int(nil), toGlobal...)
 		sort.Ints(verts)
@@ -90,60 +220,61 @@ func cliqueSum(pieces []*Piece, k int, rng *rand.Rand, chain bool) *CliqueSumGra
 		return toGlobal
 	}
 
-	addPiece(pieces[0], map[int]int{})
+	addPiece(pieces[0], nil, nil)
 	for pi := 1; pi < len(pieces); pi++ {
 		p := pieces[pi]
-		// Candidate attach cliques of the new piece, size <= k.
-		var srcCliques [][]int
-		for _, c := range p.Cliques {
-			if len(c) <= k && len(c) >= 1 {
-				srcCliques = append(srcCliques, c)
-			}
-		}
-		if len(srcCliques) == 0 {
+		// Candidate attach cliques of the new piece, size <= k: counted,
+		// drawn, then the chosen one materialized by index.
+		srcCount := p.numCliquesLenLE(k)
+		if srcCount == 0 {
 			panic(fmt.Sprintf("gen.CliqueSum: piece %d has no attach clique of size <= %d", pi, k))
 		}
-		src := srcCliques[rng.Intn(len(srcCliques))]
+		var srcBuf [8]int
+		src := p.cliqueLenLEAt(k, rng.Intn(srcCount), srcBuf[:0])
 		// Find an earlier bag with an attach clique of the same size.
-		type target struct {
-			bag    int
-			clique []int // global vertices
-		}
-		var targets []target
+		// Candidates are only counted; the chosen one is materialized by
+		// index after the draw.
+		targets := 0
 		for bj := range cst.Bags {
 			if chain && bj != pi-1 {
 				continue // chain mode: attach to the previous bag only
 			}
-			pj := pieces[bj]
-			for _, c := range pj.Cliques {
-				if len(c) == len(src) {
-					gc := make([]int, len(c))
-					for i, v := range c {
-						gc[i] = cs.BagToGlobal[bj][v]
-					}
-					targets = append(targets, target{bag: bj, clique: gc})
-				}
-			}
+			targets += pieces[bj].numCliquesLenEQ(len(src))
 		}
-		if len(targets) == 0 {
+		if targets == 0 {
 			panic(fmt.Sprintf("gen.CliqueSum: no earlier bag offers a %d-clique", len(src)))
 		}
-		tg := targets[rng.Intn(len(targets))]
-		mapTo := make(map[int]int, len(src))
-		for i, v := range src {
-			mapTo[v] = tg.clique[i]
+		pick := rng.Intn(targets)
+		tgBag := -1
+		var tgBuf [8]int
+		var tgClique []int // global vertices
+		for bj := range cst.Bags {
+			if chain && bj != pi-1 {
+				continue
+			}
+			c := pieces[bj].numCliquesLenEQ(len(src))
+			if pick >= c {
+				pick -= c
+				continue
+			}
+			tgBag = bj
+			tgClique = pieces[bj].cliqueLenEQAt(len(src), pick, tgBuf[:0])
+			for i, v := range tgClique {
+				tgClique[i] = cs.BagToGlobal[bj][v]
+			}
+			break
 		}
-		addPiece(p, mapTo)
+		addPiece(p, src, tgClique)
 		bi := len(cst.Bags) - 1
-		cst.Adj[bi] = append(cst.Adj[bi], tg.bag)
-		cst.Adj[tg.bag] = append(cst.Adj[tg.bag], bi)
+		cst.Adj[bi] = append(cst.Adj[bi], tgBag)
+		cst.Adj[tgBag] = append(cst.Adj[tgBag], bi)
 	}
 	cst.G = g
 	cs.G = g
 	cs.CST = cst
-	if err := cst.Validate(); err != nil {
-		panic(fmt.Sprintf("gen.CliqueSum: invalid witness: %v", err))
-	}
+	// The witness is valid by construction (gen's tests re-validate sampled
+	// instances); skipping the O(n+m) check here keeps generation off the
+	// experiment drivers' critical path.
 	return cs
 }
 
@@ -159,15 +290,7 @@ func GridPiece(rows, cols int) *Piece {
 	if err != nil {
 		panic(fmt.Sprintf("gen.GridPiece: %v", err))
 	}
-	p := &Piece{G: e.G, Decomp: d}
-	for v := 0; v < e.G.N(); v++ {
-		p.Cliques = append(p.Cliques, []int{v})
-	}
-	for id := 0; id < e.G.M(); id++ {
-		ed := e.G.Edge(id)
-		p.Cliques = append(p.Cliques, []int{ed.U, ed.V})
-	}
-	return p
+	return &Piece{G: e.G, Decomp: d, VertexCliques: true, EdgeCliques: true}
 }
 
 // ApollonianPiece returns a random planar triangulation piece with its
@@ -176,17 +299,15 @@ func GridPiece(rows, cols int) *Piece {
 func ApollonianPiece(n int, rng *rand.Rand) *Piece {
 	a := NewApollonian(n, rng)
 	d := ApollonianDecomposition(a)
-	p := &Piece{G: a.G, Decomp: d}
-	for v := 0; v < a.G.N(); v++ {
-		p.Cliques = append(p.Cliques, []int{v})
-	}
-	for id := 0; id < a.G.M(); id++ {
-		ed := a.G.Edge(id)
-		p.Cliques = append(p.Cliques, []int{ed.U, ed.V})
-	}
-	p.Cliques = append(p.Cliques, []int{0, 1, 2})
+	p := &Piece{G: a.G, Decomp: d, VertexCliques: true, EdgeCliques: true}
+	store := make([]int, 0, 3*(1+len(a.Corners)))
+	store = append(store, 0, 1, 2)
+	p.Cliques = make([][]int, 0, 1+len(a.Corners))
+	p.Cliques = append(p.Cliques, store[0:3:3])
 	for _, c := range a.Corners {
-		p.Cliques = append(p.Cliques, []int{c[0], c[1], c[2]})
+		base := len(store)
+		store = append(store, c[0], c[1], c[2])
+		p.Cliques = append(p.Cliques, store[base:base+3:base+3])
 	}
 	return p
 }
@@ -195,10 +316,7 @@ func ApollonianPiece(n int, rng *rand.Rand) *Piece {
 // attach cliques are the recorded bags' clique parts.
 func KTreePiece(n, k int, rng *rand.Rand) *Piece {
 	kt := KTree(n, k, rng)
-	p := &Piece{G: kt.G, Decomp: kt.Decomp}
-	for v := 0; v < kt.G.N(); v++ {
-		p.Cliques = append(p.Cliques, []int{v})
-	}
+	p := &Piece{G: kt.G, Decomp: kt.Decomp, VertexCliques: true}
 	for _, bag := range kt.Decomp.Bags {
 		if len(bag) >= 2 {
 			p.Cliques = append(p.Cliques, append([]int(nil), bag[:2]...))
@@ -216,12 +334,16 @@ func KTreePiece(n, k int, rng *rand.Rand) *Piece {
 func ApollonianDecomposition(a *Apollonian) *tw.Decomposition {
 	n := a.G.N()
 	bags := make([][]int, 1, n-2)
-	bags[0] = []int{0, 1, 2}
+	store := make([]int, 3, 3+4*len(a.Corners)) // all bags share one backing array
+	store[0], store[1], store[2] = 0, 1, 2
+	bags[0] = store[0:3:3]
 	parent := make([]int, 1, n-2)
 	parent[0] = -1
 	for i, c := range a.Corners {
 		v := i + 3
-		bags = append(bags, []int{v, c[0], c[1], c[2]})
+		base := len(store)
+		store = append(store, v, c[0], c[1], c[2])
+		bags = append(bags, store[base:base+4:base+4])
 		y := c[0]
 		if c[1] > y {
 			y = c[1]
@@ -235,7 +357,10 @@ func ApollonianDecomposition(a *Apollonian) *tw.Decomposition {
 			parent = append(parent, y-2) // bag index of vertex y is y-2
 		}
 	}
-	d, err := tw.FromBags(a.G, bags, parent)
+	// The bag family is valid by construction (each inserted vertex's bag is
+	// {v} ∪ corners(v) under its youngest corner's bag); gen's tests
+	// re-validate it, so the hot path skips the O(n+m) check.
+	d, err := tw.FromBagsTrusted(a.G, bags, parent)
 	if err != nil {
 		panic(fmt.Sprintf("gen.ApollonianDecomposition: %v", err))
 	}

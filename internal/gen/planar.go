@@ -46,28 +46,27 @@ func Grid(rows, cols int) *Embedded {
 		return 2*id + 1
 	}
 	rot := make([][]int, g.N())
+	rotStore := make([]int, 0, 2*g.M()) // all rotations share one backing array
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			v := at(r, c)
+			base := len(rotStore)
 			if id := right[v]; id != -1 {
-				rot[v] = append(rot[v], dart(id, v))
+				rotStore = append(rotStore, dart(id, v))
 			}
 			if r > 0 {
-				rot[v] = append(rot[v], dart(down[at(r-1, c)], v))
+				rotStore = append(rotStore, dart(down[at(r-1, c)], v))
 			}
 			if c > 0 {
-				rot[v] = append(rot[v], dart(right[at(r, c-1)], v))
+				rotStore = append(rotStore, dart(right[at(r, c-1)], v))
 			}
 			if id := down[v]; id != -1 {
-				rot[v] = append(rot[v], dart(id, v))
+				rotStore = append(rotStore, dart(id, v))
 			}
+			rot[v] = rotStore[base:len(rotStore):len(rotStore)]
 		}
 	}
-	emb, err := embed.New(g, rot)
-	if err != nil {
-		panic(fmt.Sprintf("gen.Grid: internal embedding error: %v", err))
-	}
-	return &Embedded{G: g, Emb: emb}
+	return &Embedded{G: g, Emb: embed.NewTrusted(g, rot)}
 }
 
 // Torus returns the rows x cols toroidal grid (all rows and columns wrap)
@@ -180,75 +179,165 @@ func glueAtVertex(x, y *Embedded, a, b int) *Embedded {
 type Apollonian struct {
 	Embedded
 	Corners [][3]int // Corners[i] = attachment corners of vertex i+3
+
+	// Deferred embedding state: rotations as circular dart lists, built
+	// into Emb on demand by EnsureEmbedding (clique-sum pieces never need
+	// the embedding, so the common path skips materializing it).
+	rotNext []int32
+	first   []int32
+}
+
+// EnsureEmbedding materializes (and caches) the planar embedding recorded
+// during construction. NewApollonian leaves Emb nil until this is called.
+func (a *Apollonian) EnsureEmbedding() *embed.Embedding {
+	if a.Emb != nil {
+		return a.Emb
+	}
+	n := a.G.N()
+	rotStore := make([]int, 0, 2*a.G.M())
+	rot := make([][]int, n)
+	for v := 0; v < n; v++ {
+		base := len(rotStore)
+		d := a.first[v]
+		for {
+			rotStore = append(rotStore, int(d))
+			d = a.rotNext[d]
+			if d == a.first[v] {
+				break
+			}
+		}
+		rot[v] = rotStore[base:len(rotStore):len(rotStore)]
+	}
+	a.Emb = embed.NewTrusted(a.G, rot)
+	return a.Emb
 }
 
 // NewApollonian builds a random Apollonian network.
+//
+// Construction runs in two passes: the insertion process is simulated on
+// flat edge records with rotations kept as circular linked lists (inserting
+// a dart is two pointer writes), and only at the end are the graph and
+// embedding materialized with exact-size storage. The result is identical
+// to the naive incremental construction — same vertex/edge IDs and the same
+// rotation linearizations — without its per-insert slice churn.
 func NewApollonian(n int, rng *rand.Rand) *Apollonian {
 	if n < 3 {
 		panic("gen.NewApollonian: need n >= 3")
 	}
-	g := graph.New(3)
-	e01 := g.AddEdge(0, 1, 1)
-	e12 := g.AddEdge(1, 2, 1)
-	e20 := g.AddEdge(2, 0, 1)
-	// Planar embedding of the triangle: rotations listed explicitly.
-	rot := [][]int{
-		{2 * e01, 2*e20 + 1}, // at 0: 0->1, 0->2
-		{2*e01 + 1, 2 * e12}, // at 1: 1->0, 1->2
-		{2*e12 + 1, 2 * e20}, // at 2: 2->1, 2->0
+	m := 3*n - 6
+	if n == 3 {
+		m = 3
 	}
-	emb, err := embed.New(g, rot)
-	if err != nil {
-		panic(fmt.Sprintf("gen.NewApollonian: seed triangle: %v", err))
+	type rec struct{ u, v int32 }
+	edges := make([]rec, 0, m)
+	deg := make([]int32, n)
+	addEdge := func(u, v int) int {
+		edges = append(edges, rec{int32(u), int32(v)})
+		deg[u]++
+		deg[v]++
+		return len(edges) - 1
 	}
-	// Faces tracked as dart triples (d1: a->b, d2: b->c, d3: c->a) with
-	// next(d1)=d2 etc. Both faces of the triangle qualify.
-	faces, _ := emb.Faces()
-	type face [3]int
-	var live []face
-	for _, f := range faces {
-		if len(f) != 3 {
-			panic("gen.NewApollonian: seed face not a triangle")
+	tail := func(d int) int {
+		if d%2 == 0 {
+			return int(edges[d/2].u)
 		}
-		live = append(live, face{f[0], f[1], f[2]})
+		return int(edges[d/2].v)
 	}
-	a := &Apollonian{}
-	dartTo := func(id, tail int) int {
-		if g.Edge(id).U == tail {
+	dartTo := func(id, t int) int {
+		if int(edges[id].u) == t {
 			return 2 * id
 		}
 		return 2*id + 1
 	}
-	for v := 3; v < n; v++ {
+	// Rotations as circular linked lists over darts; first[v] is the dart
+	// the final linearization starts from (it is never displaced: inserts
+	// always land after an existing dart).
+	rotNext := make([]int32, 2*m)
+	first := make([]int32, n)
+	e01 := addEdge(0, 1)
+	e12 := addEdge(1, 2)
+	e20 := addEdge(2, 0)
+	link2 := func(v, d1, d2 int) {
+		rotNext[d1] = int32(d2)
+		rotNext[d2] = int32(d1)
+		first[v] = int32(d1)
+	}
+	link2(0, 2*e01, 2*e20+1) // at 0: 0->1, 0->2
+	link2(1, 2*e01+1, 2*e12) // at 1: 1->0, 1->2
+	link2(2, 2*e12+1, 2*e20) // at 2: 2->1, 2->0
+	// Faces tracked as dart triples (d1: a->b, d2: b->c, d3: c->a) with
+	// next(d1)=d2 etc. Both triangle faces are traced exactly like
+	// embed.Faces (ascending start dart) so the face-list order — and hence
+	// the rng draw sequence — matches the incremental construction.
+	type face [3]int32
+	live := make([]face, 0, 2*n-4) // final face count of a triangulation
+	{
+		var seen [6]bool
+		for d0 := 0; d0 < 6; d0++ {
+			if seen[d0] {
+				continue
+			}
+			var f face
+			d, i := d0, 0
+			for !seen[d] {
+				seen[d] = true
+				f[i] = int32(d)
+				i++
+				d = int(rotNext[d^1]) // FaceNext = Succ(Twin(d))
+			}
+			if i != 3 {
+				panic("gen.NewApollonian: seed face not a triangle")
+			}
+			live = append(live, f)
+		}
+	}
+	a := &Apollonian{}
+	a.Corners = make([][3]int, 0, n-3)
+	insertAfter := func(d, after int) {
+		rotNext[d] = rotNext[after]
+		rotNext[after] = int32(d)
+	}
+	for w := 3; w < n; w++ {
 		fi := rng.Intn(len(live))
 		f := live[fi]
-		d1, d2, d3 := f[0], f[1], f[2]
-		va := embed.Tail(g, d1)
-		vb := embed.Tail(g, d2)
-		vc := embed.Tail(g, d3)
-		w := g.AddVertex()
-		ea := g.AddEdge(va, w, 1)
-		eb := g.AddEdge(vb, w, 1)
-		ec := g.AddEdge(vc, w, 1)
+		d1, d2, d3 := int(f[0]), int(f[1]), int(f[2])
+		va, vb, vc := tail(d1), tail(d2), tail(d3)
+		ea := addEdge(va, w)
+		eb := addEdge(vb, w)
+		ec := addEdge(vc, w)
 		a.Corners = append(a.Corners, [3]int{va, vb, vc})
 		// Splice new darts: at a after a->c (= twin(d3)); at b after b->a
 		// (= twin(d1)); at c after c->b (= twin(d2)).
-		emb.InsertDartAfter(dartTo(ea, va), embed.Twin(d3))
-		emb.InsertDartAfter(dartTo(eb, vb), embed.Twin(d1))
-		emb.InsertDartAfter(dartTo(ec, vc), embed.Twin(d2))
+		insertAfter(dartTo(ea, va), d3^1)
+		insertAfter(dartTo(eb, vb), d1^1)
+		insertAfter(dartTo(ec, vc), d2^1)
 		// Rotation at w: (w->a, w->c, w->b).
-		emb.AppendDart(dartTo(ea, w))
-		emb.AppendDart(dartTo(ec, w))
-		emb.AppendDart(dartTo(eb, w))
+		dw1, dw2, dw3 := dartTo(ea, w), dartTo(ec, w), dartTo(eb, w)
+		rotNext[dw1] = int32(dw2)
+		rotNext[dw2] = int32(dw3)
+		rotNext[dw3] = int32(dw1)
+		first[w] = int32(dw1)
 		// Replace face f with the three new faces.
-		live[fi] = face{d1, dartTo(eb, vb), dartTo(ea, w)}
+		live[fi] = face{int32(d1), int32(dartTo(eb, vb)), int32(dartTo(ea, w))}
 		live = append(live,
-			face{d2, dartTo(ec, vc), dartTo(eb, w)},
-			face{d3, dartTo(ea, va), dartTo(ec, w)},
+			face{int32(d2), int32(dartTo(ec, vc)), int32(dartTo(eb, w))},
+			face{int32(d3), int32(dartTo(ea, va)), int32(dartTo(ec, w))},
 		)
 	}
+	// Materialize the graph with exact-size storage: same vertex and edge
+	// IDs as the simulation recorded.
+	g := graph.NewWithEdgeCapacity(n, len(edges))
+	vs := make([]int, n)
+	for v := range vs {
+		vs[v] = v
+	}
+	g.ReserveAdjBatch(vs, deg)
+	for _, e := range edges {
+		g.AddEdge(int(e.u), int(e.v), 1)
+	}
 	a.G = g
-	a.Emb = emb
+	a.rotNext = rotNext
+	a.first = first
 	return a
 }
 

@@ -1,0 +1,70 @@
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+// The generators' hot paths skip per-instance witness validation (the
+// clique-sum tree and the Apollonian decomposition are correct by
+// construction); these tests keep that claim audited on sampled instances.
+
+func TestCliqueSumWitnessValidates(t *testing.T) {
+	rng := xrand.New(21)
+	for trial := 0; trial < 5; trial++ {
+		pieces := make([]*gen.Piece, 2+trial*3)
+		for i := range pieces {
+			pieces[i] = gen.ApollonianPiece(12+rng.Intn(10), rng)
+		}
+		cs := gen.CliqueSum(pieces, 3, rng)
+		if err := cs.CST.Validate(); err != nil {
+			t.Fatalf("trial %d: clique-sum witness invalid: %v", trial, err)
+		}
+		if err := cs.G.Validate(); err != nil {
+			t.Fatalf("trial %d: merged graph invalid: %v", trial, err)
+		}
+		for bi, d := range cs.BagDecomp {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("trial %d bag %d: piece decomposition invalid: %v", trial, bi, err)
+			}
+		}
+	}
+}
+
+func TestApollonianDecompositionValidates(t *testing.T) {
+	rng := xrand.New(33)
+	for trial := 0; trial < 10; trial++ {
+		a := gen.NewApollonian(5+trial*7, rng)
+		if err := a.G.Validate(); err != nil {
+			t.Fatalf("trial %d: graph invalid: %v", trial, err)
+		}
+		a.EnsureEmbedding()
+		if err := a.Emb.Validate(); err != nil {
+			t.Fatalf("trial %d: embedding invalid: %v", trial, err)
+		}
+		if g := a.Emb.Genus(); g != 0 {
+			t.Fatalf("trial %d: Apollonian embedding has genus %d", trial, g)
+		}
+		d := gen.ApollonianDecomposition(a)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: decomposition invalid: %v", trial, err)
+		}
+		if w := d.Width(); w != 3 && a.G.N() > 3 {
+			t.Fatalf("trial %d: width %d, want 3", trial, w)
+		}
+	}
+}
+
+func TestGridEmbeddingValidates(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 5}, {4, 4}, {3, 7}} {
+		e := gen.Grid(dims[0], dims[1])
+		if err := e.Emb.Validate(); err != nil {
+			t.Fatalf("grid %v: embedding invalid: %v", dims, err)
+		}
+		if g := e.Emb.Genus(); g != 0 {
+			t.Fatalf("grid %v: genus %d", dims, g)
+		}
+	}
+}

@@ -11,30 +11,30 @@ type BFSResult struct {
 
 // BFS runs a breadth-first search from src.
 func BFS(g *Graph, src int) *BFSResult {
+	n := g.N()
+	store := make([]int, 3*n) // Dist, Parent, ParentEdge share one allocation
 	r := &BFSResult{
 		Source:     src,
-		Dist:       make([]int, g.N()),
-		Parent:     make([]int, g.N()),
-		ParentEdge: make([]int, g.N()),
+		Dist:       store[0:n:n],
+		Parent:     store[n : 2*n : 2*n],
+		ParentEdge: store[2*n : 3*n : 3*n],
 	}
 	for i := range r.Dist {
 		r.Dist[i] = -1
 		r.Parent[i] = -1
 		r.ParentEdge[i] = -1
 	}
-	queue := make([]int, 0, g.N())
+	r.Order = make([]int, 0, g.N())
 	r.Dist[src] = 0
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		r.Order = append(r.Order, v)
+	r.Order = append(r.Order, src)
+	for head := 0; head < len(r.Order); head++ {
+		v := r.Order[head]
 		for _, a := range g.Adj(v) {
 			if r.Dist[a.To] == -1 {
 				r.Dist[a.To] = r.Dist[v] + 1
 				r.Parent[a.To] = v
 				r.ParentEdge[a.To] = a.ID
-				queue = append(queue, a.To)
+				r.Order = append(r.Order, a.To)
 			}
 		}
 	}
@@ -55,12 +55,14 @@ type MultiBFSResult struct {
 // resulting owner classes are the "cells" used throughout the shortcut
 // construction: each class is connected and has radius at most the BFS depth.
 func MultiBFS(g *Graph, sources []int) *MultiBFSResult {
+	n := g.N()
+	store := make([]int, 4*n) // result arrays share one allocation
 	r := &MultiBFSResult{
 		Sources:    append([]int(nil), sources...),
-		Dist:       make([]int, g.N()),
-		Owner:      make([]int, g.N()),
-		Parent:     make([]int, g.N()),
-		ParentEdge: make([]int, g.N()),
+		Dist:       store[0:n:n],
+		Owner:      store[n : 2*n : 2*n],
+		Parent:     store[2*n : 3*n : 3*n],
+		ParentEdge: store[3*n : 4*n : 4*n],
 	}
 	for i := range r.Dist {
 		r.Dist[i] = -1
@@ -138,19 +140,21 @@ func ConnectedSubset(g *Graph, s []int) bool {
 	if len(s) == 0 {
 		return false
 	}
-	in := make(map[int]bool, len(s))
+	in := g.AcquireScratch()
+	defer g.ReleaseScratch(in)
 	for _, v := range s {
-		in[v] = true
+		in.Set(v, 0) // 0 = in subset, unseen
 	}
-	seen := map[int]bool{s[0]: true}
-	stack := []int{s[0]}
+	in.Set(s[0], 1) // 1 = seen
+	stack := make([]int, 1, len(s))
+	stack[0] = s[0]
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, a := range g.Adj(v) {
-			if in[a.To] && !seen[a.To] {
-				seen[a.To] = true
+			if st, ok := in.Get(a.To); ok && st == 0 {
+				in.Set(a.To, 1)
 				count++
 				stack = append(stack, a.To)
 			}
@@ -162,18 +166,41 @@ func ConnectedSubset(g *Graph, s []int) bool {
 // Eccentricity returns the maximum hop distance from v to any reachable
 // vertex, and whether all vertices were reachable.
 func Eccentricity(g *Graph, v int) (ecc int, connected bool) {
-	r := BFS(g, v)
-	connected = true
-	for _, d := range r.Dist {
-		if d == -1 {
-			connected = false
-			continue
+	ecc, _, reached := eccFrom(g, v)
+	return ecc, reached == g.N()
+}
+
+// eccFrom runs a distance-only BFS from src out of pooled scratch storage:
+// no per-call result arrays. Returns the eccentricity over reached
+// vertices, the lowest-index farthest reached vertex, and the reached
+// count.
+func eccFrom(g *Graph, src int) (ecc, far, reached int) {
+	dist := g.AcquireScratch()
+	defer g.ReleaseScratch(dist)
+	queue := make([]int32, 1, g.N())
+	queue[0] = int32(src)
+	dist.Set(src, 0)
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		dv, _ := dist.Get(v)
+		if int(dv) > ecc {
+			ecc = int(dv)
 		}
-		if d > ecc {
-			ecc = d
+		for _, a := range g.Adj(v) {
+			if !dist.Has(a.To) {
+				dist.Set(a.To, dv+1)
+				queue = append(queue, int32(a.To))
+			}
 		}
 	}
-	return ecc, connected
+	far = src
+	for v := 0; v < g.N(); v++ {
+		if d, ok := dist.Get(v); ok && int(d) == ecc {
+			far = v
+			break
+		}
+	}
+	return ecc, far, len(queue)
 }
 
 // Diameter computes the exact hop diameter by running a BFS from every
@@ -204,16 +231,10 @@ func DiameterApprox(g *Graph) int {
 	if g.N() == 0 {
 		return 0
 	}
-	r1 := BFS(g, 0)
-	far, fd := 0, 0
-	for v, d := range r1.Dist {
-		if d == -1 {
-			return -1
-		}
-		if d > fd {
-			far, fd = v, d
-		}
+	_, far, reached := eccFrom(g, 0)
+	if reached != g.N() {
+		return -1
 	}
-	ecc, _ := Eccentricity(g, far)
+	ecc, _, _ := eccFrom(g, far)
 	return ecc
 }

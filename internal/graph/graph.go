@@ -47,6 +47,16 @@ func New(n int) *Graph {
 	return &Graph{adj: make([][]Arc, n)}
 }
 
+// NewWithEdgeCapacity returns an empty graph with n vertices whose edge list
+// is pre-sized for m edges, avoiding append-growth in construction loops.
+func NewWithEdgeCapacity(n, m int) *Graph {
+	g := New(n)
+	if m > 0 {
+		g.edges = make([]Edge, 0, m)
+	}
+	return g
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 
@@ -57,6 +67,24 @@ func (g *Graph) M() int { return len(g.edges) }
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
 	return len(g.adj) - 1
+}
+
+// AddVertices appends k isolated vertices and returns the index of the
+// first, growing the adjacency table once.
+func (g *Graph) AddVertices(k int) int {
+	first := len(g.adj)
+	g.adj = append(g.adj, make([][]Arc, k)...)
+	return first
+}
+
+// ReserveVertices ensures capacity for at least extra more vertices.
+func (g *Graph) ReserveVertices(extra int) {
+	if cap(g.adj)-len(g.adj) >= extra {
+		return
+	}
+	na := make([][]Arc, len(g.adj), len(g.adj)+extra)
+	copy(na, g.adj)
+	g.adj = na
 }
 
 // AddEdge inserts an undirected edge {u,v} with weight w and returns its ID.
@@ -71,9 +99,71 @@ func (g *Graph) AddEdge(u, v int, w float64) int {
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
-	g.adj[u] = append(g.adj[u], Arc{To: v, ID: id})
-	g.adj[v] = append(g.adj[v], Arc{To: u, ID: id})
+	g.adj[u] = appendArc(g.adj[u], Arc{To: v, ID: id})
+	g.adj[v] = appendArc(g.adj[v], Arc{To: u, ID: id})
 	return id
+}
+
+// appendArc appends with a first allocation of capacity 4: most graphs here
+// are planar-ish (average degree < 6), so one allocation usually covers the
+// vertex's whole adjacency instead of the 1→2→4 growth chain.
+func appendArc(as []Arc, a Arc) []Arc {
+	if as == nil {
+		as = make([]Arc, 0, 4)
+	}
+	return append(as, a)
+}
+
+// ReserveAdj ensures the adjacency list of v has capacity for at least
+// extra more arcs, so a construction loop that knows its degree contribution
+// up front (e.g. merging a piece into a clique-sum) pays one allocation.
+// Growth is geometric so repeated reservations stay amortized-linear.
+func (g *Graph) ReserveAdj(v, extra int) {
+	as := g.adj[v]
+	if cap(as)-len(as) >= extra {
+		return
+	}
+	newCap := len(as) + extra
+	if 2*cap(as) > newCap {
+		newCap = 2 * cap(as)
+	}
+	ns := make([]Arc, len(as), newCap)
+	copy(ns, as)
+	g.adj[v] = ns
+}
+
+// ReserveAdjBatch pre-sizes the adjacency lists of vertices vs — which must
+// currently be empty — to the given capacities, all sliced from one backing
+// array.
+func (g *Graph) ReserveAdjBatch(vs []int, caps []int32) {
+	total := 0
+	for _, c := range caps {
+		total += int(c)
+	}
+	store := make([]Arc, 0, total)
+	for i, v := range vs {
+		if len(g.adj[v]) != 0 {
+			panic(fmt.Sprintf("graph.ReserveAdjBatch: vertex %d adjacency not empty", v))
+		}
+		base := len(store)
+		store = store[:base+int(caps[i])]
+		g.adj[v] = store[base : base : base+int(caps[i])]
+	}
+}
+
+// ReserveEdges ensures capacity for at least extra more edges. Growth is
+// geometric so repeated reservations stay amortized-linear.
+func (g *Graph) ReserveEdges(extra int) {
+	if cap(g.edges)-len(g.edges) >= extra {
+		return
+	}
+	newCap := len(g.edges) + extra
+	if 2*cap(g.edges) > newCap {
+		newCap = 2 * cap(g.edges)
+	}
+	ns := make([]Edge, len(g.edges), newCap)
+	copy(ns, g.edges)
+	g.edges = ns
 }
 
 // Adj returns the adjacency list of v. The returned slice must not be
@@ -176,11 +266,34 @@ func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, oldToNew []int, edgeOri
 		}
 		oldToNew[v] = i
 	}
-	sub = New(len(keep))
+	// Two passes: count surviving edges and their endpoint degrees, then fill
+	// pre-sized storage (a single backing array sliced per vertex), so the
+	// construction performs a constant number of allocations.
+	deg := make([]int32, len(keep))
+	surviving := 0
+	for _, e := range g.edges {
+		nu, nv := oldToNew[e.U], oldToNew[e.V]
+		if nu != -1 && nv != -1 {
+			surviving++
+			deg[nu]++
+			deg[nv]++
+		}
+	}
+	sub = &Graph{adj: make([][]Arc, len(keep)), edges: make([]Edge, 0, surviving)}
+	store := make([]Arc, 2*surviving)
+	pos := 0
+	for v, d := range deg {
+		sub.adj[v] = store[pos : pos : pos+int(d)]
+		pos += int(d)
+	}
+	edgeOrig = make([]int, 0, surviving)
 	for id, e := range g.edges {
 		nu, nv := oldToNew[e.U], oldToNew[e.V]
 		if nu != -1 && nv != -1 {
-			sub.AddEdge(nu, nv, e.W)
+			eid := len(sub.edges)
+			sub.edges = append(sub.edges, Edge{U: nu, V: nv, W: e.W})
+			sub.adj[nu] = append(sub.adj[nu], Arc{To: nv, ID: eid})
+			sub.adj[nv] = append(sub.adj[nv], Arc{To: nu, ID: eid})
 			edgeOrig = append(edgeOrig, id)
 		}
 	}
@@ -191,30 +304,33 @@ func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, oldToNew []int, edgeOri
 // lightest edge of each parallel class. The returned slice maps each new edge
 // ID to the original ID it was kept from.
 func (g *Graph) Simplify() (*Graph, []int) {
-	type key struct{ a, b int }
-	best := make(map[key]int) // -> original edge ID
+	// One pass, one map lookup per edge: slot maps a canonical endpoint pair
+	// to its class's index in kept, and kept[slot] is overwritten in place
+	// when a lighter representative appears. The resulting order is
+	// deterministic: classes appear in order of their first original edge;
+	// ties within a class keep the earliest ID.
+	slot := make(map[int64]int32, len(g.edges))
+	kept := make([]int, 0, len(g.edges))
+	n := int64(g.N())
 	for id, e := range g.edges {
 		u, v := e.U, e.V
 		if u > v {
 			u, v = v, u
 		}
-		k := key{u, v}
-		if prev, ok := best[k]; !ok || e.W < g.edges[prev].W {
-			best[k] = id
-		}
-	}
-	s := New(g.N())
-	kept := make([]int, 0, len(best))
-	// Deterministic order: iterate original edges, emit those that won.
-	for id, e := range g.edges {
-		u, v := e.U, e.V
-		if u > v {
-			u, v = v, u
-		}
-		if best[key{u, v}] == id {
-			s.AddEdge(e.U, e.V, e.W)
+		k := int64(u)*n + int64(v)
+		if si, ok := slot[k]; ok {
+			if e.W < g.edges[kept[si]].W {
+				kept[si] = id
+			}
+		} else {
+			slot[k] = int32(len(kept))
 			kept = append(kept, id)
 		}
+	}
+	s := NewWithEdgeCapacity(g.N(), len(kept))
+	for _, id := range kept {
+		e := g.edges[id]
+		s.AddEdge(e.U, e.V, e.W)
 	}
 	return s, kept
 }

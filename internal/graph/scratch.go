@@ -1,0 +1,121 @@
+package graph
+
+import "sync"
+
+// Scratch is a reusable arena of epoch-stamped dense arrays used by the hot
+// accounting paths (shortcut measurement, partition clipping, induced
+// subgraphs) in place of throwaway map[int]bool / map[int]int values. A slot
+// is "set" only if its stamp equals the current epoch, so Reset is O(1): it
+// bumps the epoch. The value array is only written for slots that are
+// stamped, so stale values are never observed.
+//
+// A Scratch indexes both vertices and edge IDs of the graph it was sized
+// for (capacity is max(N, M)). It is not safe for concurrent use; acquire
+// one per goroutine via (*Graph).AcquireScratch.
+type Scratch struct {
+	stamp []uint32
+	val   []int32
+	epoch uint32
+}
+
+// NewScratch returns a scratch arena with n slots.
+func NewScratch(n int) *Scratch {
+	return &Scratch{stamp: make([]uint32, n), val: make([]int32, n), epoch: 1}
+}
+
+// Len returns the slot count.
+func (s *Scratch) Len() int { return len(s.stamp) }
+
+// Grow ensures at least n slots, preserving the current epoch's contents.
+func (s *Scratch) Grow(n int) {
+	if n <= len(s.stamp) {
+		return
+	}
+	ns := make([]uint32, n)
+	copy(ns, s.stamp)
+	nv := make([]int32, n)
+	copy(nv, s.val)
+	s.stamp, s.val = ns, nv
+}
+
+// Reset clears all slots in O(1) by advancing the epoch. On the (rare)
+// epoch wraparound it zeroes the stamp array so stale stamps cannot alias.
+func (s *Scratch) Reset() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Has reports whether slot i was set since the last Reset.
+func (s *Scratch) Has(i int) bool { return s.stamp[i] == s.epoch }
+
+// Visit marks slot i and reports whether it was unset before (a "first
+// visit"). The slot's value is set to 0 on first visit.
+func (s *Scratch) Visit(i int) bool {
+	if s.stamp[i] == s.epoch {
+		return false
+	}
+	s.stamp[i] = s.epoch
+	s.val[i] = 0
+	return true
+}
+
+// Set stores v in slot i, marking it.
+func (s *Scratch) Set(i int, v int32) {
+	s.stamp[i] = s.epoch
+	s.val[i] = v
+}
+
+// Get returns the value of slot i and whether it is set.
+func (s *Scratch) Get(i int) (int32, bool) {
+	if s.stamp[i] != s.epoch {
+		return 0, false
+	}
+	return s.val[i], true
+}
+
+// GetOr returns the value of slot i, or def if unset.
+func (s *Scratch) GetOr(i int, def int32) int32 {
+	if s.stamp[i] != s.epoch {
+		return def
+	}
+	return s.val[i]
+}
+
+// Add increments slot i by delta (from 0 if unset) and returns the new value.
+func (s *Scratch) Add(i int, delta int32) int32 {
+	if s.stamp[i] != s.epoch {
+		s.stamp[i] = s.epoch
+		s.val[i] = delta
+		return delta
+	}
+	s.val[i] += delta
+	return s.val[i]
+}
+
+// scratchPool shares arenas process-wide: arenas only ever grow, resets are
+// O(1), and pooling globally (rather than per graph) means the many small
+// short-lived graphs built by generators hit a warm pool instead of each
+// paying a cold allocation.
+var scratchPool = sync.Pool{New: func() any { return NewScratch(0) }}
+
+// AcquireScratch returns a scratch arena with at least max(N, M) slots,
+// reset and ready to use. Callers must return it with ReleaseScratch. Safe
+// for concurrent use (the pool is thread-safe; the returned arena is not).
+func (g *Graph) AcquireScratch() *Scratch {
+	need := g.N()
+	if g.M() > need {
+		need = g.M()
+	}
+	s := scratchPool.Get().(*Scratch)
+	s.Grow(need)
+	s.Reset()
+	return s
+}
+
+// ReleaseScratch returns a scratch arena to the shared pool for reuse.
+func (g *Graph) ReleaseScratch(s *Scratch) { scratchPool.Put(s) }

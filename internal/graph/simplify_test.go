@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSimplifyParallelClasses is the regression test for the single-lookup
+// Simplify rewrite: explicit parallel-edge classes with known winners.
+func TestSimplifyParallelClasses(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 5) // id 0: class {0,1}, loses
+	g.AddEdge(2, 3, 7) // id 1: class {2,3}, loses
+	g.AddEdge(1, 0, 2) // id 2: class {0,1} reversed orientation, wins
+	g.AddEdge(3, 2, 9) // id 3: class {2,3}, loses
+	g.AddEdge(2, 3, 1) // id 4: class {2,3}, wins
+	g.AddEdge(0, 4, 3) // id 5: singleton class
+	g.AddEdge(0, 1, 2) // id 6: ties id 2; earliest ID must win
+
+	s, kept := g.Simplify()
+	if s.M() != 3 {
+		t.Fatalf("simplified M = %d, want 3", s.M())
+	}
+	// kept is deterministic: classes in first-occurrence order, each class
+	// keeping its lightest (earliest on ties) edge.
+	want := []int{2, 4, 5}
+	if len(kept) != len(want) {
+		t.Fatalf("kept = %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept = %v, want %v", kept, want)
+		}
+	}
+	if w := s.Edge(s.FindEdge(0, 1)).W; w != 2 {
+		t.Fatalf("class {0,1} kept weight %v, want 2", w)
+	}
+	if w := s.Edge(s.FindEdge(2, 3)).W; w != 1 {
+		t.Fatalf("class {2,3} kept weight %v, want 1", w)
+	}
+	if w := s.Edge(s.FindEdge(0, 4)).W; w != 3 {
+		t.Fatalf("class {0,4} kept weight %v, want 3", w)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplifyMatchesMapReference cross-checks Simplify against a map-based
+// oracle on random multigraphs.
+func TestSimplifyMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(10)
+		g := New(n)
+		m := rng.Intn(40)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, float64(rng.Intn(8)))
+		}
+		s, kept := g.Simplify()
+		// Oracle: lightest edge (earliest on ties) per unordered pair.
+		type key struct{ a, b int }
+		best := map[key]int{}
+		for id := 0; id < g.M(); id++ {
+			e := g.Edge(id)
+			a, b := e.U, e.V
+			if a > b {
+				a, b = b, a
+			}
+			k := key{a, b}
+			if prev, ok := best[k]; !ok || e.W < g.Edge(prev).W {
+				best[k] = id
+			}
+		}
+		if len(kept) != len(best) || s.M() != len(best) {
+			t.Fatalf("trial %d: kept %d classes, want %d", trial, len(kept), len(best))
+		}
+		seen := map[int]bool{}
+		for _, id := range kept {
+			seen[id] = true
+		}
+		for k, id := range best {
+			if !seen[id] {
+				t.Fatalf("trial %d: class %v winner %d missing from kept %v", trial, k, id, kept)
+			}
+		}
+	}
+}
+
+// TestSimplifyPresized ensures the output graph carries no growth slack in
+// its edge list (the pre-sizing contract).
+func TestSimplifyPresized(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(0, 1, float64(i))
+		g.AddEdge(2, 3, float64(i))
+	}
+	s, _ := g.Simplify()
+	if got := cap(s.edges); got > 2 {
+		t.Fatalf("simplified edge capacity %d for 2 edges; output not pre-sized", got)
+	}
+}

@@ -30,17 +30,48 @@ func BFSTree(g *Graph, root int) (*Tree, error) {
 		ParentEdge: r.ParentEdge,
 		Depth:      r.Dist,
 		Order:      r.Order,
-		Children:   make([][]int, g.N()),
+		Children:   childLists(r.Parent, r.Order),
 	}
 	for _, v := range t.Order {
-		if p := t.Parent[v]; p != -1 {
-			t.Children[p] = append(t.Children[p], v)
-		}
 		if t.Depth[v] > t.height {
 			t.height = t.Depth[v]
 		}
 	}
 	return t, nil
+}
+
+// childLists builds per-vertex child lists from parent pointers as slices of
+// one backing array, filled in the order vertices appear in order (nil means
+// ascending vertex index).
+func childLists(parent, order []int) [][]int {
+	n := len(parent)
+	deg := make([]int32, n)
+	for _, p := range parent {
+		if p >= 0 {
+			deg[p]++
+		}
+	}
+	children := make([][]int, n)
+	store := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		base := len(store)
+		store = store[:base+int(deg[v])]
+		children[v] = store[base : base : base+int(deg[v])]
+	}
+	if order == nil {
+		for v := 0; v < n; v++ {
+			if p := parent[v]; p >= 0 {
+				children[p] = append(children[p], v)
+			}
+		}
+	} else {
+		for _, v := range order {
+			if p := parent[v]; p >= 0 {
+				children[p] = append(children[p], v)
+			}
+		}
+	}
+	return children
 }
 
 // TreeFromParents constructs a Tree from explicit parent and parent-edge
@@ -54,14 +85,16 @@ func TreeFromParents(g *Graph, root int, parent, parentEdge []int) (*Tree, error
 	if parent[root] != -1 {
 		return nil, fmt.Errorf("graph.TreeFromParents: root %d has parent %d", root, parent[root])
 	}
+	store := make([]int, 3*n) // Parent, ParentEdge, Depth share one allocation
 	t := &Tree{
 		G:          g,
 		Root:       root,
-		Parent:     append([]int(nil), parent...),
-		ParentEdge: append([]int(nil), parentEdge...),
-		Depth:      make([]int, n),
-		Children:   make([][]int, n),
+		Parent:     store[0:n:n],
+		ParentEdge: store[n : 2*n : 2*n],
+		Depth:      store[2*n : 3*n : 3*n],
 	}
+	copy(t.Parent, parent)
+	copy(t.ParentEdge, parentEdge)
 	for v := 0; v < n; v++ {
 		if v == root {
 			continue
@@ -78,22 +111,20 @@ func TreeFromParents(g *Graph, root int, parent, parentEdge []int) (*Tree, error
 		if !((e.U == v && e.V == p) || (e.V == v && e.U == p)) {
 			return nil, fmt.Errorf("graph.TreeFromParents: edge %d does not join %d and parent %d", id, v, p)
 		}
-		t.Children[p] = append(t.Children[p], v)
 	}
+	t.Children = childLists(t.Parent, nil)
 	// Topological order from root; also detects cycles/disconnection.
 	t.Order = make([]int, 0, n)
-	queue := []int{root}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		t.Order = append(t.Order, v)
+	t.Order = append(t.Order, root)
+	for head := 0; head < len(t.Order); head++ {
+		v := t.Order[head]
 		if v != root {
 			t.Depth[v] = t.Depth[parent[v]] + 1
 			if t.Depth[v] > t.height {
 				t.height = t.Depth[v]
 			}
 		}
-		queue = append(queue, t.Children[v]...)
+		t.Order = append(t.Order, t.Children[v]...)
 	}
 	if len(t.Order) != n {
 		return nil, fmt.Errorf("graph.TreeFromParents: parent pointers do not span the graph (reached %d of %d)", len(t.Order), n)

@@ -21,6 +21,23 @@ func NewUnionFind(n int) *UnionFind {
 	return u
 }
 
+// Reset reinitializes u to n singleton sets in place, reusing the existing
+// storage when large enough. Hot loops (shortcut block counting) call this
+// instead of allocating a fresh forest per part.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.rank = make([]int8, n)
+	}
+	u.parent = u.parent[:n]
+	u.rank = u.rank[:n]
+	for i := range u.parent {
+		u.parent[i] = i
+		u.rank[i] = 0
+	}
+	u.count = n
+}
+
 // Find returns the canonical representative of x's set.
 func (u *UnionFind) Find(x int) int {
 	for u.parent[x] != x {
@@ -54,21 +71,38 @@ func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
 // Count returns the current number of disjoint sets.
 func (u *UnionFind) Count() int { return u.count }
 
-// Sets returns the current partition as a map from representative to members,
-// flattened into slices ordered by vertex index.
+// Sets returns the current partition as member lists, sets ordered by their
+// smallest vertex and members ordered by vertex index.
 func (u *UnionFind) Sets() [][]int {
-	byRep := make(map[int][]int)
-	var reps []int
-	for v := range u.parent {
+	n := len(u.parent)
+	// Pass 1: canonical root per vertex, set index per root in first-seen
+	// (= smallest member) order, and set sizes.
+	root := make([]int32, n)
+	setOf := make([]int32, n) // root vertex -> set index + 1
+	numSets := 0
+	for v := 0; v < n; v++ {
 		r := u.Find(v)
-		if _, ok := byRep[r]; !ok {
-			reps = append(reps, r)
+		root[v] = int32(r)
+		if setOf[r] == 0 {
+			numSets++
+			setOf[r] = int32(numSets)
 		}
-		byRep[r] = append(byRep[r], v)
 	}
-	out := make([][]int, 0, len(reps))
-	for _, r := range reps {
-		out = append(out, byRep[r])
+	size := make([]int32, numSets)
+	for v := 0; v < n; v++ {
+		size[setOf[root[v]]-1]++
+	}
+	// Pass 2: slice one backing array per set and fill in vertex order.
+	out := make([][]int, numSets)
+	store := make([]int, n)
+	pos := 0
+	for si := 0; si < numSets; si++ {
+		out[si] = store[pos : pos : pos+int(size[si])]
+		pos += int(size[si])
+	}
+	for v := 0; v < n; v++ {
+		si := setOf[root[v]] - 1
+		out[si] = append(out[si], v)
 	}
 	return out
 }

@@ -22,12 +22,32 @@ type Parts struct {
 
 // New builds and validates a Parts family.
 func New(g *graph.Graph, sets [][]int) (*Parts, error) {
+	return build(g, sets, true)
+}
+
+// NewUnchecked builds a Parts family skipping the per-part connectivity
+// BFS. For part families that are connected by construction (Voronoi cells,
+// Borůvka fragments, connected-component splits) the check is pure
+// overhead; disjointness, vertex ranges, and non-emptiness are still
+// enforced.
+func NewUnchecked(g *graph.Graph, sets [][]int) (*Parts, error) {
+	return build(g, sets, false)
+}
+
+func build(g *graph.Graph, sets [][]int, checkConnected bool) (*Parts, error) {
 	p := &Parts{G: g, Sets: make([][]int, len(sets)), Of: make([]int, g.N())}
 	for i := range p.Of {
 		p.Of[i] = -1
 	}
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	store := make([]int, 0, total) // all set copies share one backing array
 	for i, s := range sets {
-		p.Sets[i] = append([]int(nil), s...)
+		base := len(store)
+		store = append(store, s...)
+		p.Sets[i] = store[base:len(store):len(store)]
 		sort.Ints(p.Sets[i])
 		for _, v := range p.Sets[i] {
 			if v < 0 || v >= g.N() {
@@ -39,8 +59,13 @@ func New(g *graph.Graph, sets [][]int) (*Parts, error) {
 			p.Of[v] = i
 		}
 	}
-	if err := p.Validate(); err != nil {
-		return nil, err
+	for i, s := range p.Sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("partition: part %d empty", i)
+		}
+		if checkConnected && !graph.ConnectedSubset(g, s) {
+			return nil, fmt.Errorf("partition: part %d not connected", i)
+		}
 	}
 	return p, nil
 }
@@ -74,14 +99,26 @@ func Voronoi(g *graph.Graph, numSeeds int, rng *rand.Rand) (*Parts, error) {
 	}
 	seeds := rng.Perm(g.N())[:numSeeds]
 	r := graph.MultiBFS(g, seeds)
-	sets := make([][]int, numSeeds)
-	for v, o := range r.Owner {
+	// CSR fill: count cell sizes, slice one backing array, fill in vertex
+	// order (so each cell comes out sorted).
+	size := make([]int32, numSeeds)
+	for _, o := range r.Owner {
 		if o == -1 {
 			return nil, fmt.Errorf("partition: %w", graph.ErrDisconnected)
 		}
+		size[o]++
+	}
+	sets := make([][]int, numSeeds)
+	store := make([]int, 0, g.N())
+	for i := 0; i < numSeeds; i++ {
+		base := len(store)
+		store = store[:base+int(size[i])]
+		sets[i] = store[base : base : base+int(size[i])]
+	}
+	for v, o := range r.Owner {
 		sets[o] = append(sets[o], v)
 	}
-	return New(g, sets)
+	return NewUnchecked(g, sets) // BFS cells are connected by construction
 }
 
 // BoruvkaFragments returns the parts after `phases` rounds of sequential
@@ -90,8 +127,12 @@ func Voronoi(g *graph.Graph, numSeeds int, rng *rand.Rand) (*Parts, error) {
 // shortcut framework.
 func BoruvkaFragments(g *graph.Graph, phases int) (*Parts, error) {
 	uf := graph.NewUnionFind(g.N())
+	best := g.AcquireScratch() // fragment root -> lightest outgoing edge ID
+	defer g.ReleaseScratch(best)
+	roots := make([]int, 0, g.N())
 	for ph := 0; ph < phases; ph++ {
-		best := make(map[int]int)
+		best.Reset()
+		roots = roots[:0]
 		for id := 0; id < g.M(); id++ {
 			e := g.Edge(id)
 			ru, rv := uf.Find(e.U), uf.Find(e.V)
@@ -99,20 +140,25 @@ func BoruvkaFragments(g *graph.Graph, phases int) (*Parts, error) {
 				continue
 			}
 			for _, r := range [2]int{ru, rv} {
-				if b, ok := best[r]; !ok || graph.EdgeLess(g, id, b) {
-					best[r] = id
+				if b, ok := best.Get(r); !ok {
+					best.Set(r, int32(id))
+					roots = append(roots, r)
+				} else if graph.EdgeLess(g, id, int(b)) {
+					best.Set(r, int32(id))
 				}
 			}
 		}
-		if len(best) == 0 {
+		if len(roots) == 0 {
 			break
 		}
-		for _, id := range best {
-			e := g.Edge(id)
+		for _, r := range roots {
+			id, _ := best.Get(r)
+			e := g.Edge(int(id))
 			uf.Union(e.U, e.V)
 		}
 	}
-	return New(g, uf.Sets())
+	// Fragments grow along edges, so each is connected by construction.
+	return NewUnchecked(g, uf.Sets())
 }
 
 // GridRows returns the rows of a rows x cols grid as parts: long skinny
@@ -164,14 +210,16 @@ func SingletonParts(g *graph.Graph, vs []int) (*Parts, error) {
 // clipped to keep ∩ part and split into connected components. Used when
 // projecting parts into a cell or bag.
 func Restrict(g *graph.Graph, p *Parts, keep []int) (clipped [][]int, origin []int) {
-	in := make(map[int]bool, len(keep))
+	in := g.AcquireScratch()
+	defer g.ReleaseScratch(in)
 	for _, v := range keep {
-		in[v] = true
+		in.Visit(v)
 	}
+	var inter []int
 	for i, s := range p.Sets {
-		var inter []int
+		inter = inter[:0]
 		for _, v := range s {
-			if in[v] {
+			if in.Has(v) {
 				inter = append(inter, v)
 			}
 		}
@@ -187,32 +235,36 @@ func Restrict(g *graph.Graph, p *Parts, keep []int) (clipped [][]int, origin []i
 }
 
 // connectedPieces splits a vertex set into connected components of the
-// induced subgraph.
+// induced subgraph. Membership and visit state live in one scratch slot per
+// vertex: 0 = in set, unseen; 1 = seen.
 func connectedPieces(g *graph.Graph, s []int) [][]int {
-	in := make(map[int]bool, len(s))
+	in := g.AcquireScratch()
+	defer g.ReleaseScratch(in)
 	for _, v := range s {
-		in[v] = true
+		in.Set(v, 0)
 	}
-	seen := make(map[int]bool, len(s))
 	var out [][]int
+	var stack []int
+	store := make([]int, 0, len(s)) // all components share one backing array
 	for _, v := range s {
-		if seen[v] {
+		if st, _ := in.Get(v); st == 1 {
 			continue
 		}
-		var comp []int
-		stack := []int{v}
-		seen[v] = true
+		base := len(store)
+		stack = append(stack[:0], v)
+		in.Set(v, 1)
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			comp = append(comp, x)
+			store = append(store, x)
 			for _, a := range g.Adj(x) {
-				if in[a.To] && !seen[a.To] {
-					seen[a.To] = true
+				if st, ok := in.Get(a.To); ok && st == 0 {
+					in.Set(a.To, 1)
 					stack = append(stack, a.To)
 				}
 			}
 		}
+		comp := store[base:len(store):len(store)]
 		sort.Ints(comp)
 		out = append(out, comp)
 	}

@@ -4,6 +4,11 @@
 // constructors — the oblivious tree-claiming construction in the spirit of
 // [HIZ16a] (uses no structural knowledge) and the treewidth-witness
 // construction realizing Theorem 5 ([HIZ16b]).
+//
+// The measurement paths are dense: all per-part accounting runs over
+// epoch-stamped scratch slices (graph.Scratch) and a single reused
+// union-find forest, so measuring a shortcut allocates O(parts) memory
+// rather than O(parts · n) map churn.
 package shortcut
 
 import (
@@ -31,7 +36,6 @@ func New(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int) (*Sho
 	}
 	s := &Shortcut{G: g, T: t, P: p, Edges: make([][]int, len(edges))}
 	for i, ids := range edges {
-		dedup := make(map[int]bool, len(ids))
 		for _, id := range ids {
 			if id < 0 || id >= g.M() {
 				return nil, fmt.Errorf("shortcut: part %d has invalid edge %d", i, id)
@@ -39,15 +43,25 @@ func New(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int) (*Sho
 			if !t.IsTreeEdge(id) {
 				return nil, fmt.Errorf("shortcut: part %d edge %d is not a tree edge", i, id)
 			}
-			dedup[id] = true
 		}
-		s.Edges[i] = make([]int, 0, len(dedup))
-		for id := range dedup {
-			s.Edges[i] = append(s.Edges[i], id)
-		}
-		sort.Ints(s.Edges[i])
+		s.Edges[i] = sortedDedup(ids)
 	}
 	return s, nil
+}
+
+// sortedDedup returns a fresh sorted slice of the distinct values of ids.
+func sortedDedup(ids []int) []int {
+	out := make([]int, len(ids))
+	copy(out, ids)
+	sort.Ints(out)
+	w := 0
+	for r, id := range out {
+		if r == 0 || id != out[w-1] {
+			out[w] = id
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // Empty returns the all-empty shortcut (every part gets no help).
@@ -74,17 +88,15 @@ func (s *Shortcut) Measure() Measurement {
 	if m.TreeDiameter == 0 {
 		m.TreeDiameter = 1
 	}
-	use := make(map[int]int)
+	use := s.G.AcquireScratch() // edge ID -> #parts using it
 	for _, ids := range s.Edges {
 		for _, id := range ids {
-			use[id]++
+			if c := int(use.Add(id, 1)); c > m.Congestion {
+				m.Congestion = c
+			}
 		}
 	}
-	for _, c := range use {
-		if c > m.Congestion {
-			m.Congestion = c
-		}
-	}
+	s.G.ReleaseScratch(use)
 	m.Blocks = s.BlockCounts()
 	for _, b := range m.Blocks {
 		if b > m.MaxBlocks {
@@ -100,17 +112,26 @@ func (s *Shortcut) Measure() Measurement {
 // (Definition 12; a part vertex not covered by Hᵢ is a singleton block).
 func (s *Shortcut) BlockCounts() []int {
 	out := make([]int, s.P.NumParts())
+	n := s.G.N()
+	uf := graph.NewUnionFind(n)
+	reps := s.G.AcquireScratch()
+	defer s.G.ReleaseScratch(reps)
 	for i, ids := range s.Edges {
-		uf := graph.NewUnionFind(s.G.N())
+		if i > 0 {
+			uf.Reset(n)
+		}
 		for _, id := range ids {
 			e := s.G.Edge(id)
 			uf.Union(e.U, e.V)
 		}
-		reps := make(map[int]bool)
+		reps.Reset()
+		distinct := 0
 		for _, v := range s.P.Sets[i] {
-			reps[uf.Find(v)] = true
+			if reps.Visit(uf.Find(v)) {
+				distinct++
+			}
 		}
-		out[i] = len(reps)
+		out[i] = distinct
 	}
 	return out
 }
@@ -119,43 +140,57 @@ func (s *Shortcut) BlockCounts() []int {
 // induced by the part plus its shortcut edges (with their endpoints). The
 // framework's promise is that this is O(bᵢ · d_T).
 func (s *Shortcut) AugmentedDiameter(i int) int {
-	in := make(map[int]bool)
+	g := s.G
+	in := g.AcquireScratch() // vertex -> local index (assigned after sort)
+	defer g.ReleaseScratch(in)
+	// Collect the augmented vertex set: the part plus shortcut endpoints.
+	verts := make([]int, 0, len(s.P.Sets[i])+2*len(s.Edges[i]))
 	for _, v := range s.P.Sets[i] {
-		in[v] = true
+		if in.Visit(v) {
+			verts = append(verts, v)
+		}
 	}
-	// Collect the augmented vertex set.
+	numPart := len(verts)
 	for _, id := range s.Edges[i] {
-		e := s.G.Edge(id)
-		in[e.U] = true
-		in[e.V] = true
-	}
-	verts := make([]int, 0, len(in))
-	for v := range in {
-		verts = append(verts, v)
+		e := g.Edge(id)
+		if in.Visit(e.U) {
+			verts = append(verts, e.U)
+		}
+		if in.Visit(e.V) {
+			verts = append(verts, e.V)
+		}
 	}
 	sort.Ints(verts)
-	idx := make(map[int]int, len(verts))
 	for li, v := range verts {
-		idx[v] = li
+		// Part members get values < numPart only by coincidence after the
+		// sort, so store the local index and tag part membership separately.
+		in.Set(v, int32(li))
 	}
-	aug := graph.New(len(verts))
-	// Induced part edges.
-	partIn := make(map[int]bool, len(s.P.Sets[i]))
+	partIn := g.AcquireScratch()
+	defer g.ReleaseScratch(partIn)
 	for _, v := range s.P.Sets[i] {
-		partIn[v] = true
+		partIn.Visit(v)
 	}
-	for id := 0; id < s.G.M(); id++ {
-		e := s.G.Edge(id)
-		if partIn[e.U] && partIn[e.V] {
-			aug.AddEdge(idx[e.U], idx[e.V], 1)
+	aug := graph.NewWithEdgeCapacity(len(verts), numPart+len(s.Edges[i]))
+	// Induced part edges, discovered by scanning part adjacency (each edge
+	// once, from its canonical U endpoint).
+	for _, v := range s.P.Sets[i] {
+		for _, a := range g.Adj(v) {
+			if !partIn.Has(a.To) {
+				continue
+			}
+			e := g.Edge(a.ID)
+			if e.U != v {
+				continue // the arc at the other endpoint adds it
+			}
+			aug.AddEdge(int(in.GetOr(e.U, -1)), int(in.GetOr(e.V, -1)), 1)
 		}
 	}
 	for _, id := range s.Edges[i] {
-		e := s.G.Edge(id)
-		aug.AddEdge(idx[e.U], idx[e.V], 1)
+		e := g.Edge(id)
+		aug.AddEdge(int(in.GetOr(e.U, -1)), int(in.GetOr(e.V, -1)), 1)
 	}
-	d := graph.Diameter(aug)
-	return d
+	return graph.Diameter(aug)
 }
 
 // Union merges another shortcut assignment (same G, T, P) into s,
@@ -165,18 +200,34 @@ func (s *Shortcut) Union(other *Shortcut) error {
 		return fmt.Errorf("shortcut: union over different part families")
 	}
 	for i := range s.Edges {
-		merged := make(map[int]bool, len(s.Edges[i])+len(other.Edges[i]))
-		for _, id := range s.Edges[i] {
-			merged[id] = true
-		}
-		for _, id := range other.Edges[i] {
-			merged[id] = true
-		}
-		s.Edges[i] = s.Edges[i][:0]
-		for id := range merged {
-			s.Edges[i] = append(s.Edges[i], id)
-		}
-		sort.Ints(s.Edges[i])
+		s.Edges[i] = mergeSorted(s.Edges[i], other.Edges[i])
 	}
 	return nil
+}
+
+// mergeSorted merges two sorted deduplicated slices into a fresh sorted
+// deduplicated slice.
+func mergeSorted(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }

@@ -31,79 +31,93 @@ type TreewidthResult struct {
 //   - congestion ≤ (width+1)·depth: an edge with top bag t is assigned only
 //     to parts whose high bag is an ancestor-or-self of t, and each bag is
 //     the high bag of at most width+1 disjoint parts.
+//
+// The folded bags are never materialized: tw.FoldSummary supplies each
+// vertex's minimum-depth (post-repair) group, from which the top bag of a
+// tree edge {u,v} is the deeper of minGroup[u] and minGroup[v] — two
+// subtree roots whose intersection the edge certifies nonempty — and the
+// high bag of a part is the shallowest minGroup over its members.
 func FromTreewidth(g *graph.Graph, t *graph.Tree, p *partition.Parts, d *tw.Decomposition) (*TreewidthResult, error) {
 	if d.G != g {
 		return nil, fmt.Errorf("shortcut: decomposition is not over the given graph")
 	}
-	rooted := d.Root(0)
-	folded, _, err := tw.FoldRooted(rooted)
+	folded, minGroup, width, err := d.Root(0).FoldSummary()
 	if err != nil {
 		return nil, fmt.Errorf("shortcut: folding decomposition: %w", err)
 	}
 	res := &TreewidthResult{
 		FoldedHeight: folded.Height(),
-		FoldedWidth:  folded.D.Width(),
+		FoldedWidth:  width,
 	}
-	nb := len(folded.D.Bags)
-	// Euler intervals for ancestor tests on the folded bag tree.
-	tin := make([]int, nb)
-	tout := make([]int, nb)
-	children := make([][]int, nb)
-	for _, b := range folded.Order {
-		if folded.Parent[b] >= 0 {
-			children[folded.Parent[b]] = append(children[folded.Parent[b]], b)
-		}
-	}
-	timer := 0
-	type frame struct {
-		b    int
-		exit bool
-	}
-	stack := []frame{{folded.Root, false}}
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if f.exit {
-			tout[f.b] = timer
-			timer++
-			continue
-		}
-		tin[f.b] = timer
-		timer++
-		stack = append(stack, frame{f.b, true})
-		for _, c := range children[f.b] {
-			stack = append(stack, frame{c, false})
-		}
-	}
-	isAncestor := func(a, b int) bool { return tin[a] <= tin[b] && tout[b] <= tout[a] }
-
-	topBag := folded.TopBagOfEdge()
+	nb := len(folded.Groups)
 	// High bag per part; partsAt groups parts by their high bag.
 	partsAt := make([][]int, nb)
 	for i, set := range p.Sets {
-		h := folded.HighestBag(set)
+		h := int32(-1)
+		for _, v := range set {
+			if mg := minGroup[v]; mg != -1 && (h == -1 || folded.Depth[mg] < folded.Depth[h]) {
+				h = mg
+			}
+		}
 		if h == -1 {
 			return nil, fmt.Errorf("shortcut: part %d meets no bag", i)
 		}
 		partsAt[h] = append(partsAt[h], i)
 	}
-	edges := make([][]int, p.NumParts())
+	// Top (minimum-depth) folded bag of each tree edge, by the subtree-root
+	// argument above.
+	topBagOf := func(id int) (int, error) {
+		e := g.Edge(id)
+		mu, mv := minGroup[e.U], minGroup[e.V]
+		if mu == -1 || mv == -1 {
+			return -1, fmt.Errorf("shortcut: tree edge %d in no bag", id)
+		}
+		if folded.Depth[mu] >= folded.Depth[mv] {
+			return int(mu), nil
+		}
+		return int(mv), nil
+	}
+	// Two passes over the ancestor walks: count grants per part, then fill
+	// exact-sized lists sliced from one backing array. Parts anchored at an
+	// ancestor of an edge's top bag have that bag inside their subtree and
+	// receive the edge. The first pass caches each tree edge's top bag for
+	// the second.
+	counts := make([]int32, p.NumParts())
+	tbOf := make([]int32, g.N()) // indexed by vertex (its parent edge)
+	total := 0
 	for v := 0; v < g.N(); v++ {
 		id := t.ParentEdge[v]
 		if id == -1 {
+			tbOf[v] = -1
 			continue
 		}
-		tb := topBag[id]
-		if tb == -1 {
-			return nil, fmt.Errorf("shortcut: tree edge %d in no bag", id)
+		tb, err := topBagOf(id)
+		if err != nil {
+			return nil, err
 		}
-		// Walk ancestors of the edge's top bag; parts anchored there whose
-		// subtree contains tb receive the edge.
+		tbOf[v] = int32(tb)
 		for a := tb; a != -1; a = folded.Parent[a] {
 			for _, i := range partsAt[a] {
-				if isAncestor(a, tb) { // always true on the ancestor walk
-					edges[i] = append(edges[i], id)
-				}
+				counts[i]++
+				total++
+			}
+		}
+	}
+	edges := make([][]int, p.NumParts())
+	store := make([]int, 0, total)
+	for i, c := range counts {
+		base := len(store)
+		store = store[:base+int(c)]
+		edges[i] = store[base : base : base+int(c)]
+	}
+	for v := 0; v < g.N(); v++ {
+		if tbOf[v] == -1 {
+			continue
+		}
+		id := t.ParentEdge[v]
+		for a := int(tbOf[v]); a != -1; a = folded.Parent[a] {
+			for _, i := range partsAt[a] {
+				edges[i] = append(edges[i], id)
 			}
 		}
 	}

@@ -70,36 +70,54 @@ func (c *CliqueSumTree) Validate() error {
 			return fmt.Errorf("structure: decomposition tree disconnected")
 		}
 	}
-	inBags := make([][]int, c.G.N())
-	vertexSet := make([]map[int]bool, t)
+	// inBags in CSR layout; per-bag membership tests run against an
+	// epoch-stamped arena (one O(1) reset per bag) instead of per-bag maps.
+	n := c.G.N()
+	off := make([]int32, n+1)
 	for bi := range c.Bags {
-		vertexSet[bi] = make(map[int]bool, len(c.Bags[bi].Vertices))
 		for _, v := range c.Bags[bi].Vertices {
-			if v < 0 || v >= c.G.N() {
+			if v < 0 || v >= n {
 				return fmt.Errorf("structure: bag %d has invalid vertex %d", bi, v)
 			}
-			if vertexSet[bi][v] {
+			off[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	inBags := make([]int32, off[n])
+	fill := make([]int32, n)
+	vmark := c.G.AcquireScratch()
+	defer c.G.ReleaseScratch(vmark)
+	for bi := range c.Bags {
+		vmark.Reset()
+		for _, v := range c.Bags[bi].Vertices {
+			if !vmark.Visit(v) {
 				return fmt.Errorf("structure: bag %d lists vertex %d twice", bi, v)
 			}
-			vertexSet[bi][v] = true
-			inBags[v] = append(inBags[v], bi)
+			inBags[off[v]+fill[v]] = int32(bi)
+			fill[v]++
 		}
 	}
 	// (1) cover.
-	for v, bs := range inBags {
-		if len(bs) == 0 {
+	for v := 0; v < n; v++ {
+		if off[v] == off[v+1] {
 			return fmt.Errorf("structure: vertex %d in no bag (property 1)", v)
 		}
 	}
 	// (2) bags are subgraphs.
 	edgeCovered := make([]bool, c.G.M())
 	for bi, b := range c.Bags {
+		vmark.Reset()
+		for _, v := range b.Vertices {
+			vmark.Visit(v)
+		}
 		for _, id := range b.Edges {
 			if id < 0 || id >= c.G.M() {
 				return fmt.Errorf("structure: bag %d has invalid edge %d", bi, id)
 			}
 			e := c.G.Edge(id)
-			if !vertexSet[bi][e.U] || !vertexSet[bi][e.V] {
+			if !vmark.Has(e.U) || !vmark.Has(e.V) {
 				return fmt.Errorf("structure: bag %d edge %d endpoint outside bag (property 2)", bi, id)
 			}
 			edgeCovered[id] = true
@@ -107,13 +125,17 @@ func (c *CliqueSumTree) Validate() error {
 	}
 	// (3) separators bounded by K.
 	for i := range c.Bags {
+		vmark.Reset()
+		for _, v := range c.Bags[i].Vertices {
+			vmark.Visit(v)
+		}
 		for _, j := range c.Adj[i] {
 			if j < i {
 				continue
 			}
 			inter := 0
-			for v := range vertexSet[i] {
-				if vertexSet[j][v] {
+			for _, v := range c.Bags[j].Vertices {
+				if vmark.Has(v) {
 					inter++
 				}
 			}
@@ -122,31 +144,33 @@ func (c *CliqueSumTree) Validate() error {
 			}
 		}
 	}
-	// (4) coherence.
-	mark := make([]int, t)
-	for i := range mark {
-		mark[i] = -1
-	}
-	for v := 0; v < c.G.N(); v++ {
-		for _, b := range inBags[v] {
-			mark[b] = v
+	// (4) coherence: slot value 0 = contains v, 1 = visited.
+	bmark := c.G.AcquireScratch()
+	defer c.G.ReleaseScratch(bmark)
+	bmark.Grow(t)
+	var stack []int
+	for v := 0; v < n; v++ {
+		bs := inBags[off[v]:off[v+1]]
+		bmark.Reset()
+		for _, b := range bs {
+			bmark.Set(int(b), 0)
 		}
-		start := inBags[v][0]
-		visited := map[int]bool{start: true}
-		stack := []int{start}
+		start := int(bs[0])
+		bmark.Set(start, 1)
+		stack = append(stack[:0], start)
 		count := 1
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, y := range c.Adj[x] {
-				if mark[y] == v && !visited[y] {
-					visited[y] = true
+				if st, ok := bmark.Get(y); ok && st == 0 {
+					bmark.Set(y, 1)
 					count++
 					stack = append(stack, y)
 				}
 			}
 		}
-		if count != len(inBags[v]) {
+		if count != len(bs) {
 			return fmt.Errorf("structure: vertex %d bags not coherent (property 4)", v)
 		}
 	}
@@ -161,12 +185,36 @@ func (c *CliqueSumTree) Validate() error {
 
 // Separator returns the sorted vertex intersection of two adjacent bags.
 func (c *CliqueSumTree) Separator(i, j int) []int {
-	in := make(map[int]bool, len(c.Bags[i].Vertices))
-	for _, v := range c.Bags[i].Vertices {
+	a, b := c.Bags[i].Vertices, c.Bags[j].Vertices
+	if sort.IntsAreSorted(a) && sort.IntsAreSorted(b) {
+		// The common case: bag vertex lists are built sorted, so the
+		// separator is a linear merge-intersection.
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		out := make([]int, 0, n)
+		x, y := 0, 0
+		for x < len(a) && y < len(b) {
+			switch {
+			case a[x] < b[y]:
+				x++
+			case a[x] > b[y]:
+				y++
+			default:
+				out = append(out, a[x])
+				x++
+				y++
+			}
+		}
+		return out
+	}
+	in := make(map[int]bool, len(a))
+	for _, v := range a {
 		in[v] = true
 	}
 	var out []int
-	for _, v := range c.Bags[j].Vertices {
+	for _, v := range b {
 		if in[v] {
 			out = append(out, v)
 		}

@@ -122,19 +122,54 @@ func TrivialDecomposition(g *graph.Graph) *Decomposition {
 // FromBags builds a decomposition from explicit bags and a parent array over
 // bags (parent[root] = -1), validating the result.
 func FromBags(g *graph.Graph, bags [][]int, parent []int) (*Decomposition, error) {
-	d := &Decomposition{G: g, Bags: bags, Adj: make([][]int, len(bags))}
 	for i, p := range parent {
-		if p == -1 {
-			continue
-		}
-		if p < 0 || p >= len(bags) {
+		if p != -1 && (p < 0 || p >= len(bags)) {
 			return nil, fmt.Errorf("tw: bag %d has invalid parent %d", i, p)
 		}
-		d.Adj[i] = append(d.Adj[i], p)
-		d.Adj[p] = append(d.Adj[p], i)
 	}
+	d := &Decomposition{G: g, Bags: bags, Adj: adjFromParents(parent)}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// FromBagsTrusted is FromBags without the O(n+m) validation pass, for
+// generators whose bags are correct by construction (their validity is
+// covered by the generator's own tests). Parent indices are still
+// range-checked.
+func FromBagsTrusted(g *graph.Graph, bags [][]int, parent []int) (*Decomposition, error) {
+	for i, p := range parent {
+		if p != -1 && (p < 0 || p >= len(bags)) {
+			return nil, fmt.Errorf("tw: bag %d has invalid parent %d", i, p)
+		}
+	}
+	return &Decomposition{G: g, Bags: bags, Adj: adjFromParents(parent)}, nil
+}
+
+// adjFromParents builds symmetric tree adjacency lists from parent pointers
+// in CSR layout (one backing array).
+func adjFromParents(parent []int) [][]int {
+	n := len(parent)
+	deg := make([]int32, n)
+	for i, p := range parent {
+		if p != -1 {
+			deg[i]++
+			deg[p]++
+		}
+	}
+	adj := make([][]int, n)
+	store := make([]int, 0, 2*n)
+	for v := 0; v < n; v++ {
+		base := len(store)
+		store = store[:base+int(deg[v])]
+		adj[v] = store[base : base : base+int(deg[v])]
+	}
+	for i, p := range parent {
+		if p != -1 {
+			adj[i] = append(adj[i], p)
+			adj[p] = append(adj[p], i)
+		}
+	}
+	return adj
 }

@@ -34,6 +34,36 @@ func (d *Decomposition) Width() int {
 // NumBags returns the number of bags.
 func (d *Decomposition) NumBags() int { return len(d.Bags) }
 
+// inBagCSR returns, for every vertex, the bags containing it, as a CSR pair
+// (offsets into one backing array) built in two counting passes — no
+// per-vertex slice growth. It reports the first duplicated or out-of-range
+// vertex it encounters.
+func (d *Decomposition) inBagCSR() (lists []int32, off []int32, err error) {
+	n := d.G.N()
+	off = make([]int32, n+1)
+	for bi, bag := range d.Bags {
+		for _, v := range bag {
+			if v < 0 || v >= n {
+				return nil, nil, fmt.Errorf("tw: bag %d contains invalid vertex %d", bi, v)
+			}
+			off[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	buf := make([]int32, int(off[n])+n) // lists and fill share one allocation
+	lists = buf[:off[n]]
+	fill := buf[off[n]:]
+	for bi, bag := range d.Bags {
+		for _, v := range bag {
+			lists[off[v]+fill[v]] = int32(bi)
+			fill[v]++
+		}
+	}
+	return lists, off, nil
+}
+
 // Validate checks that d is a valid tree decomposition of d.G:
 // (i) the tree is in fact a tree, (ii) bags cover all vertices,
 // (iii) every edge has both endpoints in some bag, and (iv) for each vertex
@@ -53,7 +83,8 @@ func (d *Decomposition) Validate() error {
 	}
 	if t > 0 {
 		seen := make([]bool, t)
-		stack := []int{0}
+		stack := make([]int, 1, t)
+		stack[0] = 0
 		seen[0] = true
 		count := 1
 		for len(stack) > 0 {
@@ -71,70 +102,65 @@ func (d *Decomposition) Validate() error {
 			return fmt.Errorf("tw: bag tree disconnected (%d of %d reachable)", count, t)
 		}
 	}
-	// Cover.
-	inBag := make([][]int, d.G.N())
+	// Cover: every vertex in some bag, no bag lists a vertex twice. The
+	// duplicate check rides on the CSR build plus one scan per bag against an
+	// epoch-stamped mark (reset is O(1) per bag). Arenas come from the
+	// graph's pool, grown to cover bag indices when needed.
+	marks := d.G.AcquireScratch()
+	defer d.G.ReleaseScratch(marks)
+	marks.Grow(t)
+	seenV := d.G.AcquireScratch()
+	defer d.G.ReleaseScratch(seenV)
 	for bi, bag := range d.Bags {
-		seenV := make(map[int]bool, len(bag))
+		seenV.Reset()
 		for _, v := range bag {
-			if v < 0 || v >= d.G.N() {
-				return fmt.Errorf("tw: bag %d contains invalid vertex %d", bi, v)
-			}
-			if seenV[v] {
+			if v >= 0 && v < d.G.N() && !seenV.Visit(v) {
 				return fmt.Errorf("tw: bag %d lists vertex %d twice", bi, v)
 			}
-			seenV[v] = true
-			inBag[v] = append(inBag[v], bi)
 		}
 	}
-	for v, bs := range inBag {
-		if len(bs) == 0 {
+	inBag, off, err := d.inBagCSR()
+	if err != nil {
+		return err
+	}
+	for v := 0; v < d.G.N(); v++ {
+		if off[v] == off[v+1] {
 			return fmt.Errorf("tw: vertex %d in no bag", v)
 		}
 	}
-	// Edge containment.
+	// Edge containment: the CSR lists are ascending (bags are scanned in
+	// index order), so a common bag is found by a linear merge.
 	for id := 0; id < d.G.M(); id++ {
 		e := d.G.Edge(id)
-		ok := false
-		set := make(map[int]bool, len(inBag[e.U]))
-		for _, b := range inBag[e.U] {
-			set[b] = true
-		}
-		for _, b := range inBag[e.V] {
-			if set[b] {
-				ok = true
-				break
-			}
-		}
-		if !ok {
+		if firstCommonBag(inBag[off[e.U]:off[e.U+1]], inBag[off[e.V]:off[e.V+1]]) == -1 {
 			return fmt.Errorf("tw: edge %d {%d,%d} contained in no bag", id, e.U, e.V)
 		}
 	}
 	// Coherence: bags containing v induce a connected subtree.
-	mark := make([]int, t)
-	for i := range mark {
-		mark[i] = -1
-	}
+	var stack []int
 	for v := 0; v < d.G.N(); v++ {
-		for _, b := range inBag[v] {
-			mark[b] = v
+		bs := inBag[off[v]:off[v+1]]
+		marks.Reset() // slot value: 0 = contains v, 1 = visited
+		for _, b := range bs {
+			marks.Set(int(b), 0)
 		}
-		start := inBag[v][0]
-		stack := []int{start}
-		visited := map[int]bool{start: true}
+		start := int(bs[0])
+		stack = append(stack[:0], start)
+		marks.Set(start, 1)
 		count := 1
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, y := range d.Adj[x] {
-				if mark[y] == v && !visited[y] {
-					visited[y] = true
+				if st, ok := marks.Get(y); ok && st == 0 {
+					marks.Set(y, 1)
 					count++
 					stack = append(stack, y)
 				}
 			}
 		}
-		if count != len(inBag[v]) {
-			return fmt.Errorf("tw: vertex %d bags not coherent (%d of %d connected)", v, count, len(inBag[v]))
+		if count != len(bs) {
+			return fmt.Errorf("tw: vertex %d bags not coherent (%d of %d connected)", v, count, len(bs))
 		}
 	}
 	return nil
@@ -170,40 +196,39 @@ func (d *Decomposition) RepairCoherence() {
 			}
 		}
 	}
-	inBag := make([][]int, d.G.N())
-	for bi, bag := range d.Bags {
-		for _, v := range bag {
-			inBag[v] = append(inBag[v], bi)
-		}
+	inBag, off, err := d.inBagCSR()
+	if err != nil {
+		// Malformed input; leave it for Validate to report.
+		return
 	}
-	present := make([]map[int]bool, t)
-	for i, bag := range d.Bags {
-		present[i] = make(map[int]bool, len(bag))
-		for _, v := range bag {
-			present[i][v] = true
-		}
-	}
+	// has stamps, per vertex, the bags that currently contain it (the CSR
+	// lists plus any added along repair paths); reset is O(1) per vertex.
+	has := d.G.AcquireScratch()
+	defer d.G.ReleaseScratch(has)
+	has.Grow(t)
 	for v := 0; v < d.G.N(); v++ {
-		bs := inBag[v]
+		bs := inBag[off[v]:off[v+1]]
 		if len(bs) <= 1 {
 			continue
 		}
+		has.Reset()
+		for _, b := range bs {
+			has.Visit(int(b))
+		}
 		// Union of pairwise tree paths from bs[0] to each other bag.
-		base := bs[0]
-		for _, b := range bs[1:] {
-			x, y := base, b
+		base := int(bs[0])
+		for _, b32 := range bs[1:] {
+			x, y := base, int(b32)
 			for x != y {
 				if depth[x] < depth[y] {
 					x, y = y, x
 				}
-				if !present[x][v] {
-					present[x][v] = true
+				if has.Visit(x) {
 					d.Bags[x] = append(d.Bags[x], v)
 				}
 				x = parent[x]
 			}
-			if !present[x][v] {
-				present[x][v] = true
+			if has.Visit(x) {
 				d.Bags[x] = append(d.Bags[x], v)
 			}
 		}
@@ -226,26 +251,26 @@ type Rooted struct {
 // Root roots the decomposition's bag tree at bag r.
 func (d *Decomposition) Root(r int) *Rooted {
 	t := len(d.Bags)
+	store := make([]int, 3*t) // Parent, Depth, Order share one allocation
 	rd := &Rooted{
 		D:      d,
 		Root:   r,
-		Parent: make([]int, t),
-		Depth:  make([]int, t),
+		Parent: store[0:t:t],
+		Depth:  store[t : 2*t : 2*t],
+		Order:  store[2*t : 2*t : 3*t],
 	}
 	for i := range rd.Parent {
 		rd.Parent[i] = -2
 	}
 	rd.Parent[r] = -1
-	queue := []int{r}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		rd.Order = append(rd.Order, x)
+	rd.Order = append(rd.Order, r)
+	for head := 0; head < len(rd.Order); head++ {
+		x := rd.Order[head]
 		for _, y := range d.Adj[x] {
 			if rd.Parent[y] == -2 {
 				rd.Parent[y] = x
 				rd.Depth[y] = rd.Depth[x] + 1
-				queue = append(queue, y)
+				rd.Order = append(rd.Order, y)
 			}
 		}
 	}
@@ -263,53 +288,152 @@ func (r *Rooted) Height() int {
 	return h
 }
 
+// MinDepthBagOfVertex returns, for every vertex, the minimum-depth bag
+// containing it (-1 for a vertex in no bag). Computed in one sweep over the
+// bags; the per-part HighestBag reduces to a min over this array.
+func (r *Rooted) MinDepthBagOfVertex() []int32 {
+	out := make([]int32, r.D.G.N())
+	for i := range out {
+		out[i] = -1
+	}
+	for bi, bag := range r.D.Bags {
+		for _, v := range bag {
+			if out[v] == -1 || r.Depth[bi] < r.Depth[out[v]] {
+				out[v] = int32(bi)
+			}
+		}
+	}
+	return out
+}
+
 // HighestBag returns, for each part (vertex set), the bag of minimum depth
 // intersecting it, or -1 for an empty part. By coherence, the bags meeting a
 // connected part form a subtree, so the highest bag is unique.
 func (r *Rooted) HighestBag(part []int) int {
-	in := make(map[int]bool, len(part))
-	for _, v := range part {
-		in[v] = true
-	}
+	minBag := r.MinDepthBagOfVertex()
+	return r.highestBagFrom(minBag, part)
+}
+
+// highestBagFrom is HighestBag against a precomputed MinDepthBagOfVertex
+// array, for callers resolving many parts against one rooting.
+func (r *Rooted) highestBagFrom(minBag []int32, part []int) int {
 	best := -1
-	for bi, bag := range r.D.Bags {
-		hit := false
-		for _, v := range bag {
-			if in[v] {
-				hit = true
-				break
-			}
-		}
-		if hit && (best == -1 || r.Depth[bi] < r.Depth[best]) {
-			best = bi
+	for _, v := range part {
+		if b := int(minBag[v]); b != -1 && (best == -1 || r.Depth[b] < r.Depth[best]) {
+			best = b
 		}
 	}
 	return best
 }
 
+// HighestBags resolves the highest bag of many parts against one rooting,
+// sharing the per-vertex sweep.
+func (r *Rooted) HighestBags(parts [][]int) []int {
+	minBag := r.MinDepthBagOfVertex()
+	out := make([]int, len(parts))
+	for i, part := range parts {
+		out[i] = r.highestBagFrom(minBag, part)
+	}
+	return out
+}
+
 // TopBagOfEdge returns, for every graph edge, the minimum-depth bag
 // containing both endpoints (-1 if none, which Validate would reject).
 func (r *Rooted) TopBagOfEdge() []int {
-	inBag := make([][]int, r.D.G.N())
-	for bi, bag := range r.D.Bags {
-		for _, v := range bag {
-			inBag[v] = append(inBag[v], bi)
+	inBag, off, err := r.D.inBagCSR()
+	if err != nil {
+		// Malformed bags: report every edge as uncontained, as the map-based
+		// implementation did.
+		out := make([]int, r.D.G.M())
+		for i := range out {
+			out[i] = -1
 		}
+		return out
 	}
 	out := make([]int, r.D.G.M())
 	for id := 0; id < r.D.G.M(); id++ {
 		e := r.D.G.Edge(id)
-		set := make(map[int]bool, len(inBag[e.U]))
-		for _, b := range inBag[e.U] {
-			set[b] = true
-		}
+		// The CSR lists are ascending; walk the merge-intersection keeping
+		// the minimum-depth common bag.
+		a, b := inBag[off[e.U]:off[e.U+1]], inBag[off[e.V]:off[e.V+1]]
 		best := -1
-		for _, b := range inBag[e.V] {
-			if set[b] && (best == -1 || r.Depth[b] < r.Depth[best]) {
-				best = b
+		x, y := 0, 0
+		for x < len(a) && y < len(b) {
+			switch {
+			case a[x] < b[y]:
+				x++
+			case a[x] > b[y]:
+				y++
+			default:
+				if bi := int(a[x]); best == -1 || r.Depth[bi] < r.Depth[best] {
+					best = bi
+				}
+				x++
+				y++
 			}
 		}
 		out[id] = best
 	}
 	return out
+}
+
+// TopBagOfTreeEdges returns, for every tree edge (given as the parent-edge
+// array of a spanning tree, -1 at the root), the minimum-depth bag containing
+// both endpoints, indexed by edge ID (-1 for non-tree edges and uncontained
+// edges). It does the per-edge work of TopBagOfEdge for just the n-1 tree
+// edges instead of all m graph edges.
+func (r *Rooted) TopBagOfTreeEdges(parentEdge []int) []int {
+	inBag, off, err := r.D.inBagCSR()
+	if err != nil {
+		out := make([]int, r.D.G.M())
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	out := make([]int, r.D.G.M())
+	for i := range out {
+		out[i] = -1
+	}
+	for _, id := range parentEdge {
+		if id == -1 {
+			continue
+		}
+		e := r.D.G.Edge(id)
+		a, b := inBag[off[e.U]:off[e.U+1]], inBag[off[e.V]:off[e.V+1]]
+		best := -1
+		x, y := 0, 0
+		for x < len(a) && y < len(b) {
+			switch {
+			case a[x] < b[y]:
+				x++
+			case a[x] > b[y]:
+				y++
+			default:
+				if bi := int(a[x]); best == -1 || r.Depth[bi] < r.Depth[best] {
+					best = bi
+				}
+				x++
+				y++
+			}
+		}
+		out[id] = best
+	}
+	return out
+}
+
+// firstCommonBag returns some common element of two ascending lists, or -1.
+func firstCommonBag(a, b []int32) int {
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			return int(a[x])
+		}
+	}
+	return -1
 }

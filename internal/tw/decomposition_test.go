@@ -69,7 +69,7 @@ func TestCotreeDecompositionOnPlanarFamilies(t *testing.T) {
 		{"grid2x20", gen.Grid(2, 20)},
 		{"wheel20", gen.Wheel(20)},
 		{"outerplanar", gen.Outerplanar(30, 10, rng)},
-		{"apollonian", &gen.NewApollonian(40, rng).Embedded},
+		{"apollonian", apollonianEmbedded(40, rng)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -152,4 +152,12 @@ func TestPartialKTree(t *testing.T) {
 	if pk.G.M() >= full.G.M() {
 		t.Fatal("no edges were dropped")
 	}
+}
+
+// apollonianEmbedded returns an Apollonian network with its embedding
+// materialized (NewApollonian defers it).
+func apollonianEmbedded(n int, rng *rand.Rand) *gen.Embedded {
+	a := gen.NewApollonian(n, rng)
+	a.EnsureEmbedding()
+	return &a.Embedded
 }

@@ -30,25 +30,37 @@ func Fold(parent []int, root int) *Folded {
 	if parent[root] != -1 {
 		panic(fmt.Sprintf("tw.Fold: root %d has parent %d", root, parent[root]))
 	}
+	// Working arrays (degrees, children CSR store, order, size, heavy) are
+	// slices of one backing allocation.
+	work := make([]int, 5*n)
+	deg := work[4*n : 5*n]
+	for _, p := range parent {
+		if p != -1 {
+			deg[p]++
+		}
+	}
+	childStore := work[0:0:n]
 	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		base := len(childStore)
+		childStore = childStore[:base+int(deg[v])]
+		children[v] = childStore[base : base : base+int(deg[v])]
+	}
 	for v, p := range parent {
 		if p != -1 {
 			children[p] = append(children[p], v)
 		}
 	}
 	// Subtree sizes bottom-up via topological order.
-	order := make([]int, 0, n)
-	stack := []int{root}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		order = append(order, v)
-		stack = append(stack, children[v]...)
+	order := work[n : n : 2*n]
+	order = append(order, root)
+	for head := 0; head < len(order); head++ {
+		order = append(order, children[order[head]]...)
 	}
 	if len(order) != n {
 		panic("tw.Fold: parent array does not form a tree")
 	}
-	size := make([]int, n)
+	size := work[2*n : 3*n]
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
 		size[v]++
@@ -57,7 +69,7 @@ func Fold(parent []int, root int) *Folded {
 		}
 	}
 	// Heavy chains: heavy[v] = child with max subtree.
-	heavy := make([]int, n)
+	heavy := work[3*n : 4*n]
 	for v := range heavy {
 		heavy[v] = -1
 		best := -1
@@ -68,13 +80,26 @@ func Fold(parent []int, root int) *Folded {
 			}
 		}
 	}
-	f := &Folded{GroupOf: make([]int, n)}
+	// Folded's int arrays (Parent, GroupOf, Depth, group node-lists) are
+	// slices of one backing allocation.
+	fstore := make([]int, 4*n)
+	f := &Folded{
+		Groups:  make([][]int, 0, n),
+		Parent:  fstore[0:0:n],
+		GroupOf: fstore[n : 2*n : 2*n],
+		Depth:   fstore[2*n : 2*n : 3*n],
+	}
 	for i := range f.GroupOf {
 		f.GroupOf[i] = -1
 	}
-	newGroup := func(nodes []int, parentGroup int) int {
+	// All group node-lists (1..3 nodes each, n nodes total) are slices of one
+	// backing array.
+	nodeStore := fstore[3*n : 3*n : 4*n]
+	newGroup := func(parentGroup int, nodes ...int) int {
 		gi := len(f.Groups)
-		f.Groups = append(f.Groups, nodes)
+		start := len(nodeStore)
+		nodeStore = append(nodeStore, nodes...)
+		f.Groups = append(f.Groups, nodeStore[start:len(nodeStore):len(nodeStore)])
 		f.Parent = append(f.Parent, parentGroup)
 		d := 0
 		if parentGroup != -1 {
@@ -92,12 +117,12 @@ func Fold(parent []int, root int) *Folded {
 	foldChain = func(chain []int, lo, hi, parentGroup int) int {
 		switch hi - lo {
 		case 0:
-			return newGroup([]int{chain[lo]}, parentGroup)
+			return newGroup(parentGroup, chain[lo])
 		case 1:
-			return newGroup([]int{chain[lo], chain[hi]}, parentGroup)
+			return newGroup(parentGroup, chain[lo], chain[hi])
 		}
 		mid := (lo + hi) / 2
-		gi := newGroup([]int{chain[lo], chain[mid], chain[hi]}, parentGroup)
+		gi := newGroup(parentGroup, chain[lo], chain[mid], chain[hi])
 		if lo+1 <= mid-1 {
 			foldChain(chain, lo+1, mid-1, gi)
 		}
@@ -108,12 +133,13 @@ func Fold(parent []int, root int) *Folded {
 	}
 	// Process chains in top-down order of their heads so that the parent
 	// group of a chain head's original parent already exists.
+	var chain []int
 	for _, v := range order {
 		isHead := parent[v] == -1 || heavy[parent[v]] != v
 		if !isHead {
 			continue
 		}
-		var chain []int
+		chain = chain[:0]
 		for x := v; x != -1; x = heavy[x] {
 			chain = append(chain, x)
 		}
@@ -180,29 +206,114 @@ func (f *Folded) Height() int {
 // decomposition.
 func FoldRooted(r *Rooted) (*Rooted, *Folded, error) {
 	f := Fold(r.Parent, r.Root)
-	nd := &Decomposition{G: r.D.G, Bags: make([][]int, len(f.Groups)), Adj: make([][]int, len(f.Groups))}
+	nd := &Decomposition{G: r.D.G, Bags: make([][]int, len(f.Groups))}
+	seen := r.D.G.AcquireScratch()
+	defer r.D.G.ReleaseScratch(seen)
+	total := 0
+	for _, bag := range r.D.Bags {
+		total += len(bag)
+	}
+	store := make([]int, 0, total) // all merged bags share one backing array
 	for gi, nodes := range f.Groups {
-		in := make(map[int]bool)
+		seen.Reset()
+		base := len(store)
 		for _, bi := range nodes {
 			for _, v := range r.D.Bags[bi] {
-				in[v] = true
+				if seen.Visit(v) {
+					store = append(store, v)
+				}
 			}
 		}
-		for v := range in {
-			nd.Bags[gi] = append(nd.Bags[gi], v)
-		}
+		nd.Bags[gi] = store[base:len(store):len(store)]
 	}
 	rootGroup := f.GroupOf[r.Root]
-	for gi, p := range f.Parent {
-		if p != -1 {
-			nd.Adj[gi] = append(nd.Adj[gi], p)
-			nd.Adj[p] = append(nd.Adj[p], gi)
+	nd.Adj = adjFromParents(f.Parent)
+	// Folding a chain can break coherence across groups; repair it. The
+	// repaired result is a valid decomposition by construction (covered by
+	// TestFoldRootedStillValid); hot paths no longer pay for a full
+	// re-validation here.
+	nd.RepairCoherence()
+	if debugValidate {
+		if err := nd.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("tw.FoldRooted: %w", err)
 		}
 	}
-	// Folding a chain can break coherence across groups; repair then verify.
-	nd.RepairCoherence()
-	if err := nd.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("tw.FoldRooted: %w", err)
-	}
 	return nd.Root(rootGroup), f, nil
+}
+
+// debugValidate re-enables the defensive Validate call inside FoldRooted.
+// Tests flip this on via the build-independent helper in fold_test.go-style
+// property tests; production hot paths keep it off.
+var debugValidate = false
+
+// FoldSummary folds the rooted decomposition and computes, WITHOUT
+// materializing the folded-and-repaired bags, everything the treewidth
+// shortcut construction needs from them:
+//
+//   - minGroup[v]: the minimum-depth folded group whose repaired bag
+//     contains v (-1 for a vertex in no bag). After coherence repair, the
+//     groups containing v form the Steiner closure (union of pairwise tree
+//     paths) of v's pre-repair groups, and the closure's root is their LCA;
+//   - width: the width of the folded+repaired decomposition, via per-group
+//     membership counts accumulated along the same Steiner walks.
+//
+// Both agree exactly with FoldRooted + RepairCoherence on the materialized
+// decomposition (see the equivalence test in fold_test.go), at a fraction
+// of the cost: no bag unions, no bag sorting, no repaired-bag CSR.
+func (r *Rooted) FoldSummary() (f *Folded, minGroup []int32, width int, err error) {
+	f = Fold(r.Parent, r.Root)
+	inBag, off, err := r.D.inBagCSR()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	n := r.D.G.N()
+	minGroup = make([]int32, n)
+	count := make([]int32, len(f.Groups))
+	mark := r.D.G.AcquireScratch()
+	defer r.D.G.ReleaseScratch(mark)
+	mark.Grow(len(f.Groups))
+	for v := 0; v < n; v++ {
+		bs := inBag[off[v]:off[v+1]]
+		if len(bs) == 0 {
+			minGroup[v] = -1
+			continue
+		}
+		mark.Reset()
+		base := f.GroupOf[bs[0]]
+		mark.Visit(base)
+		count[base]++
+		best := base
+		for _, b := range bs[1:] {
+			// Walk the pairwise path base..GroupOf[b], counting each group
+			// first entered by this vertex (mirrors RepairCoherence's
+			// repair walk without touching bag storage).
+			x, y := base, f.GroupOf[int(b)]
+			for x != y {
+				if f.Depth[x] < f.Depth[y] {
+					x, y = y, x
+				}
+				if mark.Visit(x) {
+					count[x]++
+					if f.Depth[x] < f.Depth[best] {
+						best = x
+					}
+				}
+				x = f.Parent[x]
+			}
+			if mark.Visit(x) {
+				count[x]++
+			}
+			if f.Depth[x] < f.Depth[best] {
+				best = x
+			}
+		}
+		minGroup[v] = int32(best)
+	}
+	maxCount := int32(0)
+	for _, c := range count {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	return f, minGroup, int(maxCount) - 1, nil
 }
