@@ -158,6 +158,19 @@ func BenchmarkE8bLowerBoundMST(b *testing.B) {
 	reportLastCell(b, t, "r_oblivious", "rounds")
 }
 
+// BenchmarkE9SSSP regenerates the (1+ε)-approximate shortest-path table:
+// naive Bellman–Ford rounds vs the part-wise relaxation pipeline on the
+// hop-heavy wheel and K5-minor-free clique-sum-chain families.
+func BenchmarkE9SSSP(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E9SSSP([]int{64, 128, 256, 512}, []int{32, 64, 128, 256}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "speedup", "speedup")
+}
+
 func BenchmarkE10FoldingAblation(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {

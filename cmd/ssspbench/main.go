@@ -1,0 +1,26 @@
+// ssspbench regenerates the distributed (1+ε)-approximate shortest-path
+// table (experiment E9 of the evaluation plan): naive Bellman–Ford rounds
+// vs the part-wise relaxation pipeline on wheels and K5-minor-free
+// clique-sum chains.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	rims := []int{64, 128, 256, 512}
+	chains := []int{32, 64, 128, 256}
+	if *big {
+		rims = []int{64, 128, 256, 512, 1024, 2048}
+		chains = []int{32, 64, 128, 256, 512, 1024}
+	}
+	fmt.Println(experiments.E9SSSP(rims, chains, *seed))
+}

@@ -1,0 +1,112 @@
+// Ring road with an air-freight hub: the SSSP scenario of experiment E9.
+//
+// Depots sit on a ring road (cheap hops to their neighbors); one central
+// air hub links every depot but air freight is expensive, so the cheapest
+// routes hug the ring — shortest paths are hop-heavy even though the
+// network diameter is 2. Plain distributed Bellman–Ford needs one round
+// per ring hop; the shortcut framework's part-wise relaxation
+// (weight-rounded Bellman–Ford over rim-arc parts, Ghaffari–Haeupler
+// style) settles in a few phases of Õ(quality) rounds while guaranteeing
+// (1+ε)-accurate travel times.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+	"repro/internal/sssp"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const rim = 96 // depots on the ring
+	const eps = 0.1
+	rng := xrand.New(9)
+	g := gen.Wheel(rim + 1).G
+	hub := g.N() - 1
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(id)
+		if e.U == hub || e.V == hub {
+			g.SetWeight(id, float64(10*rim)+rng.Float64()) // air freight
+		} else {
+			g.SetWeight(id, 1+0.25*rng.Float64()) // ring segment
+		}
+	}
+	parts, err := partition.RimArcs(g, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := graph.BFSTree(g, hub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, m := shortcut.ObliviousAuto(g, tr, parts)
+	fmt.Printf("ring road: %d depots + air hub, diameter=%d, shortcut quality=%d\n",
+		g.N(), graph.Diameter(g), m.Quality)
+
+	const depot = 0
+	// Exact oracle and the naive baseline, fully simulated: every depot
+	// floods improved travel times to its road neighbors.
+	exact, err := graph.Dijkstra(g, depot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := make([]float64, g.M())
+	init := make([]float64, g.N())
+	for id := range weights {
+		weights[id] = g.Edge(id).W
+	}
+	for v := range init {
+		init[v] = math.Inf(1)
+	}
+	init[depot] = 0
+	naive, err := congest.RelaxBellmanFord(g, weights, init)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The (1+ε) pipeline with every phase's part-wise relaxation simulated
+	// on the CONGEST engine.
+	r, err := sssp.Approx(g, depot, parts, s, sssp.Options{Eps: eps, Simulate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// And the analytic-charge fast path used by the large benches.
+	ra, err := sssp.Approx(g, depot, parts, s, sssp.Options{Eps: eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stretch := 1.0
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(naive.Dist[v]-exact.Dist[v]) > 1e-9 {
+			log.Fatalf("naive Bellman-Ford disagrees with Dijkstra at %d", v)
+		}
+		if r.Dist[v] != ra.Dist[v] {
+			log.Fatalf("simulated and analytic pipelines disagree at %d", v)
+		}
+		if v == depot {
+			continue
+		}
+		if ratio := r.Dist[v] / exact.Dist[v]; ratio > stretch {
+			stretch = ratio
+		}
+	}
+	fmt.Printf("naive flooding:        %4d rounds (exact travel times)\n", naive.EffectiveRounds)
+	fmt.Printf("part-wise relaxation:  %4d charged rounds over %d phases (analytic mode)\n",
+		ra.ChargedRounds, ra.Phases)
+	fmt.Printf("simulated pipeline:    %4d rounds, %d messages\n", r.CommRounds, r.Messages)
+	fmt.Printf("achieved stretch:      %.4f (guarantee 1+ε = %.2f)\n", stretch, 1+eps)
+	if stretch > 1+eps+1e-9 {
+		log.Fatal("stretch guarantee violated")
+	}
+	if ra.ChargedRounds >= naive.EffectiveRounds {
+		fmt.Println("note: at this ring size the naive flood is still competitive; grow the ring and it falls behind linearly")
+	}
+}

@@ -36,49 +36,9 @@ func AggregateMin(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys
 	if len(keys) != g.N() {
 		return nil, fmt.Errorf("congest: %d keys for %d vertices", len(keys), g.N())
 	}
-	// Channels: per edge, the parts communicating over it, in CSR layout.
-	// An edge carries its induced part (both endpoints in the same part)
-	// plus every part whose shortcut borrows it.
-	peOff := make([]int32, g.M()+1)
-	induced := func(id int) int {
-		e := g.Edge(id)
-		if pi := p.Of[e.U]; pi != -1 && pi == p.Of[e.V] {
-			return pi
-		}
-		return -1
-	}
-	for id := 0; id < g.M(); id++ {
-		if induced(id) != -1 {
-			peOff[id+1]++
-		}
-	}
-	for pi, ids := range s.Edges {
-		for _, id := range ids {
-			if induced(id) != pi {
-				peOff[id+1]++
-			}
-		}
-	}
-	for id := 0; id < g.M(); id++ {
-		peOff[id+1] += peOff[id]
-	}
-	peStore := make([]int32, peOff[g.M()])
-	peLen := make([]int32, g.M())
-	for id := 0; id < g.M(); id++ {
-		if pi := induced(id); pi != -1 {
-			peStore[peOff[id]] = int32(pi)
-			peLen[id] = 1
-		}
-	}
-	for pi, ids := range s.Edges {
-		for _, id := range ids {
-			if induced(id) != pi {
-				peStore[peOff[id]+peLen[id]] = int32(pi)
-				peLen[id]++
-			}
-		}
-	}
-	partsOnEdge := func(id int) []int32 { return peStore[peOff[id] : peOff[id]+peLen[id]] }
+	// Channels: per edge, the parts communicating over it (see
+	// buildEdgeChannels, shared with the relaxation primitive).
+	partsOnEdge := buildEdgeChannels(g, p, s)
 	// Expected answers for convergence checking (the environment's
 	// ground-truth; a real deployment would rely on the proven bound).
 	want := make([]uint64, p.NumParts())

@@ -128,48 +128,9 @@ func TestSlabAggregateMatchesClosureReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rebuild the same partsOnEdge relation the slab version used.
+	// The same channel relation the slab version used (shared builder).
 	g := e.G
-	peOff := make([]int32, g.M()+1)
-	induced := func(id int) int {
-		ed := g.Edge(id)
-		if pi := p.Of[ed.U]; pi != -1 && pi == p.Of[ed.V] {
-			return pi
-		}
-		return -1
-	}
-	for id := 0; id < g.M(); id++ {
-		if induced(id) != -1 {
-			peOff[id+1]++
-		}
-	}
-	for pi, ids := range s.Edges {
-		for _, id := range ids {
-			if induced(id) != pi {
-				peOff[id+1]++
-			}
-		}
-	}
-	for id := 0; id < g.M(); id++ {
-		peOff[id+1] += peOff[id]
-	}
-	peStore := make([]int32, peOff[g.M()])
-	peLen := make([]int32, g.M())
-	for id := 0; id < g.M(); id++ {
-		if pi := induced(id); pi != -1 {
-			peStore[peOff[id]] = int32(pi)
-			peLen[id] = 1
-		}
-	}
-	for pi, ids := range s.Edges {
-		for _, id := range ids {
-			if induced(id) != pi {
-				peStore[peOff[id]+peLen[id]] = int32(pi)
-				peLen[id]++
-			}
-		}
-	}
-	partsOnEdge := func(id int) []int32 { return peStore[peOff[id] : peOff[id]+peLen[id]] }
+	partsOnEdge := buildEdgeChannels(g, p, s)
 	want := make([]uint64, p.NumParts())
 	for i := range want {
 		want[i] = math.MaxUint64

@@ -1,10 +1,19 @@
 package congest
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
 )
+
+// ErrIncomplete is wrapped by protocol helpers whose run terminated without
+// every node reaching the protocol's final state — a flood that did not
+// cover the graph within its round bound, or a node that bailed out
+// mid-protocol. Before this sentinel existed, such runs left zero-valued
+// entries in the result arrays, which could masquerade as legitimate output
+// (parent 0, leader 0).
+var ErrIncomplete = errors.New("congest: protocol incomplete")
 
 // DistributedBFS builds a BFS tree from root with a classic flooding
 // protocol: the root announces itself; every node adopts the first
@@ -13,14 +22,26 @@ import (
 // CONGEST conventions in §1.3.1).
 //
 // Returns the parent and parent-edge arrays (as in graph.BFS) plus stats.
+// If diamBound is below the true eccentricity of root, the flood cannot
+// reach every node and the run fails with ErrIncomplete rather than
+// returning a partial tree.
 func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []int, stats Stats, err error) {
 	n := g.N()
+	if root < 0 || root >= n {
+		return nil, nil, stats, fmt.Errorf("congest: BFS root %d out of range for %d nodes", root, n)
+	}
 	parent = make([]int, n)
 	parentEdge = make([]int, n)
 	type result struct {
 		parent, parentEdge int
+		done               bool
 	}
+	// Pre-filled with explicit sentinels: a node that bails mid-protocol
+	// must read as "no parent, not done", never as "parent 0".
 	results := make([]result, n)
+	for v := range results {
+		results[v] = result{parent: -1, parentEdge: -1}
+	}
 	f := func(nd *Node) {
 		me := result{parent: -1, parentEdge: -1}
 		joined := nd.ID == root
@@ -43,6 +64,7 @@ func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []i
 				}
 			}
 		}
+		me.done = true
 		results[nd.ID] = me
 	}
 	stats, err = Run(g, f, Options{MaxRounds: 4*diamBound + 64})
@@ -50,6 +72,12 @@ func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []i
 		return nil, nil, stats, err
 	}
 	for v := 0; v < n; v++ {
+		if !results[v].done {
+			return nil, nil, stats, fmt.Errorf("%w: BFS node %d bailed before round %d", ErrIncomplete, v, diamBound+2)
+		}
+		if v != root && results[v].parent == -1 {
+			return nil, nil, stats, fmt.Errorf("%w: BFS flood from %d missed node %d within diamBound %d", ErrIncomplete, root, v, diamBound)
+		}
 		parent[v] = results[v].parent
 		parentEdge[v] = results[v].parentEdge
 	}
@@ -61,9 +89,17 @@ func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []i
 
 // LeaderElect elects the minimum vertex ID by flooding for diamBound rounds.
 // Every node returns the same leader; used by protocols that need a root.
+// A node that fails to finish the protocol surfaces as ErrIncomplete instead
+// of a zero-valued vote (which would masquerade as a vote for leader 0).
 func LeaderElect(g *graph.Graph, diamBound int) (leader int, stats Stats, err error) {
 	n := g.N()
+	if n == 0 {
+		return -1, stats, fmt.Errorf("congest: leader election over an empty network")
+	}
 	out := make([]int, n)
+	for v := range out {
+		out[v] = -1 // sentinel: no vote recorded
+	}
 	f := func(nd *Node) {
 		best := uint64(nd.ID)
 		for r := 0; r < diamBound+1; r++ {
@@ -85,7 +121,10 @@ func LeaderElect(g *graph.Graph, diamBound int) (leader int, stats Stats, err er
 		return -1, stats, err
 	}
 	leader = out[0]
-	for _, l := range out {
+	for v, l := range out {
+		if l == -1 {
+			return -1, stats, fmt.Errorf("%w: node %d bailed before voting", ErrIncomplete, v)
+		}
 		if l != leader {
 			return -1, stats, fmt.Errorf("congest: leader election disagreement: %d vs %d", l, leader)
 		}

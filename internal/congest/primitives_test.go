@@ -1,0 +1,53 @@
+package congest_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Regression: DistributedBFS with a diameter bound below the true
+// eccentricity used to return a partial tree (unreached nodes with parent
+// -1) and a nil error — silent success on an incomplete flood. It must
+// surface ErrIncomplete instead.
+func TestDistributedBFSUnderestimatedDiamBound(t *testing.T) {
+	g := gen.Path(64) // eccentricity of vertex 0 is 63
+	parent, parentEdge, _, err := congest.DistributedBFS(g, 0, 4)
+	if err == nil {
+		t.Fatalf("want error for diamBound 4 on a 64-path, got parent=%v", parent[:8])
+	}
+	if !errors.Is(err, congest.ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+	if parent != nil || parentEdge != nil {
+		t.Fatalf("partial results leaked alongside the error")
+	}
+}
+
+// Regression: LeaderElect on an empty network used to panic indexing
+// out[0]; it must return an error.
+func TestLeaderElectEmptyNetwork(t *testing.T) {
+	_, _, err := congest.LeaderElect(graph.New(0), 4)
+	if err == nil {
+		t.Fatal("want error for empty network")
+	}
+}
+
+// A tight-but-sufficient diameter bound still succeeds and matches the
+// sequential BFS depths (guards the fix against over-strictness).
+func TestDistributedBFSExactDiamBound(t *testing.T) {
+	g := gen.Path(32)
+	parent, _, _, err := congest.DistributedBFS(g, 0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := graph.BFS(g, 0)
+	for v := 1; v < g.N(); v++ {
+		if ref.Dist[v] != ref.Dist[parent[v]]+1 {
+			t.Fatalf("vertex %d: parent %d not one level up", v, parent[v])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiments_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// sparseApexCorridors is a corridor field whose base station reaches only a
+// few sensors: the network diameter is NOT collapsed to 2, unlike the
+// default single-apex generator.
+func sparseApexCorridors(rows, cols int, rng *rand.Rand) *structure.AlmostEmbeddable {
+	return gen.AlmostEmbeddableGraph(gen.AlmostEmbedOpts{
+		Base:       gen.Grid(rows, cols),
+		NumApices:  1,
+		ApexDegree: 2,
+	}, rng)
+}
+
+// Regression: the E6c diam column was hardcoded to 2, correct only by
+// coincidence of the default all-sensors apex. On a sparse-apex corridor
+// variant the reported diameter must track the generated network.
+func TestAggregationShowcaseDiamComputedFromNetwork(t *testing.T) {
+	const seed = 99
+	widths := []int{12}
+	tbl := experiments.AggregationShowcaseOn(sparseApexCorridors, widths, seed)
+	if len(tbl.Rows) != len(widths) {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	for i := range widths {
+		// Regenerate the same network from the same per-point stream.
+		a := sparseApexCorridors(8, widths[i], experiments.PointRNG(seed, i))
+		want := graph.DiameterApprox(a.G)
+		got, err := strconv.Atoi(tbl.Cell(i, "diam"))
+		if err != nil {
+			t.Fatalf("diam cell: %v", err)
+		}
+		if got != want {
+			t.Fatalf("row %d: diam column %d, network diameter %d", i, got, want)
+		}
+		if want == 2 {
+			t.Fatalf("row %d: sparse-apex network unexpectedly has diameter 2; test lost its teeth", i)
+		}
+	}
+}

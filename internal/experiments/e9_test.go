@@ -1,0 +1,51 @@
+package experiments_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The E9 acceptance shape: on both hop-heavy families the shortcut
+// pipeline's rounds beat naive Bellman–Ford by a factor that grows with
+// size, while the achieved stretch stays within 1+ε of the exact oracle.
+func TestE9SSSPContrastGrowsAndStretchHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E9 sweep skipped in -short mode")
+	}
+	wheels := []int{64, 256, 512}
+	chains := []int{32, 128, 256}
+	tbl := experiments.E9SSSP(wheels, chains, 2018)
+	if len(tbl.Rows) != len(wheels)+len(chains) {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	cell := func(row int, col string) float64 {
+		v, err := strconv.ParseFloat(tbl.Cell(row, col), 64)
+		if err != nil {
+			t.Fatalf("row %d col %s: %v", row, col, err)
+		}
+		return v
+	}
+	for _, fam := range []struct {
+		name       string
+		first, end int // row range of the family, inclusive
+	}{
+		{"wheel", 0, len(wheels) - 1},
+		{"k5free-chain", len(wheels), len(wheels) + len(chains) - 1},
+	} {
+		for row := fam.first; row <= fam.end; row++ {
+			if s := cell(row, "stretch"); s > 1.1+1e-9 {
+				t.Fatalf("%s row %d: stretch %v exceeds 1+eps", fam.name, row, s)
+			}
+		}
+		firstSpeedup := cell(fam.first, "speedup")
+		lastSpeedup := cell(fam.end, "speedup")
+		if lastSpeedup <= 1 {
+			t.Fatalf("%s: shortcut pipeline never beats naive (final speedup %v)", fam.name, lastSpeedup)
+		}
+		if lastSpeedup <= firstSpeedup {
+			t.Fatalf("%s: speedup does not grow (%v -> %v)", fam.name, firstSpeedup, lastSpeedup)
+		}
+	}
+}

@@ -34,6 +34,7 @@ func All(seed int64) []*Table {
 		func() *Table { return E7MinCut([]int{40, 80, 160}, seed) },
 		func() *Table { return E8LowerBound([]int{4, 8, 12, 16}, seed) },
 		func() *Table { return E8bLowerBoundMST([]int{4, 6, 8}, seed) },
+		func() *Table { return E9SSSP([]int{64, 128, 256, 512}, []int{32, 64, 128, 256}, seed) },
 		func() *Table { return E10FoldingAblation([]int{8, 16, 32, 64}, seed) },
 		func() *Table { return E11ApexEffect([]int{32, 64, 128}, seed) },
 		func() *Table { return E12Planarize([]int{0, 1, 2, 3}, seed) },

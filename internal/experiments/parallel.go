@@ -60,3 +60,7 @@ func forEachPoint[T any](n int, fn func(i int) T) []T {
 func pointRNG(seed int64, i int) *rand.Rand {
 	return xrand.New(seed*1_000_003 + int64(i)*7919 + 1)
 }
+
+// PointRNG exposes the per-grid-point RNG derivation so external tools and
+// tests can regenerate the exact instance behind any table row.
+func PointRNG(seed int64, i int) *rand.Rand { return pointRNG(seed, i) }

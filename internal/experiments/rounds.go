@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/embed"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/partition"
 	"repro/internal/shortcut"
+	"repro/internal/structure"
 )
 
 // E6MST compares MST round counts across algorithms on the apex scenario
@@ -261,16 +263,30 @@ func outerOnCommonFace(cut *embed.CutGraph) bool {
 // AggregationShowcase is the sensor scenario as a table: rounds for
 // part-wise aggregation, naive vs shortcut, as corridors lengthen.
 func AggregationShowcase(widths []int, seed int64) *Table {
+	return AggregationShowcaseOn(nil, widths, seed)
+}
+
+// AggregationShowcaseOn runs the aggregation showcase over a custom
+// corridor generator (rows × cols grid rows as parts, any apex/vortex
+// dressing); nil selects the default single-apex sensor field. The diam
+// column is computed from the generated network — it is 2 for the default
+// generator only because its apex neighbors every sensor.
+func AggregationShowcaseOn(generate func(rows, cols int, rng *rand.Rand) *structure.AlmostEmbeddable, widths []int, seed int64) *Table {
 	t := &Table{
 		ID:     "E6c",
 		Title:  "part-wise aggregation rounds (Theorem 1 primitive): grid+apex corridors",
 		Header: []string{"cols", "n", "diam", "rounds_naive", "rounds_shortcut", "quality"},
 	}
+	if generate == nil {
+		generate = func(rows, cols int, rng *rand.Rand) *structure.AlmostEmbeddable {
+			return gen.PlanarWithApex(rows, cols, rng)
+		}
+	}
 	const rows = 8
 	outRows := forEachPoint(len(widths), func(i int) row {
 		cols := widths[i]
 		rng := pointRNG(seed, i)
-		a := gen.PlanarWithApex(rows, cols, rng)
+		a := generate(rows, cols, rng)
 		tr, err := graph.BFSTree(a.G, a.Apices[0])
 		if err != nil {
 			panic(err)
@@ -303,7 +319,7 @@ func AggregationShowcase(widths []int, seed int64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		return row{cols, a.G.N(), 2, rn, rs, res.M.Quality}
+		return row{cols, a.G.N(), graph.DiameterApprox(a.G), rn, rs, res.M.Quality}
 	})
 	for _, r := range outRows {
 		t.AddRow(r...)

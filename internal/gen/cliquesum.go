@@ -312,6 +312,54 @@ func ApollonianPiece(n int, rng *rand.Rand) *Piece {
 	return p
 }
 
+// WheelPiece returns a wheel piece — a rim cycle of the given length plus
+// a hub adjacent to every rim vertex (rim vertices 0..rim-1, hub = rim) —
+// with its width-3 tree decomposition. Attach cliques are exactly the rim
+// triangles {i, i+1, hub}, stored hub-last, so positional clique
+// identification in CliqueSumChain merges the hubs of consecutive pieces
+// into one shared apex: the resulting "wheel of wheels" is a 3-clique-sum
+// of planar pieces (hence K5-minor-free by Wagner's theorem) whose
+// diameter stays 2 while rim-hugging shortest paths grow with the total
+// rim — the adversarial family of the SSSP experiment (E9).
+func WheelPiece(rim int) *Piece {
+	if rim < 4 {
+		panic(fmt.Sprintf("gen.WheelPiece: rim %d too small", rim))
+	}
+	g := graph.NewWithEdgeCapacity(rim+1, 2*rim)
+	hub := rim
+	for i := 0; i < rim; i++ {
+		g.AddEdge(i, (i+1)%rim, 1)
+	}
+	for i := 0; i < rim; i++ {
+		g.AddEdge(i, hub, 1)
+	}
+	// Chain decomposition: bag i = {hub, 0, i, i+1} for i = 1..rim-2. Hub
+	// and vertex 0 sit in every bag; vertex i appears in bags i-1 and i;
+	// the closing rim edge {rim-1, 0} lives in the last bag.
+	bags := make([][]int, rim-2)
+	parent := make([]int, rim-2)
+	store := make([]int, 0, 4*(rim-2))
+	for i := 1; i <= rim-2; i++ {
+		base := len(store)
+		store = append(store, hub, 0, i, i+1)
+		bags[i-1] = store[base : base+4 : base+4]
+		parent[i-1] = i - 2 // -1 for the first bag
+	}
+	d, err := tw.FromBags(g, bags, parent)
+	if err != nil {
+		panic(fmt.Sprintf("gen.WheelPiece: %v", err))
+	}
+	p := &Piece{G: g, Decomp: d}
+	triStore := make([]int, 0, 3*rim)
+	p.Cliques = make([][]int, 0, rim)
+	for i := 0; i < rim; i++ {
+		base := len(triStore)
+		triStore = append(triStore, i, (i+1)%rim, hub)
+		p.Cliques = append(p.Cliques, triStore[base:base+3:base+3])
+	}
+	return p
+}
+
 // KTreePiece returns a random k-tree piece with its native decomposition;
 // attach cliques are the recorded bags' clique parts.
 func KTreePiece(n, k int, rng *rand.Rand) *Piece {

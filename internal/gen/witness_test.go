@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/xrand"
 )
 
@@ -66,5 +67,41 @@ func TestGridEmbeddingValidates(t *testing.T) {
 		if g := e.Emb.Genus(); g != 0 {
 			t.Fatalf("grid %v: genus %d", dims, g)
 		}
+	}
+}
+
+// WheelPiece: the decomposition witness must validate, and chaining wheel
+// pieces at their rim triangles must merge every piece's hub into one
+// shared apex (the positional clique identification the E9 family relies
+// on), keeping the whole chain at diameter 2.
+func TestWheelPieceChainMergesHubs(t *testing.T) {
+	rng := xrand.New(31)
+	const rim = 16
+	p := gen.WheelPiece(rim)
+	if err := p.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Decomp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := p.Decomp.Width(); w != 3 {
+		t.Fatalf("wheel decomposition width %d, want 3", w)
+	}
+	pieces := []*gen.Piece{gen.WheelPiece(rim), gen.WheelPiece(rim), gen.WheelPiece(rim)}
+	cs := gen.CliqueSumChain(pieces, 3, rng)
+	if err := cs.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.CST.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hub := cs.BagToGlobal[0][rim]
+	for b := range cs.BagToGlobal {
+		if cs.BagToGlobal[b][rim] != hub {
+			t.Fatalf("piece %d hub %d not merged into %d", b, cs.BagToGlobal[b][rim], hub)
+		}
+	}
+	if d := graph.Diameter(cs.G); d != 2 {
+		t.Fatalf("wheel chain diameter %d, want 2", d)
 	}
 }

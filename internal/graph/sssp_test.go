@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refBellmanFord runs synchronous (Jacobi) Bellman–Ford and records, per
+// vertex, the first round at which it reached its final distance.
+func refBellmanFord(g *Graph, src int) (dist []float64, settled []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	dist[src] = 0
+	next := make([]float64, n)
+	settled = make([]int, n)
+	for round := 1; round <= n; round++ {
+		copy(next, dist)
+		for id := 0; id < g.M(); id++ {
+			e := g.Edge(id)
+			if c := dist[e.U] + e.W; c < next[e.V] {
+				next[e.V] = c
+			}
+			if c := dist[e.V] + e.W; c < next[e.U] {
+				next[e.U] = c
+			}
+		}
+		changed := false
+		for v := range dist {
+			if next[v] < dist[v] {
+				dist[v] = next[v]
+				settled[v] = round
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, settled
+}
+
+func randomWeighted(n, m int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(rng.Intn(i), i, 0.25+rng.Float64())
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 0.25+rng.Float64()*4)
+		}
+	}
+	return g
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := randomWeighted(30+rng.Intn(20), 90, rng)
+		src := rng.Intn(g.N())
+		r, err := Dijkstra(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, settled := refBellmanFord(g, src)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(r.Dist[v]-want[v]) > 1e-9 {
+				t.Fatalf("vertex %d: dijkstra %v vs bellman-ford %v", v, r.Dist[v], want[v])
+			}
+			// Hops is the settle round of synchronous Bellman–Ford. Float
+			// addition order can differ between the two algorithms, so only
+			// check when the distances agree bit-exactly (the common case).
+			if r.Dist[v] == want[v] && r.Hops[v] != settled[v] {
+				t.Fatalf("vertex %d: hops %d vs settle round %d", v, r.Hops[v], settled[v])
+			}
+			if v != src && r.Parent[v] != -1 {
+				e := g.Edge(r.ParentEdge[v])
+				if math.Abs(r.Dist[v]-(r.Dist[r.Parent[v]]+e.W)) > 1e-9 {
+					t.Fatalf("vertex %d: parent edge does not close the distance", v)
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraErrors(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, -1)
+	if _, err := Dijkstra(g, 0); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+	if _, err := Dijkstra(New(2), 5); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	r, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.Dist[2], 1) || r.Hops[2] != -1 || r.Parent[2] != -1 {
+		t.Fatalf("unreachable vertex misreported: %+v", r)
+	}
+	if r.Dist[1] != 2 || r.Hops[1] != 1 {
+		t.Fatalf("direct neighbor misreported")
+	}
+}

@@ -131,3 +131,37 @@ func TestApproxCycleExact(t *testing.T) {
 		t.Fatalf("cycle min cut %v want 2", r.Value)
 	}
 }
+
+// Regression: the per-tree 1-respecting convergecast charge (2·height+2)
+// was added to CommRounds even in analytic mode (SimulateMST=false), where
+// every other round went to ChargedRounds — mixing the two ledgers. Each
+// mode must report its rounds in exactly one ledger.
+func TestRoundLedgersStayInTheirMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Wheel(20).G, rng))
+
+	analytic, err := mincut.Approx(g, mincut.Options{Trees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic.CommRounds != 0 {
+		t.Fatalf("analytic run leaked %d rounds into CommRounds", analytic.CommRounds)
+	}
+	if analytic.ChargedRounds <= 0 {
+		t.Fatal("analytic run recorded no charged rounds")
+	}
+
+	simulated, err := mincut.Approx(g, mincut.Options{Trees: 4, SimulateMST: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated.CommRounds <= 0 {
+		t.Fatal("simulated run recorded no simulated rounds")
+	}
+	// The simulated convergecast charge must land in CommRounds: with equal
+	// tree counts it makes the simulated CommRounds strictly dominate the
+	// analytic run's (which must stay zero).
+	if simulated.CommRounds <= analytic.CommRounds {
+		t.Fatalf("simulated CommRounds %d vs analytic %d", simulated.CommRounds, analytic.CommRounds)
+	}
+}

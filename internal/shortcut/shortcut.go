@@ -194,9 +194,17 @@ func (s *Shortcut) AugmentedDiameter(i int) int {
 }
 
 // Union merges another shortcut assignment (same G, T, P) into s,
-// part-by-part. Used to combine local and global shortcuts.
+// part-by-part. Used to combine local and global shortcuts. The "same G, T,
+// P" contract is enforced by identity: a union across different graphs or
+// trees would silently mix unrelated edge ID spaces.
 func (s *Shortcut) Union(other *Shortcut) error {
-	if other.P.NumParts() != s.P.NumParts() {
+	if other.G != s.G {
+		return fmt.Errorf("shortcut: union over different graphs")
+	}
+	if other.T != s.T {
+		return fmt.Errorf("shortcut: union over different trees")
+	}
+	if other.P != s.P {
 		return fmt.Errorf("shortcut: union over different part families")
 	}
 	for i := range s.Edges {
@@ -206,10 +214,11 @@ func (s *Shortcut) Union(other *Shortcut) error {
 }
 
 // mergeSorted merges two sorted deduplicated slices into a fresh sorted
-// deduplicated slice.
+// deduplicated slice. The result never aliases a or b, so an in-place
+// mutation of the merge result cannot corrupt either input's owner.
 func mergeSorted(a, b []int) []int {
 	if len(b) == 0 {
-		return a
+		return append(make([]int, 0, len(a)), a...)
 	}
 	out := make([]int, 0, len(a)+len(b))
 	i, j := 0, 0

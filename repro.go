@@ -3,12 +3,13 @@
 // for building networks from excluded-minor graph families, constructing
 // tree-restricted low-congestion shortcuts on them — both obliviously and
 // from Graph-Structure-Theorem witnesses — and running the shortcut-
-// framework distributed algorithms (MST, (1+ε)-approximate min-cut) on a
-// CONGEST simulator with exact round accounting.
+// framework distributed algorithms (MST, (1+ε)-approximate min-cut,
+// (1+ε)-approximate single-source shortest paths) on a CONGEST simulator
+// with exact round accounting.
 //
 // This package is the high-level facade; the machinery lives in internal/
 // packages (graph, embed, tw, structure, gen, partition, shortcut, core,
-// congest, mst, mincut). Type aliases re-export what users need.
+// congest, mst, mincut, sssp). Type aliases re-export what users need.
 //
 // Quick start:
 //
@@ -30,6 +31,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/partition"
 	"repro/internal/shortcut"
+	"repro/internal/sssp"
 	"repro/internal/structure"
 	"repro/internal/xrand"
 )
@@ -254,6 +256,26 @@ func (nw *Network) ApproxMinCut(eps float64) (*CutResult, error) {
 // ExactMinCut computes the exact minimum cut (Stoer-Wagner reference).
 func (nw *Network) ExactMinCut() (float64, []int, error) {
 	return graph.GlobalMinCut(nw.G)
+}
+
+// SSSPResult reports an approximate shortest-path run.
+type SSSPResult = sssp.Result
+
+// ApproxSSSP runs the (1+ε)-approximate single-source shortest paths of
+// the shortcut framework from src over the given parts, using
+// witness-matched shortcuts when available. Distances over-estimate the
+// true ones by at most the factor 1+ε.
+func (nw *Network) ApproxSSSP(src int, p *Parts, eps float64) (*SSSPResult, error) {
+	sc, err := nw.BuildShortcut(p)
+	if err != nil {
+		return nil, err
+	}
+	return sssp.Approx(nw.G, src, p, sc.S, sssp.Options{Eps: eps})
+}
+
+// ExactSSSP computes exact shortest paths (Dijkstra reference).
+func (nw *Network) ExactSSSP(src int) (*graph.SPResult, error) {
+	return graph.Dijkstra(nw.G, src)
 }
 
 // Diameter returns the exact hop diameter for small networks and the

@@ -115,3 +115,31 @@ func TestBaselinesProduceSameTree(t *testing.T) {
 		}
 	}
 }
+
+func TestSSSPFacade(t *testing.T) {
+	nw, err := repro.ExcludedMinorNetwork(3, 14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := nw.VoronoiParts(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.1
+	approx, err := nw.ApproxSSSP(0, parts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := nw.ExactSSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < nw.G.N(); v++ {
+		if approx.Dist[v] < exact.Dist[v]-1e-9 || approx.Dist[v] > exact.Dist[v]*(1+eps)+1e-9 {
+			t.Fatalf("vertex %d: approx %v vs exact %v outside [d, (1+eps)d]", v, approx.Dist[v], exact.Dist[v])
+		}
+	}
+	if approx.ChargedRounds <= 0 || approx.Phases <= 0 {
+		t.Fatalf("no rounds accounted: %+v", approx)
+	}
+}
