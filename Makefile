@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench
+.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench
 
 all: vet build test
 
@@ -20,11 +20,15 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 bench-smoke:
-	$(GO) test -bench='E5|E9' -benchtime=1x -run=NONE .
+	$(GO) test -bench='E5|E9|E13' -benchtime=1x -run=NONE .
 
 # sssp-bench regenerates the E9 (1+eps)-approximate shortest-path table.
 sssp-bench:
 	$(GO) run ./cmd/ssspbench
+
+# construct-bench regenerates the E13 distributed shortcut construction table.
+construct-bench:
+	$(GO) run ./cmd/constructbench
 
 # bench-baseline records the full benchmark suite as JSON for perf
 # trajectory tracking across PRs (compare with benchstat or jq).

@@ -191,6 +191,19 @@ func BenchmarkE11ApexEffect(b *testing.B) {
 	reportLastCell(b, t, "q_apexAware", "quality")
 }
 
+// BenchmarkE13Construct regenerates the distributed in-network shortcut
+// construction table: flooding-constructed vs witness-constructed quality
+// and rounds on grids, wheels, and K5-minor-free clique-sum chains.
+func BenchmarkE13Construct(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E13Construct([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "ratio", "ratio")
+}
+
 func BenchmarkE12Planarize(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,28 @@
+// constructbench regenerates the distributed in-network shortcut
+// construction table (experiment E13): quality and construction rounds of
+// the part-wise flooding protocol against the generator-supplied witness
+// constructions, on grids, wheels, and K5-minor-free clique-sum chains.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	grids := []int{6, 10, 14}
+	wheels := []int{32, 64}
+	chains := []int{2, 4, 8, 16}
+	if *big {
+		grids = []int{6, 10, 14, 18, 24}
+		wheels = []int{32, 64, 128, 256}
+		chains = []int{2, 4, 8, 16, 32}
+	}
+	fmt.Println(experiments.E13Construct(grids, wheels, chains, *seed))
+}

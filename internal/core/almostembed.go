@@ -95,7 +95,7 @@ func AlmostEmbeddableShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts,
 	info["maxLocalWidth"] = maxLocalWidth
 
 	// Re-normalize (dedupe/sort) through the constructor.
-	ns, err := shortcut.New(g, t, p, s.Edges)
+	ns, err := shortcut.NewNormalized(g, t, p, s.Edges)
 	if err != nil {
 		return nil, fmt.Errorf("core: assembling almost-embeddable shortcut: %w", err)
 	}

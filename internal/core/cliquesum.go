@@ -317,7 +317,9 @@ func cliqueSumShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, w *Cli
 	}
 	info["maxLocalFoldedWidth"] = maxLocalWidth
 
-	s, err := shortcut.New(g, t, p, edges)
+	// Global walk edges and local bag edges overlap; normalize through the
+	// constructor.
+	s, err := shortcut.NewNormalized(g, t, p, edges)
 	if err != nil {
 		return nil, fmt.Errorf("core: assembling clique-sum shortcut: %w", err)
 	}

@@ -112,8 +112,19 @@ func TestCliqueSumSingleBagDegeneratesToTreewidth(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Single bag: everything is local; quality should match the plain
-	// treewidth construction.
-	twRes, err := shortcut.FromTreewidth(cs.BagGraphs[0], tr, p, cs.BagDecomp[0])
+	// treewidth construction. The direct construction runs on the bag graph,
+	// so its tree and parts must be built there too (shortcut.New now
+	// enforces that identity).
+	bg := cs.BagGraphs[0]
+	btr, err := graph.BFSTree(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := partition.GridRows(bg, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twRes, err := shortcut.FromTreewidth(bg, btr, bp, cs.BagDecomp[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE13ConstructAcceptance pins the experiment's acceptance shape: on the
+// E5 K5-minor-free family the distributed-constructed quality stays within
+// a constant factor of the witness-constructed quality, and construction
+// rounds appear in both the simulated and the analytic ledger of every row.
+func TestE13ConstructAcceptance(t *testing.T) {
+	tab := E13Construct([]int{6, 10}, []int{32}, []int{2, 4, 8, 16}, 2018)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 7 rows, got %d", len(tab.Rows))
+	}
+	col := func(name string) int {
+		for ci, h := range tab.Header {
+			if h == name {
+				return ci
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	fam, ratio := col("family"), col("ratio")
+	rSim, rChg := col("r_sim"), col("r_chg")
+	const maxRatio = 3.0 // "within a constant factor" of the witness quality
+	for ri, row := range tab.Rows {
+		sim, err := strconv.Atoi(row[rSim])
+		if err != nil || sim < 1 {
+			t.Fatalf("row %d: simulated construction rounds %q not positive", ri, row[rSim])
+		}
+		chg, err := strconv.Atoi(row[rChg])
+		if err != nil || chg < 1 {
+			t.Fatalf("row %d: charged construction rounds %q not positive", ri, row[rChg])
+		}
+		if row[fam] != "k5free" {
+			continue
+		}
+		r, err := strconv.ParseFloat(row[ratio], 64)
+		if err != nil {
+			t.Fatalf("row %d: ratio %q not numeric", ri, row[ratio])
+		}
+		if r > maxRatio {
+			t.Fatalf("row %d: distributed quality %.2fx the witness quality exceeds the constant-factor bound %v", ri, r, maxRatio)
+		}
+	}
+}

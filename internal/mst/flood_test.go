@@ -1,0 +1,127 @@
+package mst_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/partition"
+	"repro/internal/shortcut"
+)
+
+// TestFloodProviderExactMST: Borůvka over in-network flooding-constructed
+// shortcuts still produces the exact MST, in both construction ledgers.
+func TestFloodProviderExactMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", gen.DistinctWeights(gen.UniformWeights(gen.Grid(6, 6).G, rng))},
+		{"wheel", gen.DistinctWeights(gen.UniformWeights(gen.Wheel(33).G, rng))},
+		{"random", gen.DistinctWeights(gen.UniformWeights(gen.ErdosRenyiConnected(60, 150, rng), rng))},
+	}
+	for _, tc := range cases {
+		for _, simulate := range []bool{false, true} {
+			tr, err := graph.BFSTree(tc.g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := mst.ShortcutBoruvka(tc.g, mst.FloodProvider(tc.g, tr, 3, simulate))
+			if err != nil {
+				t.Fatalf("%s simulate=%v: %v", tc.name, simulate, err)
+			}
+			assertExactMST(t, tc.g, rs)
+			if rs.ChargedRounds <= 0 {
+				t.Fatalf("%s simulate=%v: no construction charge recorded", tc.name, simulate)
+			}
+		}
+	}
+}
+
+// TestSimulatedProviderBudgetExhaustion pins the degradation contract of
+// the budget-exhaustion path: congestion budgets 0 and 1 both degrade to
+// the minimum lawful budget-1 construction — identical shortcuts, identical
+// charges — and the MST stays exact rather than a phase truncating
+// mid-merge.
+func TestSimulatedProviderBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Grid(6, 6).G, rng))
+	w := gen.Wheel(41).G
+	hub := w.N() - 1
+	for id := 0; id < w.M(); id++ {
+		e := w.Edge(id)
+		if e.U == hub || e.V == hub {
+			w.SetWeight(id, 100+rng.Float64())
+		} else {
+			w.SetWeight(id, 1+rng.Float64())
+		}
+	}
+	gen.DistinctWeights(w)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		root int
+	}{{"grid", g, 0}, {"wheel-adversarial", w, hub}} {
+		tr, err := graph.BFSTree(tc.g, tc.root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var runs []*mst.RunStats
+		for _, budget := range []int{0, 1} {
+			rs, err := mst.ShortcutBoruvka(tc.g, mst.SimulatedProvider(tc.g, tr, budget))
+			if err != nil {
+				t.Fatalf("%s budget %d: %v", tc.name, budget, err)
+			}
+			assertExactMST(t, tc.g, rs)
+			if rs.ChargedRounds <= 0 {
+				t.Fatalf("%s budget %d: exhausted construction reported no rounds", tc.name, budget)
+			}
+			runs = append(runs, rs)
+		}
+		if runs[0].ChargedRounds != runs[1].ChargedRounds || runs[0].Phases != runs[1].Phases {
+			t.Fatalf("%s: budget 0 did not degrade to the budget-1 construction: %+v vs %+v",
+				tc.name, runs[0], runs[1])
+		}
+	}
+}
+
+// TestShortcutBoruvkaIncompleteSurfaces: a run that halts with multiple
+// fragments left (here: a disconnected graph under a hand-built provider)
+// must report ErrIncomplete instead of silently returning the partial
+// forest as if it were the MST.
+func TestShortcutBoruvkaIncompleteSurfaces(t *testing.T) {
+	// Two disjoint triangles.
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 2)
+	g.AddEdge(3, 5, 3)
+	// BFSTree refuses disconnected graphs, so hand-build the spanning-forest
+	// overlay a careless caller would: parents within each triangle.
+	tree := &graph.Tree{
+		G:          g,
+		Root:       0,
+		Parent:     []int{-1, 0, 0, -1, 3, 3},
+		ParentEdge: []int{-1, 0, 2, -1, 3, 5},
+		Depth:      []int{0, 1, 1, 0, 1, 1},
+		Order:      []int{0, 1, 2, 3, 4, 5},
+		Children:   [][]int{{1, 2}, {}, {}, {4, 5}, {}, {}},
+	}
+	provider := func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
+		return &shortcut.Shortcut{G: g, T: tree, P: p, Edges: make([][]int, p.NumParts())}, 0, nil
+	}
+	_, err := mst.ShortcutBoruvka(g, provider)
+	if err == nil {
+		t.Fatal("disconnected run returned a partial forest as a completed MST")
+	}
+	if !errors.Is(err, congest.ErrIncomplete) {
+		t.Fatalf("error %v does not wrap congest.ErrIncomplete", err)
+	}
+}

@@ -61,7 +61,9 @@ func EmptyProvider(g *graph.Graph, t *graph.Tree) Provider {
 // SimulatedProvider constructs shortcuts with the fully simulated
 // distributed claiming protocol (congest.BuildObliviousShortcut): the
 // construction charge is the protocol's own measured effective rounds
-// rather than the analytic Õ(q) bound.
+// rather than the analytic Õ(q) bound. Budgets below 1 degrade to the
+// minimum lawful congestion budget of 1 (a correct, if block-heavy,
+// construction) rather than failing.
 func SimulatedProvider(g *graph.Graph, t *graph.Tree, budget int) Provider {
 	return func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
 		res, err := congest.BuildObliviousShortcut(g, t, p, budget)
@@ -69,6 +71,25 @@ func SimulatedProvider(g *graph.Graph, t *graph.Tree, budget int) Provider {
 			return nil, 0, err
 		}
 		return res.S, res.EffectiveRounds, nil
+	}
+}
+
+// FloodProvider constructs shortcuts in-network with the flooding
+// construction (congest.ConstructShortcut) at congestion cap: simulate runs
+// the actual protocol and charges its measured effective rounds; otherwise
+// the fixed point is computed sequentially and the framework's construction
+// budget is charged.
+func FloodProvider(g *graph.Graph, t *graph.Tree, cap int, simulate bool) Provider {
+	return func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
+		res, err := congest.ConstructShortcut(g, t, p, congest.ConstructOptions{Cap: cap, Simulate: simulate})
+		if err != nil {
+			return nil, 0, err
+		}
+		charge := res.ChargedRounds
+		if simulate {
+			charge = res.EffectiveRounds
+		}
+		return res.S, charge, nil
 	}
 }
 
@@ -105,7 +126,8 @@ func ShortcutBoruvka(g *graph.Graph, provider Provider) (*RunStats, error) {
 	uf := graph.NewUnionFind(n)
 	chosen := make(map[int]bool)
 	stats := &RunStats{}
-	for phase := 0; uf.Count() > 1 && phase < 2*64; phase++ {
+	const maxPhases = 2 * 64
+	for phase := 0; uf.Count() > 1 && phase < maxPhases; phase++ {
 		parts, err := partition.New(g, uf.Sets())
 		if err != nil {
 			return nil, fmt.Errorf("mst: fragments invalid: %w", err)
@@ -182,6 +204,15 @@ func ShortcutBoruvka(g *graph.Graph, provider Provider) (*RunStats, error) {
 			stats.CommRounds += res2.EffectiveRounds
 			stats.Messages += res2.Stats.Messages
 		}
+	}
+	// Completeness: the loop exits early when no fragment can merge (the
+	// graph is disconnected) or the phase budget runs out. Either way the
+	// chosen edges are a partial forest, not the MST — surface that instead
+	// of returning it as if the run finished (the same zero-masquerade class
+	// DistributedBFS fixed).
+	if uf.Count() > 1 {
+		return nil, fmt.Errorf("%w: MST halted with %d fragments after %d phases (disconnected graph or phase budget exhausted)",
+			congest.ErrIncomplete, uf.Count(), stats.Phases)
 	}
 	for id := range chosen {
 		stats.EdgeIDs = append(stats.EdgeIDs, id)

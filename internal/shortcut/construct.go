@@ -1,0 +1,120 @@
+package shortcut
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Construct computes the part-wise flooding construction: every part floods
+// its ID up the spanning tree from each of its vertices, a subtree adopts
+// the parent edge of every part whose flood reaches it, and each tree edge
+// admits at most cap parts — an overloaded vertex evicts the lowest-priority
+// parts (operationally: the highest part IDs; the cap is the paper's
+// block/congestion trade-off made explicit, with part ID as the
+// deterministic priority). The result is the unique bottom-up fixed point
+//
+//	admitted(v) = the (up to) cap smallest part IDs of
+//	              {part of v} ∪ ⋃_{c child of v} admitted(c),
+//
+// and part i's shortcut is Hᵢ = { ParentEdge[v] : i ∈ admitted(v) }.
+// Congestion is at most cap by construction; the block parameter is
+// whatever the eviction pattern forces.
+//
+// This is the sequential evaluation of the fixed point — the analytic-mode
+// constructor and the convergence oracle for the distributed realization
+// (congest.ConstructShortcut), which computes the identical assignment by
+// actual message passing.
+func Construct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int) *Shortcut {
+	s, err := FromFloodState(g, t, p, FloodFixedPoint(g, t, p, cap))
+	if err != nil {
+		panic(fmt.Sprintf("shortcut.Construct: internal error: %v", err))
+	}
+	return s
+}
+
+// FromFloodState assembles the Shortcut described by a flooding-construction
+// state: admitted[v] lists the part IDs admitted over v's parent edge. Both
+// the sequential constructor and the distributed protocol's converged state
+// assemble through here, so the two paths cannot diverge.
+func FromFloodState(g *graph.Graph, t *graph.Tree, p *partition.Parts, admitted [][]int32) (*Shortcut, error) {
+	edges := make([][]int, p.NumParts())
+	for v := 0; v < g.N(); v++ {
+		id := t.ParentEdge[v]
+		if id == -1 {
+			continue
+		}
+		for _, i := range admitted[v] {
+			edges[i] = append(edges[i], id)
+		}
+	}
+	return New(g, t, p, edges)
+}
+
+// FloodFixedPoint returns, per vertex, the sorted part IDs admitted over the
+// vertex's parent edge at the flooding construction's fixed point (nil at
+// the root and at vertices no flood reaches). Exposed so the distributed
+// construction can validate its converged state against the ground truth.
+func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int) [][]int32 {
+	if cap < 1 {
+		cap = 1
+	}
+	n := g.N()
+	admitted := make([][]int32, n)
+	seen := g.AcquireScratch()
+	defer g.ReleaseScratch(seen)
+	var present []int32
+	// Children precede parents in reverse BFS order, so admitted(c) is final
+	// when v merges it.
+	for oi := n - 1; oi >= 0; oi-- {
+		v := t.Order[oi]
+		if t.ParentEdge[v] == -1 {
+			continue // root: no parent edge to admit onto
+		}
+		present = present[:0]
+		seen.Reset()
+		if pi := p.Of[v]; pi != -1 {
+			seen.Visit(pi)
+			present = append(present, int32(pi))
+		}
+		for _, c := range t.Children[v] {
+			for _, i := range admitted[c] {
+				if seen.Visit(int(i)) {
+					present = append(present, i)
+				}
+			}
+		}
+		if len(present) == 0 {
+			continue
+		}
+		sort.Slice(present, func(a, b int) bool { return present[a] < present[b] })
+		if len(present) > cap {
+			present = present[:cap]
+		}
+		admitted[v] = append([]int32(nil), present...)
+	}
+	return admitted
+}
+
+// ConstructAuto searches over geometric congestion caps and returns the
+// flooding construction with the best measured quality, plus the winning
+// cap — the same O(log n)-guess search ObliviousAuto runs for the claiming
+// construction.
+func ConstructAuto(g *graph.Graph, t *graph.Tree, p *partition.Parts) (*Shortcut, Measurement, int) {
+	var best *Shortcut
+	var bestM Measurement
+	bestCap := 1
+	for cap := 1; cap <= 2*g.N(); cap *= 2 {
+		s := Construct(g, t, p, cap)
+		m := s.Measure()
+		if best == nil || m.Quality < bestM.Quality {
+			best, bestM, bestCap = s, m, cap
+		}
+		if cap > p.NumParts() {
+			break // more cap than parts cannot admit anything new
+		}
+	}
+	return best, bestM, bestCap
+}

@@ -120,8 +120,17 @@ func TestAugmentedDiameterMatchesReference(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		s := randomDenseInstance(t, 100+seed)
 		for i := 0; i < s.P.NumParts(); i++ {
-			got := s.AugmentedDiameter(i)
 			want := referenceAugmentedDiameter(s, i)
+			got, err := s.AugmentedDiameter(i)
+			if want < 0 {
+				if err == nil {
+					t.Fatalf("seed %d part %d: disconnected augmented subgraph accepted", seed, i)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d part %d: %v", seed, i, err)
+			}
 			if got != want {
 				t.Fatalf("seed %d part %d: augmented diameter %d != reference %d", seed, i, got, want)
 			}

@@ -28,11 +28,38 @@ type Shortcut struct {
 	Edges [][]int // per part: sorted tree edge IDs
 }
 
-// New wraps and validates a shortcut assignment: every assigned edge must be
-// an edge of T, each part's list is deduplicated and sorted.
+// New wraps and validates a shortcut assignment: t and p must belong to g
+// (by identity — a tree of a different graph would silently interpret g's
+// edge IDs against the wrong edge set), every assigned edge must be an edge
+// of T, no part may be empty, and each part's list must be free of
+// duplicates (it is returned sorted). Constructions that legitimately merge
+// overlapping edge sets should use NewNormalized.
 func New(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int) (*Shortcut, error) {
+	return build(g, t, p, edges, false)
+}
+
+// NewNormalized is New for merge-style constructions: duplicate edge IDs
+// within a part's list are deduplicated silently instead of rejected. All
+// other validation (graph/tree/part identity, tree membership, non-empty
+// parts) is identical to New.
+func NewNormalized(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int) (*Shortcut, error) {
+	return build(g, t, p, edges, true)
+}
+
+func build(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int, dedup bool) (*Shortcut, error) {
+	if t.G != g {
+		return nil, fmt.Errorf("shortcut: tree belongs to a different graph")
+	}
+	if p.G != g {
+		return nil, fmt.Errorf("shortcut: parts belong to a different graph")
+	}
 	if len(edges) != p.NumParts() {
 		return nil, fmt.Errorf("shortcut: %d edge sets for %d parts", len(edges), p.NumParts())
+	}
+	for i, set := range p.Sets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("shortcut: part %d is empty", i)
+		}
 	}
 	s := &Shortcut{G: g, T: t, P: p, Edges: make([][]int, len(edges))}
 	for i, ids := range edges {
@@ -44,7 +71,11 @@ func New(g *graph.Graph, t *graph.Tree, p *partition.Parts, edges [][]int) (*Sho
 				return nil, fmt.Errorf("shortcut: part %d edge %d is not a tree edge", i, id)
 			}
 		}
-		s.Edges[i] = sortedDedup(ids)
+		out := sortedDedup(ids)
+		if !dedup && len(out) != len(ids) {
+			return nil, fmt.Errorf("shortcut: part %d has %d duplicate edge IDs", i, len(ids)-len(out))
+		}
+		s.Edges[i] = out
 	}
 	return s, nil
 }
@@ -139,7 +170,18 @@ func (s *Shortcut) BlockCounts() []int {
 // AugmentedDiameter returns the hop diameter of G[Pᵢ] + Hᵢ — the subgraph
 // induced by the part plus its shortcut edges (with their endpoints). The
 // framework's promise is that this is O(bᵢ · d_T).
-func (s *Shortcut) AugmentedDiameter(i int) int {
+//
+// An empty part or a disconnected augmented subgraph (shortcut edges that
+// never touch the part, or a part that was built unchecked and is itself
+// disconnected) is an explicit error: before this check the empty case
+// returned diameter 0, masquerading as a perfectly-helped part.
+func (s *Shortcut) AugmentedDiameter(i int) (int, error) {
+	if i < 0 || i >= s.P.NumParts() {
+		return 0, fmt.Errorf("shortcut: part %d out of range for %d parts", i, s.P.NumParts())
+	}
+	if len(s.P.Sets[i]) == 0 {
+		return 0, fmt.Errorf("shortcut: part %d is empty, augmented diameter undefined", i)
+	}
 	g := s.G
 	in := g.AcquireScratch() // vertex -> local index (assigned after sort)
 	defer g.ReleaseScratch(in)
@@ -190,7 +232,11 @@ func (s *Shortcut) AugmentedDiameter(i int) int {
 		e := g.Edge(id)
 		aug.AddEdge(int(in.GetOr(e.U, -1)), int(in.GetOr(e.V, -1)), 1)
 	}
-	return graph.Diameter(aug)
+	d := graph.Diameter(aug)
+	if d < 0 {
+		return 0, fmt.Errorf("shortcut: augmented subgraph of part %d is disconnected: %w", i, graph.ErrDisconnected)
+	}
+	return d, nil
 }
 
 // Union merges another shortcut assignment (same G, T, P) into s,

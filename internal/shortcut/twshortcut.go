@@ -121,7 +121,9 @@ func FromTreewidth(g *graph.Graph, t *graph.Tree, p *partition.Parts, d *tw.Deco
 			}
 		}
 	}
-	s, err := New(g, t, p, edges)
+	// A part anchored at several ancestor groups of the same vertex collects
+	// the same parent edge more than once; normalize through the constructor.
+	s, err := NewNormalized(g, t, p, edges)
 	if err != nil {
 		return nil, fmt.Errorf("shortcut: assembling treewidth shortcut: %w", err)
 	}

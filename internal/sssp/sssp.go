@@ -81,6 +81,36 @@ type Result struct {
 	Messages      int
 	// Quality is the measured shortcut quality (the per-phase charge basis).
 	Quality int
+	// ConstructRounds is the in-network shortcut construction's round cost
+	// when the run built its own shortcut (ApproxConstructed); the rounds
+	// are already folded into CommRounds or ChargedRounds per the run's
+	// mode. Zero when the shortcut was supplied by the caller.
+	ConstructRounds int
+}
+
+// ApproxConstructed is Approx over a shortcut the network builds itself:
+// the flooding construction (congest.ConstructShortcut) at congestion cap
+// runs first — simulated or analytic per opts.Simulate — and its round cost
+// lands in the matching ledger, so the result prices the full pipeline
+// rather than assuming a shortcut fell from the sky.
+func ApproxConstructed(g *graph.Graph, src int, t *graph.Tree, p *partition.Parts, cap int, opts Options) (*Result, error) {
+	cres, err := congest.ConstructShortcut(g, t, p, congest.ConstructOptions{Cap: cap, Simulate: opts.Simulate})
+	if err != nil {
+		return nil, fmt.Errorf("sssp: shortcut construction: %w", err)
+	}
+	r, err := Approx(g, src, p, cres.S, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Simulate {
+		r.ConstructRounds = cres.EffectiveRounds
+		r.CommRounds += cres.EffectiveRounds
+		r.Messages += cres.Stats.Messages
+	} else {
+		r.ConstructRounds = cres.ChargedRounds
+		r.ChargedRounds += cres.ChargedRounds
+	}
+	return r, nil
 }
 
 // Approx computes (1+ε)-approximate shortest paths from src with part-wise

@@ -24,6 +24,7 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -211,6 +212,42 @@ func (nw *Network) BuildShortcut(p *Parts) (*ShortcutResult, error) {
 	}
 	best := core.BestOf(candidates...)
 	return &ShortcutResult{S: best.S, Measurement: best.M, Info: best.Info}, nil
+}
+
+// ConstructResult reports a distributed in-network shortcut construction.
+type ConstructResult = congest.ConstructResult
+
+// ConstructShortcut builds a tree-restricted shortcut fully in-network: the
+// part-wise flooding construction with congestion cap (0 selects the
+// analytic auto-search's best cap). With simulate the construction runs as
+// an actual CONGEST protocol and reports measured rounds; otherwise the
+// fixed point is computed sequentially and the framework's construction
+// budget is charged — the two-ledger convention of MST/min-cut/SSSP. Unlike
+// BuildShortcut, no structure witness is consulted: this is what a deployed
+// network can do on its own.
+func (nw *Network) ConstructShortcut(p *Parts, cap int, simulate bool) (*ConstructResult, error) {
+	if cap < 1 {
+		s, _, autoCap := shortcut.ConstructAuto(nw.G, nw.Tree, p)
+		if !simulate {
+			// The auto-search already built the winning fixed point; reuse it
+			// instead of reconstructing.
+			return &ConstructResult{
+				S:             s,
+				ChargedRounds: congest.ConstructBudget(nw.Tree, autoCap),
+				Cap:           autoCap,
+			}, nil
+		}
+		cap = autoCap
+	}
+	return congest.ConstructShortcut(nw.G, nw.Tree, p, congest.ConstructOptions{Cap: cap, Simulate: simulate})
+}
+
+// MSTConstructed runs the shortcut-framework Borůvka with shortcuts the
+// network constructs itself (the flooding construction at the given cap)
+// instead of witness-derived ones. simulate selects the measured-rounds
+// ledger for the construction charge.
+func (nw *Network) MSTConstructed(cap int, simulate bool) (*MSTResult, error) {
+	return mst.ShortcutBoruvka(nw.G, mst.FloodProvider(nw.G, nw.Tree, cap, simulate))
 }
 
 // MSTResult reports a distributed MST run.
