@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench
+.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench
 
 all: vet build test
 
@@ -20,7 +20,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 bench-smoke:
-	$(GO) test -bench='E5|E9|E13' -benchtime=1x -run=NONE .
+	$(GO) test -bench='E5|E9|E13|E14' -benchtime=1x -run=NONE .
 
 # sssp-bench regenerates the E9 (1+eps)-approximate shortest-path table.
 sssp-bench:
@@ -29,6 +29,10 @@ sssp-bench:
 # construct-bench regenerates the E13 distributed shortcut construction table.
 construct-bench:
 	$(GO) run ./cmd/constructbench
+
+# pipeline-bench regenerates the E14 zero-witness pipeline table.
+pipeline-bench:
+	$(GO) run ./cmd/pipelinebench
 
 # bench-baseline records the full benchmark suite as JSON for perf
 # trajectory tracking across PRs (compare with benchstat or jq).

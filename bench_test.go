@@ -204,6 +204,20 @@ func BenchmarkE13Construct(b *testing.B) {
 	reportLastCell(b, t, "ratio", "ratio")
 }
 
+// BenchmarkE14Pipeline regenerates the zero-witness pipeline table: leader
+// election, distributed BFS, in-network doubling cap search with block
+// priorities — quality and rounds against the witness constructions on
+// grids, wheels, and K5-minor-free clique-sum chains.
+func BenchmarkE14Pipeline(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E14Pipeline([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "ratio", "ratio")
+}
+
 func BenchmarkE12Planarize(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,30 @@
+// pipelinebench regenerates the zero-witness pipeline table (experiment
+// E14): the network elects a leader, builds its own BFS tree, and runs the
+// in-network doubling congestion-cap search with block-count part
+// priorities — quality and round costs against the generator-supplied
+// witness constructions, on grids, wheels, and K5-minor-free clique-sum
+// chains.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	grids := []int{6, 10, 14}
+	wheels := []int{32, 64}
+	chains := []int{2, 4, 8, 16}
+	if *big {
+		grids = []int{6, 10, 14, 18, 24}
+		wheels = []int{32, 64, 128, 256}
+		chains = []int{2, 4, 8, 16, 32}
+	}
+	fmt.Println(experiments.E14Pipeline(grids, wheels, chains, *seed))
+}

@@ -18,6 +18,12 @@ type ConstructOptions struct {
 	// sequentially and charges the framework's construction budget
 	// (the mincut/sssp two-ledger convention).
 	Simulate bool
+	// Priorities is the part priority ranking the eviction rule uses
+	// (prio[i] = rank of part i, rank 0 highest). Nil computes the
+	// block-count-driven ranking (shortcut.TreeBlockPriorities) — callers
+	// that run several constructions over one part family (the cap search)
+	// pass it in so the ranking, and its dissemination cost, are paid once.
+	Priorities []int32
 }
 
 // ConstructResult reports a distributed shortcut construction. Exactly one
@@ -55,14 +61,15 @@ func ConstructBudget(t *graph.Tree, cap int) int {
 
 // ConstructShortcut builds a tree-restricted shortcut fully in-network: the
 // distributed realization of shortcut.Construct's part-wise flooding. Every
-// vertex of a part holds the part's ID; IDs flood up the tree, each vertex
-// forwarding over its parent edge the (up to) cap lowest part IDs it
+// vertex of a part holds the part's priority rank; ranks flood up the tree,
+// each vertex forwarding over its parent edge the (up to) cap best ranks it
 // currently knows — one ADMIT or EVICT message per edge per round — and
-// retracting previously forwarded IDs when a higher-priority flood arrives
-// (the eviction cascades up). The fixed point is exactly
-// shortcut.FloodFixedPoint; the run's budget starts at ConstructBudget and
-// doubles until the converged state matches that ground truth (the same
-// environment-checked convergence loop AggregateMin uses).
+// retracting previously forwarded ranks when a higher-priority flood
+// arrives (the eviction cascades up). The fixed point is exactly
+// shortcut.FloodFixedPoint under the same priorities; the run's budget
+// starts at ConstructBudget and doubles until the converged state matches
+// that ground truth (the same environment-checked convergence loop
+// AggregateMin uses).
 func ConstructShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts ConstructOptions) (*ConstructResult, error) {
 	if t.G != g {
 		return nil, fmt.Errorf("congest: construction tree belongs to a different graph")
@@ -74,21 +81,27 @@ func ConstructShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts C
 	if cap < 1 {
 		cap = 1
 	}
+	prio := opts.Priorities
+	if prio == nil {
+		prio = shortcut.TreeBlockPriorities(t, p)
+	} else if err := shortcut.ValidPriorities(prio, p.NumParts()); err != nil {
+		return nil, fmt.Errorf("congest: %w", err)
+	}
 	res := &ConstructResult{Cap: cap}
 	if !opts.Simulate {
-		res.S = shortcut.Construct(g, t, p, cap)
+		res.S = shortcut.ConstructPrio(g, t, p, cap, prio)
 		res.ChargedRounds = ConstructBudget(t, cap)
 		return res, nil
 	}
-	want := shortcut.FloodFixedPoint(g, t, p, cap)
+	want := shortcut.FloodFixedPoint(g, t, p, cap, prio)
 	budget := ConstructBudget(t, cap)
 	for attempt := 0; attempt < 8; attempt++ {
-		final, stats, err := runConstruct(g, t, p, cap, budget)
+		final, stats, err := runConstruct(g, t, p, cap, budget, prio)
 		if err != nil {
 			return nil, err
 		}
 		if floodStatesEqual(final, want) {
-			s, err := shortcut.FromFloodState(g, t, p, final)
+			s, err := shortcut.FromFloodState(g, t, p, final, prio)
 			if err != nil {
 				return nil, fmt.Errorf("congest: assembling constructed shortcut: %w", err)
 			}
@@ -117,7 +130,7 @@ func floodStatesEqual(a, b [][]int32) bool {
 	return true
 }
 
-// Message ops of the construction protocol: one (op, partID) pair per tree
+// Message ops of the construction protocol: one (op, rank) pair per tree
 // edge per round, O(log n) bits.
 const (
 	conAdmit = 1
@@ -126,19 +139,21 @@ const (
 
 // conNode is one vertex's protocol state. All fields are touched only from
 // the node's own RoundFunc invocations, so shard workers never contend.
+// All part identities are priority ranks (rank 0 = highest priority), so
+// "keep the cap best" is a sorted-prefix truncation.
 type conNode struct {
 	parentPort int32
-	own        int32 // part of this vertex, or -1
+	own        int32 // priority rank of this vertex's part, or -1
 	round      int32
 	dirty      bool
-	rcv        [][]int32 // per port: parts currently admitted by that child
+	rcv        [][]int32 // per port: ranks currently admitted by that child
 	sent       []int32   // sorted; what the parent currently believes, <= cap
 	tmp        []int32   // scratch for the target computation
 }
 
 // runConstruct executes the flood-and-evict protocol for a fixed round
-// budget and returns each node's final forwarded set.
-func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget int) ([][]int32, Stats, error) {
+// budget and returns each node's final forwarded set (in rank space).
+func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget int, prio []int32) ([][]int32, Stats, error) {
 	n := g.N()
 	final := make([][]int32, n)
 	state := make([]conNode, n)
@@ -153,7 +168,7 @@ func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget
 		}
 		st.own = int32(-1)
 		if pi := p.Of[v]; pi != -1 {
-			st.own = int32(pi)
+			st.own = prio[pi]
 			st.dirty = true
 		}
 		st.rcv = make([][]int32, g.Degree(v))
@@ -163,13 +178,13 @@ func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget
 	step := func(nd *Node, msgs []Message) bool {
 		st := &state[nd.ID]
 		for _, m := range msgs {
-			part := int32(m.Payload[1])
+			rank := int32(m.Payload[1])
 			set := st.rcv[m.Port]
 			switch m.Payload[0] {
 			case conAdmit:
-				st.rcv[m.Port] = insSorted(set, part)
+				st.rcv[m.Port] = insSorted(set, rank)
 			case conEvict:
-				st.rcv[m.Port] = delSorted(set, part)
+				st.rcv[m.Port] = delSorted(set, rank)
 			}
 			st.dirty = true
 		}
@@ -204,8 +219,8 @@ func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget
 	return final, stats, nil
 }
 
-// conTarget computes the (up to) cap lowest part IDs currently present at
-// the node: its own part plus everything admitted by its children. The
+// conTarget computes the (up to) cap best priority ranks currently present
+// at the node: its own part plus everything admitted by its children. The
 // merge keeps only the best cap+1 candidates, so a round costs
 // O(degree · cap) regardless of how many parts exist.
 func conTarget(st *conNode, cap int) []int32 {

@@ -151,6 +151,35 @@ func TestConstructShortcutRejectsForeignTree(t *testing.T) {
 	}
 }
 
+// TestConstructShortcutRejectsBadPriorities: a priority ranking that is
+// not a permutation of 0..parts-1 must fail fast — an out-of-range rank
+// would index past the inverse mapping at assembly, a duplicate would
+// silently merge two parts' floods.
+func TestConstructShortcutRejectsBadPriorities(t *testing.T) {
+	g := gen.Grid(4, 4).G
+	tr, err := graph.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.GridRows(g, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		prio []int32
+	}{
+		{"short", []int32{0, 1}},
+		{"out-of-range", []int32{0, 1, 2, 5}},
+		{"negative", []int32{0, 1, 2, -1}},
+		{"duplicate", []int32{0, 1, 1, 2}},
+	} {
+		if _, err := congest.ConstructShortcut(g, tr, p, congest.ConstructOptions{Cap: 2, Priorities: tc.prio}); err == nil {
+			t.Fatalf("%s priorities accepted", tc.name)
+		}
+	}
+}
+
 // TestConstructShortcutDeterministic: the protocol's outcome — edge sets
 // and statistics — is identical across GOMAXPROCS settings (the engine's
 // determinism contract extended to the construction protocol). Run under

@@ -101,6 +101,42 @@ func TestAggregationIdenticalAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestDistributedBFSIdenticalAcrossGOMAXPROCS runs the BFS-tree election
+// protocol at GOMAXPROCS 1 and 8 and requires identical parent and
+// parent-edge arrays plus identical stats: the lowest-port tie-break for
+// simultaneous announcements must be a pure function of the graph, not of
+// shard scheduling. The wheel is adversarial for this — every rim vertex
+// hears the apex and a rim neighbor in the same round — and the grid
+// exercises four-way ties. Run under -race in CI, this also checks the
+// result arrays against concurrent shard writes.
+func TestDistributedBFSIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		root int
+	}{
+		{"grid", gen.Grid(9, 7).G, 0},
+		{"wheel", gen.Wheel(41).G, 40},
+	} {
+		diam := graph.Diameter(tc.g)
+		run := func() string {
+			parent, parentEdge, stats, err := congest.DistributedBFS(tc.g, tc.root, diam)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			return fmt.Sprintf("%v %v %+v", parent, parentEdge, stats)
+		}
+		prev := runtime.GOMAXPROCS(1)
+		one := run()
+		runtime.GOMAXPROCS(8)
+		eight := run()
+		runtime.GOMAXPROCS(prev)
+		if one != eight {
+			t.Fatalf("%s: BFS results differ:\nGOMAXPROCS=1: %s\nGOMAXPROCS=8: %s", tc.name, one, eight)
+		}
+	}
+}
+
 // TestRunSyncMatchesBlockingRun expresses one protocol in both engine modes
 // and requires identical stats: the round-driven form is a drop-in
 // replacement for the blocking form.

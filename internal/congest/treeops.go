@@ -57,6 +57,27 @@ func TreeBroadcast(t *graph.Tree, value uint64) (values []uint64, stats Stats, e
 // root's total is returned. This is the subtree-aggregation primitive the
 // min-cut 1-respecting evaluation uses.
 func TreeSum(t *graph.Tree, values []uint64) (total uint64, stats Stats, err error) {
+	return treeCombine(t, values, func(a, b uint64) uint64 { return a + b })
+}
+
+// TreeMax convergecasts the maximum of per-vertex values up a rooted
+// spanning tree: O(height) rounds, one word per edge (partial maxima
+// combine). The cap search uses it to measure a constructed shortcut's
+// congestion in-network — each vertex's value is the number of parts
+// admitted over its parent edge.
+func TreeMax(t *graph.Tree, values []uint64) (max uint64, stats Stats, err error) {
+	return treeCombine(t, values, func(a, b uint64) uint64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+}
+
+// treeCombine is the shared convergecast: each vertex waits for all
+// children, folds their subtree values into its own with combine, and sends
+// the result up its parent edge. The root's folded value is returned.
+func treeCombine(t *graph.Tree, values []uint64, combine func(a, b uint64) uint64) (total uint64, stats Stats, err error) {
 	g := t.G
 	if len(values) != g.N() {
 		return 0, stats, fmt.Errorf("congest: %d values for %d vertices", len(values), g.N())
@@ -88,7 +109,7 @@ func TreeSum(t *graph.Tree, values []uint64) (total uint64, stats Stats, err err
 			for _, m := range msgs {
 				from := m.From
 				if t.Parent[from] == nd.ID && m.Edge == t.ParentEdge[from] {
-					sum += m.Payload[0]
+					sum = combine(sum, m.Payload[0])
 					waiting--
 				}
 			}

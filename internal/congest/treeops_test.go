@@ -61,6 +61,35 @@ func TestTreeSum(t *testing.T) {
 	}
 }
 
+func TestTreeMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.ErdosRenyiConnected(20+rng.Intn(40), 100, rng)
+		tr, err := graph.BFSTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := make([]uint64, g.N())
+		var want uint64
+		for v := range values {
+			values[v] = uint64(rng.Intn(1000))
+			if values[v] > want {
+				want = values[v]
+			}
+		}
+		got, stats, err := congest.TreeMax(tr, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("max %d want %d", got, want)
+		}
+		if stats.Messages != g.N()-1 {
+			t.Fatalf("convergecast used %d messages, want n-1=%d", stats.Messages, g.N()-1)
+		}
+	}
+}
+
 func TestTreeSumLengthMismatch(t *testing.T) {
 	g := gen.Path(4)
 	tr, _ := graph.BFSTree(g, 0)

@@ -113,7 +113,11 @@ func E13Construct(gridSides, wheelRims, chainBags []int, seed int64) *Table {
 // constructRow runs the in-network construction in both ledgers plus an
 // aggregation usage over both shortcuts, and formats one table cell row.
 func constructRow(family string, g *graph.Graph, tr *graph.Tree, p *partition.Parts, wit *shortcut.Shortcut) row {
-	_, mAuto, cap := shortcut.ConstructAuto(g, tr, p)
+	auto, err := shortcut.ConstructAuto(g, tr, p)
+	if err != nil {
+		panic(err)
+	}
+	mAuto, cap := auto.M, auto.Cap
 	sim, err := congest.ConstructShortcut(g, tr, p, congest.ConstructOptions{Cap: cap, Simulate: true})
 	if err != nil {
 		panic(err)

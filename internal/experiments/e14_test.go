@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE14PipelineAcceptance pins the zero-witness acceptance shape: on all
+// three families the quality of the shortcut the network built with zero
+// generator input stays within a factor 2 of the witness construction, and
+// every row reports both round ledgers (measured bootstrap + search, and
+// the analytic charge) as positive.
+func TestE14PipelineAcceptance(t *testing.T) {
+	tab := E14Pipeline([]int{6, 10}, []int{32}, []int{2, 4, 8}, 2018)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(tab.Rows))
+	}
+	col := func(name string) int {
+		for ci, h := range tab.Header {
+			if h == name {
+				return ci
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	fam := col("family")
+	ratio := col("ratio")
+	rBoot, rSearch, rChg := col("r_boot"), col("r_search"), col("r_chg")
+	seen := map[string]bool{}
+	const maxRatio = 2.0 // the acceptance bar: within a constant factor of the witness
+	for ri, row := range tab.Rows {
+		seen[row[fam]] = true
+		r, err := strconv.ParseFloat(row[ratio], 64)
+		if err != nil {
+			t.Fatalf("row %d: ratio %q not numeric", ri, row[ratio])
+		}
+		if r > maxRatio {
+			t.Fatalf("row %d (%s): zero-witness quality %.2fx the witness quality exceeds %v",
+				ri, row[fam], r, maxRatio)
+		}
+		for _, c := range []int{rBoot, rSearch, rChg} {
+			v, err := strconv.Atoi(row[c])
+			if err != nil || v < 1 {
+				t.Fatalf("row %d: round column %q=%q not positive", ri, tab.Header[c], row[c])
+			}
+		}
+	}
+	for _, f := range []string{"grid", "wheel", "k5free"} {
+		if !seen[f] {
+			t.Fatalf("family %s missing from the table", f)
+		}
+	}
+}

@@ -127,8 +127,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("full experiment sweep skipped in -short mode")
 	}
 	tables := experiments.All(7)
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 tables, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 tables, got %d", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {

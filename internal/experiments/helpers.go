@@ -39,6 +39,7 @@ func All(seed int64) []*Table {
 		func() *Table { return E11ApexEffect([]int{32, 64, 128}, seed) },
 		func() *Table { return E12Planarize([]int{0, 1, 2, 3}, seed) },
 		func() *Table { return E13Construct([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) },
+		func() *Table { return E14Pipeline([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) },
 	}
 	return forEachPoint(len(runners), func(i int) *Table { return runners[i]() })
 }

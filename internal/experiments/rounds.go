@@ -11,6 +11,7 @@ import (
 	"repro/internal/mincut"
 	"repro/internal/mst"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/shortcut"
 	"repro/internal/structure"
 )
@@ -96,12 +97,12 @@ func E6bMSTExcludedMinor(bagCounts []int, seed int64) *Table {
 			panic(err)
 		}
 		w := witness(cs)
-		provider := func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
+		provider := func(p *partition.Parts) (*shortcut.Shortcut, pipeline.Rounds, error) {
 			res, err := core.ExcludedMinorShortcut(cs.G, tr, p, w)
 			if err != nil {
-				return nil, 0, err
+				return nil, pipeline.Rounds{}, err
 			}
-			return res.S, res.M.Quality, nil
+			return res.S, pipeline.Rounds{Charged: res.M.Quality}, nil
 		}
 		scRes, err := mst.ShortcutBoruvka(cs.G, provider)
 		if err != nil {

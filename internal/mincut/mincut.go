@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/pipeline"
 )
 
 // Options configures the approximation.
@@ -38,6 +39,14 @@ type Options struct {
 	// false computes trees sequentially and charges rounds analytically
 	// (tree height based), for large benches.
 	SimulateMST bool
+	// ProviderFor supplies the shortcut provider for a packing iteration's
+	// reweighted graph copy (same topology and edge IDs as the input
+	// graph). Nil keeps the oblivious default. When set, every packing
+	// iteration runs the real distributed Borůvka under that provider —
+	// the provider's own mode decides which ledger its construction rounds
+	// land in — so the zero-witness pipeline (pipeline.Setup.Provider over
+	// a transferred tree) plugs in directly.
+	ProviderFor func(h *graph.Graph) (pipeline.Provider, error)
 }
 
 // Result reports the approximation outcome.
@@ -125,12 +134,22 @@ func packOneTree(g *graph.Graph, loads []float64, opts Options) (ids []int, stat
 	for id := 0; id < g.M(); id++ {
 		h.SetWeight(id, loads[id]*maxW*float64(g.M()+1)+g.Edge(id).W)
 	}
-	if opts.SimulateMST {
-		t, err := graph.BFSTree(h, 0)
-		if err != nil {
-			return nil, nil, err
+	if opts.SimulateMST || opts.ProviderFor != nil {
+		var prov pipeline.Provider
+		if opts.ProviderFor != nil {
+			p, err := opts.ProviderFor(h)
+			if err != nil {
+				return nil, nil, err
+			}
+			prov = p
+		} else {
+			t, err := graph.BFSTree(h, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			prov = mst.ObliviousProvider(h, t)
 		}
-		rs, err := mst.ShortcutBoruvka(h, mst.ObliviousProvider(h, t))
+		rs, err := mst.ShortcutBoruvka(h, prov)
 		if err != nil {
 			return nil, nil, err
 		}

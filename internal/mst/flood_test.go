@@ -10,8 +10,59 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mst"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/shortcut"
 )
+
+// TestFloodProviderLedgerConsistency pins the provider layer against the
+// PR 2 min-cut ledger-mixing bug class: a provider's construction rounds
+// must land exclusively in the ledger matching its mode — Rounds.Simulated
+// (measured on the engine) for simulate runs, Rounds.Charged (framework
+// budget) for analytic runs — both at the provider itself and after the
+// Borůvka loop books them.
+func TestFloodProviderLedgerConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Grid(6, 6).G, rng))
+	tr, err := graph.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Voronoi(g, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, simulate := range []bool{false, true} {
+		s, cost, err := mst.FloodProvider(g, tr, 2, simulate)(p)
+		if err != nil {
+			t.Fatalf("simulate=%v: %v", simulate, err)
+		}
+		if s == nil {
+			t.Fatalf("simulate=%v: no shortcut", simulate)
+		}
+		if simulate {
+			if cost.Simulated <= 0 || cost.Charged != 0 {
+				t.Fatalf("simulate=true: cost %+v not exclusively in the simulated ledger", cost)
+			}
+		} else {
+			if cost.Charged != congest.ConstructBudget(tr, 2) || cost.Simulated != 0 {
+				t.Fatalf("simulate=false: cost %+v, want charged=%d simulated=0", cost, congest.ConstructBudget(tr, 2))
+			}
+		}
+		rs, err := mst.ShortcutBoruvka(g, mst.FloodProvider(g, tr, 2, simulate))
+		if err != nil {
+			t.Fatalf("simulate=%v: %v", simulate, err)
+		}
+		if simulate && rs.ChargedRounds != 0 {
+			t.Fatalf("simulate=true run leaked %d rounds into ChargedRounds", rs.ChargedRounds)
+		}
+		if !simulate && rs.ChargedRounds <= 0 {
+			t.Fatal("simulate=false run booked no construction charge")
+		}
+		if rs.CommRounds <= 0 {
+			t.Fatalf("simulate=%v: no communication rounds", simulate)
+		}
+	}
+}
 
 // TestFloodProviderExactMST: Borůvka over in-network flooding-constructed
 // shortcuts still produces the exact MST, in both construction ledgers.
@@ -36,8 +87,11 @@ func TestFloodProviderExactMST(t *testing.T) {
 				t.Fatalf("%s simulate=%v: %v", tc.name, simulate, err)
 			}
 			assertExactMST(t, tc.g, rs)
-			if rs.ChargedRounds <= 0 {
-				t.Fatalf("%s simulate=%v: no construction charge recorded", tc.name, simulate)
+			if simulate && rs.ChargedRounds != 0 {
+				t.Fatalf("%s simulate=true: measured construction leaked %d rounds into the charged ledger", tc.name, rs.ChargedRounds)
+			}
+			if !simulate && rs.ChargedRounds <= 0 {
+				t.Fatalf("%s simulate=false: no construction charge recorded", tc.name)
 			}
 		}
 	}
@@ -78,12 +132,12 @@ func TestSimulatedProviderBudgetExhaustion(t *testing.T) {
 				t.Fatalf("%s budget %d: %v", tc.name, budget, err)
 			}
 			assertExactMST(t, tc.g, rs)
-			if rs.ChargedRounds <= 0 {
+			if rs.CommRounds <= 0 {
 				t.Fatalf("%s budget %d: exhausted construction reported no rounds", tc.name, budget)
 			}
 			runs = append(runs, rs)
 		}
-		if runs[0].ChargedRounds != runs[1].ChargedRounds || runs[0].Phases != runs[1].Phases {
+		if runs[0].CommRounds != runs[1].CommRounds || runs[0].Phases != runs[1].Phases {
 			t.Fatalf("%s: budget 0 did not degrade to the budget-1 construction: %+v vs %+v",
 				tc.name, runs[0], runs[1])
 		}
@@ -114,8 +168,8 @@ func TestShortcutBoruvkaIncompleteSurfaces(t *testing.T) {
 		Order:      []int{0, 1, 2, 3, 4, 5},
 		Children:   [][]int{{1, 2}, {}, {}, {4, 5}, {}, {}},
 	}
-	provider := func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
-		return &shortcut.Shortcut{G: g, T: tree, P: p, Edges: make([][]int, p.NumParts())}, 0, nil
+	provider := func(p *partition.Parts) (*shortcut.Shortcut, pipeline.Rounds, error) {
+		return &shortcut.Shortcut{G: g, T: tree, P: p, Edges: make([][]int, p.NumParts())}, pipeline.Rounds{}, nil
 	}
 	_, err := mst.ShortcutBoruvka(g, provider)
 	if err == nil {

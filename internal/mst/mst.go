@@ -20,6 +20,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/shortcut"
 )
 
@@ -29,68 +30,43 @@ type RunStats struct {
 	Weight  float64 // total weight
 	Phases  int
 
-	// CommRounds counts simulated communication rounds (aggregation
-	// quiet-points plus per-phase constant overheads).
+	// CommRounds counts simulated communication rounds: aggregation
+	// quiet-points, per-phase constant overheads, and any provider rounds
+	// that were measured on the engine (Rounds.Simulated).
 	CommRounds int
-	// ChargedRounds adds the Õ(q) shortcut-construction charge per phase
-	// (the [HIZ16a] construction the framework runs; our oracle hands the
-	// shortcut over and charges its measured quality instead).
+	// ChargedRounds books the providers' analytic construction charges
+	// (Rounds.Charged) — e.g. the Õ(q) bound for the [HIZ16a]-style
+	// construction, or the flooding construction's framework budget.
 	ChargedRounds int
 	Messages      int
 }
 
-// Provider yields a shortcut for the current fragment family, plus the
-// construction-round charge for obtaining it.
-type Provider func(p *partition.Parts) (*shortcut.Shortcut, int, error)
+// Provider is the unified shortcut-provider type of the pipeline layer
+// (see package pipeline): it yields a shortcut for the current fragment
+// family plus the two-ledger round cost of obtaining it, which the Borůvka
+// loop books into CommRounds/ChargedRounds respectively.
+type Provider = pipeline.Provider
 
-// ObliviousProvider builds shortcuts with the structure-blind constructor.
-func ObliviousProvider(g *graph.Graph, t *graph.Tree) Provider {
-	return func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
-		s, m := shortcut.ObliviousAuto(g, t, p)
-		return s, m.Quality, nil
-	}
-}
+// Provider constructors, re-exported from the pipeline layer for the many
+// callers that reach them through this package.
+var (
+	ObliviousProvider = pipeline.Oblivious
+	EmptyProvider     = pipeline.Empty
+	SimulatedProvider = pipeline.SimulatedOblivious
+	FloodProvider     = pipeline.Flood
+	AutoFloodProvider = pipeline.AutoFlood
+)
 
-// EmptyProvider gives no shortcuts: aggregation floods inside fragments.
-func EmptyProvider(g *graph.Graph, t *graph.Tree) Provider {
-	return func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
-		return shortcut.Empty(g, t, p), 0, nil
+// provide invokes the provider for a fragment family and books its
+// two-ledger cost into the run's matching fields.
+func provide(provider Provider, p *partition.Parts, stats *RunStats) (*shortcut.Shortcut, pipeline.Rounds, error) {
+	s, cost, err := provider(p)
+	if err != nil {
+		return nil, cost, fmt.Errorf("mst: shortcut provider: %w", err)
 	}
-}
-
-// SimulatedProvider constructs shortcuts with the fully simulated
-// distributed claiming protocol (congest.BuildObliviousShortcut): the
-// construction charge is the protocol's own measured effective rounds
-// rather than the analytic Õ(q) bound. Budgets below 1 degrade to the
-// minimum lawful congestion budget of 1 (a correct, if block-heavy,
-// construction) rather than failing.
-func SimulatedProvider(g *graph.Graph, t *graph.Tree, budget int) Provider {
-	return func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
-		res, err := congest.BuildObliviousShortcut(g, t, p, budget)
-		if err != nil {
-			return nil, 0, err
-		}
-		return res.S, res.EffectiveRounds, nil
-	}
-}
-
-// FloodProvider constructs shortcuts in-network with the flooding
-// construction (congest.ConstructShortcut) at congestion cap: simulate runs
-// the actual protocol and charges its measured effective rounds; otherwise
-// the fixed point is computed sequentially and the framework's construction
-// budget is charged.
-func FloodProvider(g *graph.Graph, t *graph.Tree, cap int, simulate bool) Provider {
-	return func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
-		res, err := congest.ConstructShortcut(g, t, p, congest.ConstructOptions{Cap: cap, Simulate: simulate})
-		if err != nil {
-			return nil, 0, err
-		}
-		charge := res.ChargedRounds
-		if simulate {
-			charge = res.EffectiveRounds
-		}
-		return res.S, charge, nil
-	}
+	stats.CommRounds += cost.Simulated
+	stats.ChargedRounds += cost.Charged
+	return s, cost, nil
 }
 
 // edgeRanks maps each edge to its rank in the canonical order, so min-edge
@@ -127,19 +103,30 @@ func ShortcutBoruvka(g *graph.Graph, provider Provider) (*RunStats, error) {
 	chosen := make(map[int]bool)
 	stats := &RunStats{}
 	const maxPhases = 2 * 64
+	// The dissemination step at the end of a phase constructs a shortcut for
+	// the *merged* fragments — exactly the family the next phase aggregates
+	// over. The network keeps it, so the provider runs once per fragment
+	// family, not twice (a second invocation would both recompute and
+	// double-charge the construction).
+	var carriedParts *partition.Parts
+	var carriedShortcut *shortcut.Shortcut
 	for phase := 0; uf.Count() > 1 && phase < maxPhases; phase++ {
-		parts, err := partition.New(g, uf.Sets())
-		if err != nil {
-			return nil, fmt.Errorf("mst: fragments invalid: %w", err)
+		parts, s := carriedParts, carriedShortcut
+		carriedParts, carriedShortcut = nil, nil
+		if parts == nil {
+			var err error
+			parts, err = partition.New(g, uf.Sets())
+			if err != nil {
+				return nil, fmt.Errorf("mst: fragments invalid: %w", err)
+			}
+			if parts.NumParts() == 1 {
+				break
+			}
+			s, _, err = provide(provider, parts, stats)
+			if err != nil {
+				return nil, err
+			}
 		}
-		if parts.NumParts() == 1 {
-			break
-		}
-		s, charge, err := provider(parts)
-		if err != nil {
-			return nil, fmt.Errorf("mst: shortcut provider: %w", err)
-		}
-		stats.ChargedRounds += charge
 		// One round: neighbors exchange fragment IDs (simulated as a
 		// constant round charge; contents are determined by the parts).
 		stats.CommRounds++
@@ -188,11 +175,10 @@ func ShortcutBoruvka(g *graph.Graph, provider Provider) (*RunStats, error) {
 			return nil, fmt.Errorf("mst: merged fragments invalid: %w", err)
 		}
 		if newParts.NumParts() > 1 {
-			ns, charge2, err := provider(newParts)
+			ns, _, err := provide(provider, newParts, stats)
 			if err != nil {
 				return nil, err
 			}
-			stats.ChargedRounds += charge2
 			ids := make([]uint64, n)
 			for v := 0; v < n; v++ {
 				ids[v] = uint64(v)
@@ -203,6 +189,7 @@ func ShortcutBoruvka(g *graph.Graph, provider Provider) (*RunStats, error) {
 			}
 			stats.CommRounds += res2.EffectiveRounds
 			stats.Messages += res2.Stats.Messages
+			carriedParts, carriedShortcut = newParts, ns
 		}
 	}
 	// Completeness: the loop exits early when no fragment can merge (the

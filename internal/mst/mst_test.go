@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mst"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/shortcut"
 )
 
@@ -68,12 +69,12 @@ func TestShortcutBoruvkaWithOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	provider := func(p *partition.Parts) (*shortcut.Shortcut, int, error) {
+	provider := func(p *partition.Parts) (*shortcut.Shortcut, pipeline.Rounds, error) {
 		res, err := core.AlmostEmbeddableShortcut(a.G, tr, p, a)
 		if err != nil {
-			return nil, 0, err
+			return nil, pipeline.Rounds{}, err
 		}
-		return res.S, res.M.Quality, nil
+		return res.S, pipeline.Rounds{Charged: res.M.Quality}, nil
 	}
 	rs, err := mst.ShortcutBoruvka(a.G, provider)
 	if err != nil {

@@ -32,8 +32,13 @@ func TestSimulatedProviderExactMST(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertExactMST(t, tc.g, rs)
-			if rs.ChargedRounds <= 0 {
+			// The simulated construction's measured rounds belong in the
+			// simulated ledger; the analytic one must stay empty.
+			if rs.CommRounds <= 0 {
 				t.Fatal("simulated construction reported no rounds")
+			}
+			if rs.ChargedRounds != 0 {
+				t.Fatalf("simulated construction leaked %d rounds into ChargedRounds", rs.ChargedRounds)
 			}
 		})
 	}

@@ -8,15 +8,67 @@ import (
 	"repro/internal/partition"
 )
 
+// TreeBlockCounts returns, per part, the number of blocks the part forms in
+// the spanning tree: connected components of T restricted to the part's
+// vertices. A part's block count equals the number of its members whose
+// tree parent lies outside the part (or that are the root) — each block has
+// exactly one topmost vertex — so every node can decide locally whether it
+// tops a block, and the per-part counts are one convergecast-sum away in a
+// real deployment.
+//
+// This is the pre-construction notion of "blocks" that drives part
+// priorities: a part fragmented into many tree blocks needs more tree edges
+// to stitch itself together, so it should win contested edge slots. (It is
+// distinct from Measurement.Blocks, which counts the blocks left *after* a
+// shortcut assignment.)
+func TreeBlockCounts(t *graph.Tree, p *partition.Parts) []int {
+	out := make([]int, p.NumParts())
+	for i, set := range p.Sets {
+		for _, v := range set {
+			if par := t.Parent[v]; par == -1 || p.Of[par] != i {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// TreeBlockPriorities ranks the parts for the flooding construction's
+// eviction rule: prio[i] is part i's rank, and rank 0 is the highest
+// priority. Parts with more tree blocks rank higher (they have the most to
+// gain from tree edges — the paper's block/congestion trade-off), ties
+// break toward the lower part ID (the deterministic static order the
+// construction used before priorities existed).
+func TreeBlockPriorities(t *graph.Tree, p *partition.Parts) []int32 {
+	blocks := TreeBlockCounts(t, p)
+	order := make([]int, p.NumParts())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if blocks[ia] != blocks[ib] {
+			return blocks[ia] > blocks[ib]
+		}
+		return ia < ib
+	})
+	prio := make([]int32, p.NumParts())
+	for rank, part := range order {
+		prio[part] = int32(rank)
+	}
+	return prio
+}
+
 // Construct computes the part-wise flooding construction: every part floods
 // its ID up the spanning tree from each of its vertices, a subtree adopts
 // the parent edge of every part whose flood reaches it, and each tree edge
 // admits at most cap parts — an overloaded vertex evicts the lowest-priority
-// parts (operationally: the highest part IDs; the cap is the paper's
-// block/congestion trade-off made explicit, with part ID as the
-// deterministic priority). The result is the unique bottom-up fixed point
+// parts. Priorities are the block-count-driven ranks of TreeBlockPriorities
+// (parts spanning more tree blocks win contested slots; ties by lower part
+// ID), so the cap is the paper's block/congestion trade-off made explicit.
+// The result is the unique bottom-up fixed point
 //
-//	admitted(v) = the (up to) cap smallest part IDs of
+//	admitted(v) = the (up to) cap highest-priority parts of
 //	              {part of v} ∪ ⋃_{c child of v} admitted(c),
 //
 // and part i's shortcut is Hᵢ = { ParentEdge[v] : i ∈ admitted(v) }.
@@ -28,36 +80,98 @@ import (
 // (congest.ConstructShortcut), which computes the identical assignment by
 // actual message passing.
 func Construct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int) *Shortcut {
-	s, err := FromFloodState(g, t, p, FloodFixedPoint(g, t, p, cap))
+	return ConstructPrio(g, t, p, cap, TreeBlockPriorities(t, p))
+}
+
+// ConstructPrio is Construct under an explicit priority ranking (prio[i] =
+// rank of part i, rank 0 highest; nil selects the static by-ID order).
+// Exposed so the cap search can compute the ranking once per part family
+// and reuse it across all cap guesses. The ranking must be a permutation
+// of 0..NumParts-1 (ValidPriorities).
+func ConstructPrio(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int, prio []int32) *Shortcut {
+	if err := ValidPriorities(prio, p.NumParts()); err != nil {
+		panic(fmt.Sprintf("shortcut.ConstructPrio: %v", err))
+	}
+	s, err := FromFloodState(g, t, p, FloodFixedPoint(g, t, p, cap, prio), prio)
 	if err != nil {
 		panic(fmt.Sprintf("shortcut.Construct: internal error: %v", err))
 	}
 	return s
 }
 
+// ValidPriorities checks that prio is a permutation of 0..numParts-1 (nil
+// is the identity and always valid): a rank out of range would index past
+// the inverse mapping when the shortcut is assembled, and a duplicate rank
+// would silently merge two parts' floods — one part losing every edge.
+func ValidPriorities(prio []int32, numParts int) error {
+	if prio == nil {
+		return nil
+	}
+	if len(prio) != numParts {
+		return fmt.Errorf("shortcut: %d priorities for %d parts", len(prio), numParts)
+	}
+	seen := make([]bool, numParts)
+	for part, rank := range prio {
+		if rank < 0 || int(rank) >= numParts {
+			return fmt.Errorf("shortcut: part %d has rank %d outside [0, %d)", part, rank, numParts)
+		}
+		if seen[rank] {
+			return fmt.Errorf("shortcut: rank %d assigned to more than one part", rank)
+		}
+		seen[rank] = true
+	}
+	return nil
+}
+
 // FromFloodState assembles the Shortcut described by a flooding-construction
-// state: admitted[v] lists the part IDs admitted over v's parent edge. Both
-// the sequential constructor and the distributed protocol's converged state
-// assemble through here, so the two paths cannot diverge.
-func FromFloodState(g *graph.Graph, t *graph.Tree, p *partition.Parts, admitted [][]int32) (*Shortcut, error) {
+// state: admitted[v] lists, in rank space (see FloodFixedPoint), the parts
+// admitted over v's parent edge; prio maps part to rank (nil = identity)
+// and must be a permutation of 0..NumParts-1. Both the sequential
+// constructor and the distributed protocol's converged state assemble
+// through here, so the two paths cannot diverge.
+func FromFloodState(g *graph.Graph, t *graph.Tree, p *partition.Parts, admitted [][]int32, prio []int32) (*Shortcut, error) {
+	if err := ValidPriorities(prio, p.NumParts()); err != nil {
+		return nil, err
+	}
+	inv := invertPriorities(p.NumParts(), prio)
 	edges := make([][]int, p.NumParts())
 	for v := 0; v < g.N(); v++ {
 		id := t.ParentEdge[v]
 		if id == -1 {
 			continue
 		}
-		for _, i := range admitted[v] {
+		for _, r := range admitted[v] {
+			i := inv[r]
 			edges[i] = append(edges[i], id)
 		}
 	}
 	return New(g, t, p, edges)
 }
 
-// FloodFixedPoint returns, per vertex, the sorted part IDs admitted over the
-// vertex's parent edge at the flooding construction's fixed point (nil at
-// the root and at vertices no flood reaches). Exposed so the distributed
-// construction can validate its converged state against the ground truth.
-func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int) [][]int32 {
+// invertPriorities returns the rank -> part mapping (identity for nil prio).
+func invertPriorities(numParts int, prio []int32) []int32 {
+	inv := make([]int32, numParts)
+	if prio == nil {
+		for i := range inv {
+			inv[i] = int32(i)
+		}
+		return inv
+	}
+	for part, rank := range prio {
+		inv[rank] = int32(part)
+	}
+	return inv
+}
+
+// FloodFixedPoint returns, per vertex, the sorted priority ranks admitted
+// over the vertex's parent edge at the flooding construction's fixed point
+// (nil at the root and at vertices no flood reaches). The state lives in
+// rank space — ascending rank = descending priority — so "keep the cap
+// best" is a prefix truncation; map ranks back to parts with the inverse of
+// prio (nil prio = identity, i.e. the static by-ID order). Exposed so the
+// distributed construction can validate its converged state against the
+// ground truth.
+func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int, prio []int32) [][]int32 {
 	if cap < 1 {
 		cap = 1
 	}
@@ -76,13 +190,17 @@ func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int)
 		present = present[:0]
 		seen.Reset()
 		if pi := p.Of[v]; pi != -1 {
-			seen.Visit(pi)
-			present = append(present, int32(pi))
+			r := int32(pi)
+			if prio != nil {
+				r = prio[pi]
+			}
+			seen.Visit(int(r))
+			present = append(present, r)
 		}
 		for _, c := range t.Children[v] {
-			for _, i := range admitted[c] {
-				if seen.Visit(int(i)) {
-					present = append(present, i)
+			for _, r := range admitted[c] {
+				if seen.Visit(int(r)) {
+					present = append(present, r)
 				}
 			}
 		}
@@ -98,23 +216,44 @@ func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int)
 	return admitted
 }
 
+// AutoResult reports a congestion-cap auto-search.
+type AutoResult struct {
+	S       *Shortcut
+	M       Measurement
+	Cap     int // winning cap
+	Guesses int // constructions evaluated by the sweep
+}
+
 // ConstructAuto searches over geometric congestion caps and returns the
-// flooding construction with the best measured quality, plus the winning
-// cap — the same O(log n)-guess search ObliviousAuto runs for the claiming
-// construction.
-func ConstructAuto(g *graph.Graph, t *graph.Tree, p *partition.Parts) (*Shortcut, Measurement, int) {
-	var best *Shortcut
-	var bestM Measurement
-	bestCap := 1
-	for cap := 1; cap <= 2*g.N(); cap *= 2 {
-		s := Construct(g, t, p, cap)
-		m := s.Measure()
-		if best == nil || m.Quality < bestM.Quality {
-			best, bestM, bestCap = s, m, cap
+// flooding construction with the best measured quality. This is the central
+// reference sweep — every guess is measured exactly with Measure() — kept
+// as the oracle for the in-network doubling search (congest.SearchCap),
+// which estimates per-guess quality by convergecast instead.
+//
+// Guesses are 1, 2, 4, ... clamped to the part count: a cap of NumParts
+// already admits every part everywhere, so larger caps construct the
+// identical shortcut and are not evaluated. An empty part family is an
+// explicit error (there is nothing to construct a shortcut for).
+func ConstructAuto(g *graph.Graph, t *graph.Tree, p *partition.Parts) (*AutoResult, error) {
+	np := p.NumParts()
+	if np == 0 {
+		return nil, fmt.Errorf("shortcut: auto cap search over an empty part family")
+	}
+	prio := TreeBlockPriorities(t, p)
+	res := &AutoResult{}
+	for cap := 1; ; cap *= 2 {
+		c := cap
+		if c > np {
+			c = np
 		}
-		if cap > p.NumParts() {
-			break // more cap than parts cannot admit anything new
+		s := ConstructPrio(g, t, p, c, prio)
+		m := s.Measure()
+		res.Guesses++
+		if res.S == nil || m.Quality < res.M.Quality {
+			res.S, res.M, res.Cap = s, m, c
+		}
+		if c >= np {
+			return res, nil // larger caps cannot admit anything new
 		}
 	}
-	return best, bestM, bestCap
 }

@@ -111,12 +111,15 @@ func TestConstructImprovesOverEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	empty := shortcut.Empty(e.G, tr, p).Measure()
-	s, m, cap := shortcut.ConstructAuto(e.G, tr, p)
-	if s == nil || cap < 1 {
-		t.Fatalf("no construction returned (cap %d)", cap)
+	auto, err := shortcut.ConstructAuto(e.G, tr, p)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if m.Quality >= empty.Quality {
-		t.Fatalf("flooding quality %d no better than empty %d", m.Quality, empty.Quality)
+	if auto.S == nil || auto.Cap < 1 {
+		t.Fatalf("no construction returned (cap %d)", auto.Cap)
+	}
+	if auto.M.Quality >= empty.Quality {
+		t.Fatalf("flooding quality %d no better than empty %d", auto.M.Quality, empty.Quality)
 	}
 }
 
@@ -134,8 +137,60 @@ func TestConstructAutoNoWorseThanCapOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	one := shortcut.Construct(g, tr, p, 1).Measure()
-	_, best, _ := shortcut.ConstructAuto(g, tr, p)
-	if best.Quality > one.Quality {
-		t.Fatalf("auto quality %d worse than cap-1 quality %d", best.Quality, one.Quality)
+	auto, err := shortcut.ConstructAuto(g, tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.M.Quality > one.Quality {
+		t.Fatalf("auto quality %d worse than cap-1 quality %d", auto.M.Quality, one.Quality)
+	}
+}
+
+// TestConstructAutoEmptyParts: an empty part family is an explicit error,
+// not a nil shortcut masquerading as a construction (the zero-masquerade
+// class again).
+func TestConstructAutoEmptyParts(t *testing.T) {
+	e := gen.Grid(3, 3)
+	tr, err := graph.BFSTree(e.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.New(e.G, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := shortcut.ConstructAuto(e.G, tr, p); err == nil {
+		t.Fatalf("empty part family returned %+v instead of an error", res)
+	}
+}
+
+// TestConstructAutoGuessCount pins the tightened doubling loop: caps are
+// 1, 2, 4, ... clamped to the part count, with no wasted iteration beyond
+// it — 4 parts take exactly 3 guesses (1, 2, 4), 5 parts exactly 4
+// (1, 2, 4, 5); the old loop ran one extra doubling past the part count.
+func TestConstructAutoGuessCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	e := gen.Grid(6, 6)
+	tr, err := graph.BFSTree(e.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ parts, guesses int }{
+		{1, 1}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {8, 4},
+	} {
+		p, err := partition.Voronoi(e.G, tc.parts, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto, err := shortcut.ConstructAuto(e.G, tr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auto.Guesses != tc.guesses {
+			t.Fatalf("%d parts: %d guesses, want %d", tc.parts, auto.Guesses, tc.guesses)
+		}
+		if auto.Cap > tc.parts {
+			t.Fatalf("%d parts: winning cap %d exceeds the part count", tc.parts, auto.Cap)
+		}
 	}
 }

@@ -176,11 +176,50 @@ func (s *Shortcut) BlockCounts() []int {
 // disconnected) is an explicit error: before this check the empty case
 // returned diameter 0, masquerading as a perfectly-helped part.
 func (s *Shortcut) AugmentedDiameter(i int) (int, error) {
+	aug, _, err := s.augmentedSubgraph(i)
+	if err != nil {
+		return 0, err
+	}
+	d := graph.Diameter(aug)
+	if d < 0 {
+		return 0, fmt.Errorf("shortcut: augmented subgraph of part %d is disconnected: %w", i, graph.ErrDisconnected)
+	}
+	return d, nil
+}
+
+// AugmentedEcc returns the hop eccentricity of part i's minimum vertex in
+// the augmented subgraph G[Pᵢ] + Hᵢ. This is the cap search's per-part
+// quality probe: one BFS instead of AugmentedDiameter's all-pairs sweep,
+// and ecc ≤ diameter ≤ 2·ecc, so it tracks the quantity the framework
+// bounds while staying cheap enough to evaluate per doubling guess. The
+// same empty-part and disconnection cases are explicit errors.
+func (s *Shortcut) AugmentedEcc(i int) (int, error) {
+	aug, src, err := s.augmentedSubgraph(i)
+	if err != nil {
+		return 0, err
+	}
+	r := graph.BFS(aug, src)
+	if len(r.Order) != aug.N() {
+		return 0, fmt.Errorf("shortcut: augmented subgraph of part %d is disconnected: %w", i, graph.ErrDisconnected)
+	}
+	ecc := 0
+	for _, v := range r.Order {
+		if r.Dist[v] > ecc {
+			ecc = r.Dist[v]
+		}
+	}
+	return ecc, nil
+}
+
+// augmentedSubgraph builds G[Pᵢ] + Hᵢ — the subgraph induced by part i plus
+// its shortcut edges (with their endpoints) — and returns it with the local
+// index of the part's minimum vertex (the probe source).
+func (s *Shortcut) augmentedSubgraph(i int) (*graph.Graph, int, error) {
 	if i < 0 || i >= s.P.NumParts() {
-		return 0, fmt.Errorf("shortcut: part %d out of range for %d parts", i, s.P.NumParts())
+		return nil, 0, fmt.Errorf("shortcut: part %d out of range for %d parts", i, s.P.NumParts())
 	}
 	if len(s.P.Sets[i]) == 0 {
-		return 0, fmt.Errorf("shortcut: part %d is empty, augmented diameter undefined", i)
+		return nil, 0, fmt.Errorf("shortcut: part %d is empty, augmented diameter undefined", i)
 	}
 	g := s.G
 	in := g.AcquireScratch() // vertex -> local index (assigned after sort)
@@ -232,11 +271,7 @@ func (s *Shortcut) AugmentedDiameter(i int) (int, error) {
 		e := g.Edge(id)
 		aug.AddEdge(int(in.GetOr(e.U, -1)), int(in.GetOr(e.V, -1)), 1)
 	}
-	d := graph.Diameter(aug)
-	if d < 0 {
-		return 0, fmt.Errorf("shortcut: augmented subgraph of part %d is disconnected: %w", i, graph.ErrDisconnected)
-	}
-	return d, nil
+	return aug, int(in.GetOr(s.P.Sets[i][0], -1)), nil
 }
 
 // Union merges another shortcut assignment (same G, T, P) into s,

@@ -47,6 +47,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/shortcut"
 )
 
@@ -110,6 +111,27 @@ func ApproxConstructed(g *graph.Graph, src int, t *graph.Tree, p *partition.Part
 		r.ConstructRounds = cres.ChargedRounds
 		r.ChargedRounds += cres.ChargedRounds
 	}
+	return r, nil
+}
+
+// ApproxProvided is Approx over the unified provider layer: the shortcut
+// comes from any pipeline.Provider — witness-derived, oblivious, flooding,
+// or the fully self-sufficient cap search — and the provider's two-ledger
+// cost is booked into the matching result fields (Rounds.Simulated into
+// CommRounds, Rounds.Charged into ChargedRounds), with the combined cost
+// reported as ConstructRounds.
+func ApproxProvided(g *graph.Graph, src int, p *partition.Parts, provider pipeline.Provider, opts Options) (*Result, error) {
+	s, cost, err := provider(p)
+	if err != nil {
+		return nil, fmt.Errorf("sssp: shortcut provider: %w", err)
+	}
+	r, err := Approx(g, src, p, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.ConstructRounds = cost.Total()
+	r.CommRounds += cost.Simulated
+	r.ChargedRounds += cost.Charged
 	return r, nil
 }
 

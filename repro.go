@@ -31,6 +31,7 @@ import (
 	"repro/internal/mincut"
 	"repro/internal/mst"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/shortcut"
 	"repro/internal/sssp"
 	"repro/internal/structure"
@@ -218,36 +219,119 @@ func (nw *Network) BuildShortcut(p *Parts) (*ShortcutResult, error) {
 type ConstructResult = congest.ConstructResult
 
 // ConstructShortcut builds a tree-restricted shortcut fully in-network: the
-// part-wise flooding construction with congestion cap (0 selects the
-// analytic auto-search's best cap). With simulate the construction runs as
-// an actual CONGEST protocol and reports measured rounds; otherwise the
-// fixed point is computed sequentially and the framework's construction
-// budget is charged — the two-ledger convention of MST/min-cut/SSSP. Unlike
+// part-wise flooding construction with congestion cap (0 runs the
+// in-network doubling cap search, congest.SearchCap, and its rounds are
+// part of the result). With simulate the construction runs as an actual
+// CONGEST protocol and reports measured rounds; otherwise the fixed point
+// is computed sequentially and the framework's construction budget is
+// charged — the two-ledger convention of MST/min-cut/SSSP. Unlike
 // BuildShortcut, no structure witness is consulted: this is what a deployed
 // network can do on its own.
 func (nw *Network) ConstructShortcut(p *Parts, cap int, simulate bool) (*ConstructResult, error) {
 	if cap < 1 {
-		s, _, autoCap := shortcut.ConstructAuto(nw.G, nw.Tree, p)
-		if !simulate {
-			// The auto-search already built the winning fixed point; reuse it
-			// instead of reconstructing.
-			return &ConstructResult{
-				S:             s,
-				ChargedRounds: congest.ConstructBudget(nw.Tree, autoCap),
-				Cap:           autoCap,
-			}, nil
+		sr, err := congest.SearchCap(nw.G, nw.Tree, p, congest.SearchOptions{Simulate: simulate})
+		if err != nil {
+			return nil, err
 		}
-		cap = autoCap
+		return &ConstructResult{
+			S:               sr.S,
+			Cap:             sr.Cap,
+			Stats:           sr.Stats,
+			EffectiveRounds: sr.EffectiveRounds,
+			ChargedRounds:   sr.ChargedRounds,
+		}, nil
 	}
 	return congest.ConstructShortcut(nw.G, nw.Tree, p, congest.ConstructOptions{Cap: cap, Simulate: simulate})
 }
 
-// MSTConstructed runs the shortcut-framework Borůvka with shortcuts the
-// network constructs itself (the flooding construction at the given cap)
-// instead of witness-derived ones. simulate selects the measured-rounds
-// ledger for the construction charge.
-func (nw *Network) MSTConstructed(cap int, simulate bool) (*MSTResult, error) {
-	return mst.ShortcutBoruvka(nw.G, mst.FloodProvider(nw.G, nw.Tree, cap, simulate))
+// bootstrap runs the zero-witness setup over the network: leader election
+// plus distributed BFS, yielding the elected tree and its two-ledger cost.
+func (nw *Network) bootstrap(simulate bool) (*pipeline.Setup, error) {
+	return pipeline.SelfSetup(nw.G, simulate)
+}
+
+// MSTConstructed runs the shortcut-framework Borůvka with zero
+// generator-supplied structure: the network elects a leader, builds its own
+// BFS tree, and per phase runs the in-network doubling cap search with
+// block-count part priorities — no witness, tree, or cap input. simulate
+// selects the measured-rounds ledger for every bootstrap and construction
+// round; otherwise the framework budgets are charged.
+func (nw *Network) MSTConstructed(simulate bool) (*MSTResult, error) {
+	setup, err := nw.bootstrap(simulate)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := mst.ShortcutBoruvka(nw.G, setup.Provider())
+	if err != nil {
+		return nil, err
+	}
+	rs.CommRounds += setup.Cost.Simulated
+	rs.ChargedRounds += setup.Cost.Charged
+	return rs, nil
+}
+
+// MinCutConstructed runs the tree-packing (1+ε)-approximate minimum cut
+// with zero generator-supplied structure: every packing iteration's MST
+// runs the distributed Borůvka over the self-built tree (transferred onto
+// the iteration's reweighted copy) with in-network cap-searched shortcuts.
+// The bootstrap's rounds are folded into the matching ledger.
+func (nw *Network) MinCutConstructed(eps float64, simulate bool) (*CutResult, error) {
+	setup, err := nw.bootstrap(simulate)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mincut.Approx(nw.G, mincut.Options{
+		Eps:           eps,
+		TwoRespecting: nw.G.N() <= 400,
+		SimulateMST:   simulate,
+		ProviderFor: func(h *graph.Graph) (pipeline.Provider, error) {
+			ht, err := setup.TreeFor(h)
+			if err != nil {
+				return nil, err
+			}
+			return pipeline.AutoFlood(h, ht, simulate), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CommRounds += setup.Cost.Simulated
+	res.ChargedRounds += setup.Cost.Charged
+	return res, nil
+}
+
+// SSSPSelfSufficient runs the (1+ε)-approximate single-source shortest
+// paths with zero generator-supplied structure: the network elects a
+// leader, builds its own BFS tree, decomposes itself into Borůvka fragments
+// (the part family the MST pipeline computes distributively), cap-searches
+// a shortcut over them in-network, and runs the part-wise relaxation. The
+// fragment decomposition is charged one aggregation budget per Borůvka
+// phase in the matching ledger.
+func (nw *Network) SSSPSelfSufficient(src int, eps float64, simulate bool) (*SSSPResult, error) {
+	setup, err := nw.bootstrap(simulate)
+	if err != nil {
+		return nil, err
+	}
+	phases := 2
+	for n := nw.G.N(); (1 << (2 * phases)) < n; phases++ {
+	}
+	parts, err := partition.BoruvkaFragments(nw.G, phases)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sssp.ApproxProvided(nw.G, src, parts, setup.Provider(), sssp.Options{Eps: eps, Simulate: simulate})
+	if err != nil {
+		return nil, err
+	}
+	// Bootstrap plus the fragment decomposition: each Borůvka phase is one
+	// fragment-wise aggregation over the elected tree, O(height) per phase.
+	decomp := phases * (2*setup.Tree.Height() + 2)
+	if simulate {
+		r.CommRounds += setup.Cost.Simulated + decomp
+	} else {
+		r.ChargedRounds += setup.Cost.Charged + decomp
+	}
+	return r, nil
 }
 
 // MSTResult reports a distributed MST run.
@@ -256,12 +340,12 @@ type MSTResult = mst.RunStats
 // MST runs the shortcut-framework Borůvka (Theorem 1 + Corollary 1) on the
 // network, using witness-based shortcuts when available.
 func (nw *Network) MST() (*MSTResult, error) {
-	provider := func(p *Parts) (*Shortcut, int, error) {
+	provider := func(p *Parts) (*Shortcut, pipeline.Rounds, error) {
 		sc, err := nw.BuildShortcut(p)
 		if err != nil {
-			return nil, 0, err
+			return nil, pipeline.Rounds{}, err
 		}
-		return sc.S, sc.Measurement.Quality, nil
+		return sc.S, pipeline.Rounds{Charged: sc.Measurement.Quality}, nil
 	}
 	return mst.ShortcutBoruvka(nw.G, provider)
 }

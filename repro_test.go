@@ -116,6 +116,70 @@ func TestBaselinesProduceSameTree(t *testing.T) {
 	}
 }
 
+// TestZeroWitnessFacade: the three self-sufficient entry points run with
+// no witness, tree, or cap input — leader election, BFS tree, cap search,
+// and part priorities all happen in-network — and still meet their
+// algorithmic guarantees, with the bootstrap rounds in the ledger matching
+// the mode.
+func TestZeroWitnessFacade(t *testing.T) {
+	nw, err := repro.GridNetwork(6, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kW := graph.Kruskal(nw.G)
+	exactCut, _, err := nw.ExactMinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSP, err := nw.ExactSSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.25
+	for _, simulate := range []bool{false, true} {
+		mstRes, err := nw.MSTConstructed(simulate)
+		if err != nil {
+			t.Fatalf("MSTConstructed simulate=%v: %v", simulate, err)
+		}
+		if diff := mstRes.Weight - kW; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("simulate=%v: zero-witness MST weight %v want %v", simulate, mstRes.Weight, kW)
+		}
+		cut, err := nw.MinCutConstructed(eps, simulate)
+		if err != nil {
+			t.Fatalf("MinCutConstructed simulate=%v: %v", simulate, err)
+		}
+		if cut.Value < exactCut-1e-9 {
+			t.Fatalf("simulate=%v: cut %v below exact minimum %v", simulate, cut.Value, exactCut)
+		}
+		if w := graph.CutWeight(nw.G, cut.Side); w-cut.Value > 1e-6 || cut.Value-w > 1e-6 {
+			t.Fatalf("simulate=%v: reported %v but side cuts %v", simulate, cut.Value, w)
+		}
+		sp, err := nw.SSSPSelfSufficient(0, eps, simulate)
+		if err != nil {
+			t.Fatalf("SSSPSelfSufficient simulate=%v: %v", simulate, err)
+		}
+		for v := 1; v < nw.G.N(); v++ {
+			if sp.Dist[v] < exactSP.Dist[v]-1e-9 || sp.Dist[v] > exactSP.Dist[v]*(1+eps)+1e-9 {
+				t.Fatalf("simulate=%v vertex %d: %v vs exact %v outside [d, (1+eps)d]",
+					simulate, v, sp.Dist[v], exactSP.Dist[v])
+			}
+		}
+		// Ledger exclusivity end-to-end: the MST and SSSP paths book every
+		// round in the mode's ledger (min-cut's 1-respecting convergecast
+		// stays analytic by design, so only its simulated side is checked).
+		if simulate {
+			if mstRes.ChargedRounds != 0 || sp.ChargedRounds != 0 {
+				t.Fatalf("simulate=true leaked charges: mst %d sssp %d", mstRes.ChargedRounds, sp.ChargedRounds)
+			}
+			if mstRes.CommRounds <= 0 || sp.CommRounds <= 0 || cut.CommRounds <= 0 {
+				t.Fatal("simulate=true booked no measured rounds")
+			}
+		} else if mstRes.ChargedRounds <= 0 || sp.ChargedRounds <= 0 || cut.ChargedRounds <= 0 {
+			t.Fatal("simulate=false booked no charged rounds")
+		}
+	}
+}
+
 func TestSSSPFacade(t *testing.T) {
 	nw, err := repro.ExcludedMinorNetwork(3, 14, 4)
 	if err != nil {
