@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench
+.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench
 
 all: vet build test
 
@@ -20,7 +20,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 bench-smoke:
-	$(GO) test -bench='E5|E9|E13|E14' -benchtime=1x -run=NONE .
+	$(GO) test -bench='E5|E9|E13|E14|E15' -benchtime=1x -run=NONE .
 
 # sssp-bench regenerates the E9 (1+eps)-approximate shortest-path table.
 sssp-bench:
@@ -33,6 +33,10 @@ construct-bench:
 # pipeline-bench regenerates the E14 zero-witness pipeline table.
 pipeline-bench:
 	$(GO) run ./cmd/pipelinebench
+
+# pipecast-bench regenerates the E15 pipelined multi-token convergecast table.
+pipecast-bench:
+	$(GO) run ./cmd/pipecastbench
 
 # bench-baseline records the full benchmark suite as JSON for perf
 # trajectory tracking across PRs (compare with benchstat or jq).

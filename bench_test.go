@@ -218,6 +218,20 @@ func BenchmarkE14Pipeline(b *testing.B) {
 	reportLastCell(b, t, "ratio", "ratio")
 }
 
+// BenchmarkE15Pipecast regenerates the pipelined multi-token tree
+// communication table: one O(height+k) streamed convergecast of the k
+// per-part block-count tokens versus k sequential convergecasts, plus the
+// two-mode cap-search agreement with the bootstrap measured message-level.
+func BenchmarkE15Pipecast(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E15Pipecast([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "speedup", "speedup")
+}
+
 func BenchmarkE12Planarize(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {

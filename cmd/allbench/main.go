@@ -1,17 +1,31 @@
-// allbench regenerates every experiment table (E1-E12) in one run — the
-// CLI twin of `go test -bench=. -benchtime=1x .`.
+// allbench regenerates every experiment table (E1-E15) in one run — the
+// CLI twin of `go test -bench=. -benchtime=1x .` — or, with -table, a
+// single table by ID.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	seed := flag.Int64("seed", 2018, "deterministic seed")
+	table := flag.String("table", "", "regenerate one experiment table by ID (e.g. E9, E6c, E15); empty runs all")
 	flag.Parse()
+	if *table != "" {
+		t, ok := experiments.ByID(*table, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "allbench: unknown table %q; valid IDs: %s\n",
+				*table, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		fmt.Println(t)
+		return
+	}
 	for _, t := range experiments.All(*seed) {
 		fmt.Println(t)
 	}

@@ -1,0 +1,29 @@
+// pipecastbench regenerates the pipelined multi-token tree communication
+// table (experiment E15): streaming k tagged block-count tokens to the
+// root in one O(height + k) pipelined convergecast versus k sequential
+// single-token convergecasts, plus the two-mode cap-search agreement with
+// the bootstrap now measured message-level.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	grids := []int{6, 10, 14}
+	wheels := []int{32, 64}
+	chains := []int{2, 4, 8, 16}
+	if *big {
+		grids = []int{6, 10, 14, 18, 24}
+		wheels = []int{32, 64, 128, 256}
+		chains = []int{2, 4, 8, 16, 32}
+	}
+	fmt.Println(experiments.E15Pipecast(grids, wheels, chains, *seed))
+}

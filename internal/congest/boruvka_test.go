@@ -1,0 +1,115 @@
+package congest_test
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/xrand"
+)
+
+// TestBoruvkaDecomposeModesAgree: the in-network fragment decomposition
+// hands both modes the identical part family (the sequential trace's fixed
+// point), with each mode's rounds exclusively in its own ledger.
+func TestBoruvkaDecomposeModesAgree(t *testing.T) {
+	rng := xrand.New(21)
+	for _, tc := range []struct {
+		name   string
+		g      *graph.Graph
+		phases int
+	}{
+		{"grid", weighted(gen.Grid(8, 8).G, 31), 3},
+		{"wheel", weighted(gen.Wheel(49).G, 32), 2},
+		{"er", weighted(gen.ErdosRenyiConnected(60, 150, rng), 33), 4},
+	} {
+		tr, err := graph.BFSTree(tc.g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := congest.BoruvkaDecompose(tc.g, tr, tc.phases, true)
+		if err != nil {
+			t.Fatalf("%s simulate: %v", tc.name, err)
+		}
+		ana, err := congest.BoruvkaDecompose(tc.g, tr, tc.phases, false)
+		if err != nil {
+			t.Fatalf("%s analytic: %v", tc.name, err)
+		}
+		want, err := partition.BoruvkaFragments(tc.g, tc.phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, got := range []*congest.DecomposeResult{sim, ana} {
+			if got.Parts.NumParts() != want.NumParts() {
+				t.Fatalf("%s: %d parts, sequential has %d", tc.name, got.Parts.NumParts(), want.NumParts())
+			}
+			for v, pi := range got.Parts.Of {
+				if pi != want.Of[v] {
+					t.Fatalf("%s vertex %d: part %d, sequential has %d", tc.name, v, pi, want.Of[v])
+				}
+			}
+		}
+		if sim.EffectiveRounds <= 0 || sim.ChargedRounds != 0 {
+			t.Fatalf("%s simulate ledgers %d/%d not exclusively simulated", tc.name, sim.EffectiveRounds, sim.ChargedRounds)
+		}
+		if ana.ChargedRounds <= 0 || ana.EffectiveRounds != 0 || ana.Stats.Messages != 0 {
+			t.Fatalf("%s analytic ledgers %d/%d (messages %d) not exclusively charged",
+				tc.name, ana.EffectiveRounds, ana.ChargedRounds, ana.Stats.Messages)
+		}
+		if sim.Phases != ana.Phases {
+			t.Fatalf("%s: phase counts differ: %d vs %d", tc.name, sim.Phases, ana.Phases)
+		}
+	}
+}
+
+// weighted assigns distinct deterministic weights (decompositions need the
+// EdgeLess order to be strict for unique fragment-best edges).
+func weighted(g *graph.Graph, seed int64) *graph.Graph {
+	gen.DistinctWeights(gen.UniformWeights(g, xrand.New(seed)))
+	return g
+}
+
+// TestBoruvkaDecomposeMeasuredBound: each phase is two pipelined tree
+// protocols, so the total measured rounds stay within the sum of the
+// per-phase 2·(height + fragments + 1) pipelining bounds.
+func TestBoruvkaDecomposeMeasuredBound(t *testing.T) {
+	g := weighted(gen.Grid(10, 10).G, 34)
+	tr, err := graph.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const phases = 3
+	trace, _, err := partition.BoruvkaTrace(g, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := congest.BoruvkaDecompose(g, tr, phases, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 0
+	for _, ph := range trace {
+		bound += 2 * (tr.Height() + ph.NumFrags + 1)
+	}
+	if res.EffectiveRounds > bound {
+		t.Fatalf("measured %d rounds exceed the pipelining bound %d", res.EffectiveRounds, bound)
+	}
+	if res.EffectiveRounds <= 0 {
+		t.Fatal("no measured rounds")
+	}
+}
+
+// TestBoruvkaDecomposeTreeIdentity: a tree of a different graph is
+// rejected (the construction-layer identity contract).
+func TestBoruvkaDecomposeTreeIdentity(t *testing.T) {
+	g1 := weighted(gen.Grid(4, 4).G, 35)
+	g2 := weighted(gen.Grid(4, 4).G, 36)
+	tr, err := graph.BFSTree(g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := congest.BoruvkaDecompose(g1, tr, 2, false); err == nil {
+		t.Fatal("accepted a tree of a different graph")
+	}
+}

@@ -30,6 +30,12 @@ func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []i
 	if root < 0 || root >= n {
 		return nil, nil, stats, fmt.Errorf("congest: BFS root %d out of range for %d nodes", root, n)
 	}
+	if diamBound <= 0 {
+		// A non-positive bound cannot cover even a single hop; before this
+		// guard the flood ran zero useful rounds and surfaced the confusing
+		// ErrIncomplete (or, on a single vertex, silently succeeded).
+		return nil, nil, stats, fmt.Errorf("congest: BFS diameter bound %d must be positive", diamBound)
+	}
 	parent = make([]int, n)
 	parentEdge = make([]int, n)
 	type result struct {
@@ -95,6 +101,11 @@ func LeaderElect(g *graph.Graph, diamBound int) (leader int, stats Stats, err er
 	n := g.N()
 	if n == 0 {
 		return -1, stats, fmt.Errorf("congest: leader election over an empty network")
+	}
+	if diamBound <= 0 {
+		// Zero or negative bounds used to fall through to a zero-round
+		// flood whose unanimous self-votes masqueraded as an election.
+		return -1, stats, fmt.Errorf("congest: leader election diameter bound %d must be positive", diamBound)
 	}
 	out := make([]int, n)
 	for v := range out {

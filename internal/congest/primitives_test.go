@@ -51,3 +51,37 @@ func TestDistributedBFSExactDiamBound(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a non-positive diameter bound used to fall through to the
+// flood loops — DistributedBFS ran a zero-round flood and reported every
+// node missed (a confusing ErrIncomplete, or silent success on a single
+// vertex), and LeaderElect's unanimous self-votes masqueraded as an
+// election on a single vertex. Both must reject diamBound <= 0 up front
+// with an explicit validation error, not ErrIncomplete.
+func TestRejectNonPositiveDiamBound(t *testing.T) {
+	g := gen.Path(8)
+	single := gen.Path(1)
+	for _, diamBound := range []int{0, -1, -100} {
+		if _, _, _, err := congest.DistributedBFS(g, 0, diamBound); err == nil {
+			t.Fatalf("DistributedBFS accepted diamBound %d", diamBound)
+		} else if errors.Is(err, congest.ErrIncomplete) {
+			t.Fatalf("DistributedBFS diamBound %d: want a validation error, got ErrIncomplete: %v", diamBound, err)
+		}
+		if _, _, _, err := congest.DistributedBFS(single, 0, diamBound); err == nil {
+			t.Fatalf("DistributedBFS on a single vertex accepted diamBound %d", diamBound)
+		}
+		if _, _, err := congest.LeaderElect(g, diamBound); err == nil {
+			t.Fatalf("LeaderElect accepted diamBound %d", diamBound)
+		}
+		if leader, _, err := congest.LeaderElect(single, diamBound); err == nil {
+			t.Fatalf("LeaderElect on a single vertex accepted diamBound %d (leader %d)", diamBound, leader)
+		}
+	}
+	// Positive bounds still work, including the degenerate single vertex.
+	if leader, _, err := congest.LeaderElect(single, 1); err != nil || leader != 0 {
+		t.Fatalf("LeaderElect(single, 1) = %d, %v", leader, err)
+	}
+	if _, _, _, err := congest.DistributedBFS(single, 0, 1); err != nil {
+		t.Fatalf("DistributedBFS(single, 1): %v", err)
+	}
+}

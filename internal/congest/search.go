@@ -31,11 +31,17 @@ type SearchResult struct {
 	Guesses int
 	// Priorities is the block-count-driven ranking all guesses shared.
 	Priorities []int32
+	// BootstrapRounds is the priority bootstrap's round cost in the mode's
+	// ledger: the pipelined block-count convergecast plus ranking
+	// broadcast's measured rounds in simulate mode, PriorityBudget in
+	// analytic mode.
+	BootstrapRounds int
 	// Stats accumulates every simulated protocol of the search.
 	Stats Stats
 	// EffectiveRounds: total measured rounds of the search in simulate mode
-	// (constructions, congestion convergecasts, flood probes, the priority
-	// bootstrap, and the winner broadcast).
+	// (constructions, congestion and block-count convergecasts, flood
+	// probes, the priority bootstrap, and the winner broadcast — every term
+	// measured on the engine, none modeled).
 	EffectiveRounds int
 	// ChargedRounds is the analytic-mode total for the same pipeline.
 	ChargedRounds int
@@ -47,24 +53,108 @@ type SearchResult struct {
 	ChargedEquivalent int
 }
 
-// PriorityBudget is the round charge for the block-priority bootstrap: each
-// part's tree block count is a convergecast sum of locally decidable
-// indicators (a member tops a block iff its tree parent is outside the
-// part), the per-part counts pipeline to the root — one token per tree edge
-// per round — and the resulting ranking broadcasts back down. O(height +
-// parts) up plus the same down.
+// PriorityBudget is the analytic round charge for the block-priority
+// bootstrap: each part's tree block count is a convergecast sum of locally
+// decidable indicators (a member tops a block iff its tree parent is
+// outside the part), the per-part counts pipeline to the root — one token
+// per tree edge per round — and the resulting ranking broadcasts back
+// down: one PipecastBudget each way. Simulate mode runs exactly this
+// protocol (BootstrapPriorities) and reports measured rounds instead.
 func PriorityBudget(t *graph.Tree, p *partition.Parts) int {
-	return 2 * (t.Height() + p.NumParts() + 2)
+	return 2 * PipecastBudget(t, p.NumParts())
+}
+
+// BootstrapResult reports the block-priority bootstrap.
+type BootstrapResult struct {
+	// Counts are the per-part tree block counts the convergecast produced
+	// (== shortcut.TreeBlockCounts, validated).
+	Counts []int
+	// Priorities is the resulting ranking (== shortcut.TreeBlockPriorities).
+	Priorities []int32
+	Stats      Stats
+	// EffectiveRounds: measured rounds (pipelined convergecast up plus
+	// ranking broadcast down) in simulate mode.
+	EffectiveRounds int
+	// ChargedRounds: PriorityBudget in analytic mode.
+	ChargedRounds int
+}
+
+// BootstrapPriorities computes the block-count part priorities the way a
+// deployed network does — the distributed realization of
+// shortcut.TreeBlockCounts + TreeBlockPriorities. Every part member
+// decides locally whether it tops a tree block of its part (its tree
+// parent lies outside the part, or it is the root); the indicators
+// pipeline up the tree as tagged count tokens (Pipecast, one token per
+// tree edge per round, O(height + parts) measured rounds), the root ranks
+// the counts (shortcut.RankBlockCounts), and the ranking streams back
+// down (PipeBroadcast, same bound). Both steps' fixed points are
+// validated against the sequential functions, so the two modes share the
+// ranking — and with it every downstream construction — exactly.
+func BootstrapPriorities(t *graph.Tree, p *partition.Parts, simulate bool) (*BootstrapResult, error) {
+	counts := shortcut.TreeBlockCounts(t, p)
+	res := &BootstrapResult{Counts: counts, Priorities: shortcut.RankBlockCounts(counts)}
+	if !simulate {
+		res.ChargedRounds = PriorityBudget(t, p)
+		return res, nil
+	}
+	np := p.NumParts()
+	up, err := Pipecast(t, np, BlockTopTokens(t, p), CombineCount)
+	if err != nil {
+		return nil, fmt.Errorf("congest: priority bootstrap convergecast: %w", err)
+	}
+	for i, want := range counts {
+		if up.Values[i] != uint64(want) {
+			return nil, fmt.Errorf("congest: part %d block-count convergecast returned %d, sequential count is %d",
+				i, up.Values[i], want)
+		}
+	}
+	res.Stats.Add(up.Stats)
+	res.EffectiveRounds += up.EffectiveRounds
+	tokens := make([]Token, np)
+	for i := range tokens {
+		tokens[i] = Token{Tag: int32(i), Value: uint64(res.Priorities[i])}
+	}
+	down, err := PipeBroadcast(t, tokens)
+	if err != nil {
+		return nil, fmt.Errorf("congest: priority bootstrap ranking broadcast: %w", err)
+	}
+	res.Stats.Add(down.Stats)
+	res.EffectiveRounds += down.EffectiveRounds
+	return res, nil
+}
+
+// BlockTopTokens builds the priority bootstrap's convergecast payload:
+// one count token, tagged with the member's part, for every vertex that
+// tops a tree block of its part (its tree parent lies outside the part,
+// or it is the root) — the locally decidable indicators whose per-part
+// sums are shortcut.TreeBlockCounts. Shared by BootstrapPriorities and
+// the E15 experiment so table and protocol can never diverge.
+func BlockTopTokens(t *graph.Tree, p *partition.Parts) [][]Token {
+	n := t.G.N()
+	backing := make([]Token, n)
+	contrib := make([][]Token, n)
+	for v := 0; v < n; v++ {
+		pi := p.Of[v]
+		if pi == -1 {
+			continue
+		}
+		if par := t.Parent[v]; par != -1 && p.Of[par] == pi {
+			continue // an interior member of a block contributes nothing
+		}
+		backing[v] = Token{Tag: int32(pi), Value: 1}
+		contrib[v] = backing[v : v+1 : v+1]
+	}
+	return contrib
 }
 
 // probeBudget is the analytic charge for one guess's quality estimate: a
 // tree convergecast of the congestion maximum, a part-wise flood probe
 // whose round count the estimate itself bounds (the RelaxBudget shape),
 // and the pipelined block-count convergecast (each vertex decides locally
-// which parts' admitted chains it tops; the same pipelined shape — and
-// budget — as the priority bootstrap).
+// which parts' admitted chains it tops and the per-part sums stream to
+// the root: one PipecastBudget).
 func probeBudget(t *graph.Tree, p *partition.Parts, est int) int {
-	return (t.Height() + 2) + (est + 2*t.Height() + 8) + PriorityBudget(t, p)
+	return (t.Height() + 2) + (est + 2*t.Height() + 8) + PipecastBudget(t, p.NumParts())
 }
 
 // SearchCap finds a good congestion cap fully in-network: the O(log n)
@@ -77,7 +167,8 @@ func probeBudget(t *graph.Tree, p *partition.Parts, est int) int {
 //   - congestion: every vertex knows how many parts it admitted over its
 //     parent edge; the maximum convergecasts up the tree (TreeMax);
 //   - block counts: every vertex decides locally which parts' admitted
-//     chains it tops; the per-part sums pipeline up the tree;
+//     chains it tops (shortcut.BlockTops); the per-part sums pipeline up
+//     the tree (Pipecast), one token per tree edge per round;
 //   - augmented-diameter probe: every part floods its minimum member ID
 //     over its induced-plus-shortcut channels (the AggregateMin primitive);
 //     the quiescence point tracks the augmented eccentricity under real
@@ -89,9 +180,10 @@ func probeBudget(t *graph.Tree, p *partition.Parts, est int) int {
 // simulate and analytic runs select the same cap; the guess with the
 // lowest estimate (ties toward the smaller cap) wins and is re-broadcast
 // down the tree. Block-count part priorities are computed once and shared
-// by all guesses; their bootstrap is charged via PriorityBudget in both
-// ledgers (in simulate mode as a modeled pipelined convergecast, like the
-// per-phase constants ShortcutBoruvka books).
+// by all guesses; in simulate mode their bootstrap runs message-level on
+// the pipelined tree layer (BootstrapPriorities) and its measured rounds
+// are booked — no modeled charge remains anywhere in the simulated
+// ledger. Analytic mode charges PriorityBudget as before.
 func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOptions) (*SearchResult, error) {
 	if t.G != g {
 		return nil, fmt.Errorf("congest: cap search tree belongs to a different graph")
@@ -103,7 +195,11 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 	if np == 0 {
 		return nil, fmt.Errorf("congest: cap search over an empty part family")
 	}
-	res := &SearchResult{Priorities: shortcut.TreeBlockPriorities(t, p)}
+	boot, err := BootstrapPriorities(t, p, opts.Simulate)
+	if err != nil {
+		return nil, err
+	}
+	res := &SearchResult{Priorities: boot.Priorities}
 	book := func(simulated, charged int) {
 		if opts.Simulate {
 			res.EffectiveRounds += simulated
@@ -112,8 +208,13 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 		}
 		res.ChargedEquivalent += charged
 	}
-	prioCost := PriorityBudget(t, p)
-	book(prioCost, prioCost)
+	res.Stats.Add(boot.Stats)
+	book(boot.EffectiveRounds, PriorityBudget(t, p))
+	if opts.Simulate {
+		res.BootstrapRounds = boot.EffectiveRounds
+	} else {
+		res.BootstrapRounds = boot.ChargedRounds
+	}
 	bestEst := -1
 	for cap := 1; ; cap *= 2 {
 		c := cap
@@ -162,11 +263,13 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 
 // estimateQuality computes one guess's quality estimate —
 // maxBlocks · maxAugmentedEcc + congestion — and, in simulate mode, runs
-// the in-network protocols realizing it (booking their measured rounds
-// into res and validating the congestion convergecast against the ground
-// truth; the block-count convergecast is booked as a modeled pipelined
-// cost). The estimate's value is always derived from the converged fixed
-// point, so both modes agree on it.
+// the in-network protocols realizing it, booking their measured rounds
+// into res and validating each convergecast against the ground truth: the
+// congestion maximum (TreeMax), the augmented-eccentricity probe
+// (AggregateMin), and the per-part block-count sums (a pipelined
+// multi-token convergecast of the locally decidable BlockTops indicators
+// — formerly a modeled charge). The estimate's value is always derived
+// from the converged fixed point, so both modes agree on it.
 func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *shortcut.Shortcut, simulate bool, res *SearchResult) (int, error) {
 	m := s.Measure()
 	maxEcc := 0
@@ -219,10 +322,39 @@ func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *short
 		}
 		res.Stats.Add(pres.Stats)
 		res.EffectiveRounds += pres.EffectiveRounds
-		// Block-count convergecast: locally decidable tops, per-part sums
-		// pipelined to the root — a modeled cost with the priority
-		// bootstrap's shape and budget.
-		res.EffectiveRounds += PriorityBudget(t, p)
+		// Block-count convergecast: each vertex tops the admitted chains
+		// it can decide locally (BlockTops); the per-part sums stream to
+		// the root on the pipelined layer and must reproduce the fixed
+		// point's block parameters exactly.
+		tops := s.BlockTops()
+		total := 0
+		for _, ts := range tops {
+			total += len(ts)
+		}
+		backing := make([]Token, 0, total)
+		contrib := make([][]Token, g.N())
+		for v, ts := range tops {
+			if len(ts) == 0 {
+				continue
+			}
+			base := len(backing)
+			for _, pi := range ts {
+				backing = append(backing, Token{Tag: pi, Value: 1})
+			}
+			contrib[v] = backing[base:len(backing):len(backing)]
+		}
+		bres, err := Pipecast(t, p.NumParts(), contrib, CombineCount)
+		if err != nil {
+			return 0, fmt.Errorf("congest: block-count convergecast: %w", err)
+		}
+		for i, want := range m.Blocks {
+			if bres.Values[i] != uint64(want) {
+				return 0, fmt.Errorf("congest: part %d block-count convergecast returned %d, fixed point has %d",
+					i, bres.Values[i], want)
+			}
+		}
+		res.Stats.Add(bres.Stats)
+		res.EffectiveRounds += bres.EffectiveRounds
 	}
 	return est, nil
 }

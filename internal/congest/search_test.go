@@ -116,3 +116,52 @@ func TestSearchCapTracksCentralSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestBootstrapPrioritiesMeasured: the priority bootstrap runs message-
+// level in simulate mode — real messages, measured rounds within the
+// pipelined 2·(height + parts + 1) bound, fixed points identical to the
+// sequential functions — and charges PriorityBudget only in analytic mode
+// (the modeled simulated charge is gone).
+func TestBootstrapPrioritiesMeasured(t *testing.T) {
+	for _, tc := range constructInstances(t) {
+		sim, err := congest.BootstrapPriorities(tc.tr, tc.p, true)
+		if err != nil {
+			t.Fatalf("%s simulate: %v", tc.name, err)
+		}
+		ana, err := congest.BootstrapPriorities(tc.tr, tc.p, false)
+		if err != nil {
+			t.Fatalf("%s analytic: %v", tc.name, err)
+		}
+		wantCounts := shortcut.TreeBlockCounts(tc.tr, tc.p)
+		wantPrio := shortcut.TreeBlockPriorities(tc.tr, tc.p)
+		for _, res := range []*congest.BootstrapResult{sim, ana} {
+			for i := range wantCounts {
+				if res.Counts[i] != wantCounts[i] || res.Priorities[i] != wantPrio[i] {
+					t.Fatalf("%s: bootstrap fixed point diverges from the sequential functions", tc.name)
+				}
+			}
+		}
+		bound := 2 * (tc.tr.Height() + tc.p.NumParts() + 1)
+		if sim.EffectiveRounds < 1 || sim.EffectiveRounds > bound {
+			t.Fatalf("%s simulate: %d measured rounds outside (0, %d]", tc.name, sim.EffectiveRounds, bound)
+		}
+		if sim.Stats.Messages == 0 || sim.ChargedRounds != 0 {
+			t.Fatalf("%s simulate: messages %d, charged %d — not message-level/exclusive",
+				tc.name, sim.Stats.Messages, sim.ChargedRounds)
+		}
+		if ana.ChargedRounds != congest.PriorityBudget(tc.tr, tc.p) || ana.EffectiveRounds != 0 || ana.Stats.Messages != 0 {
+			t.Fatalf("%s analytic: ledgers %d/%d (messages %d) not exclusively charged",
+				tc.name, ana.EffectiveRounds, ana.ChargedRounds, ana.Stats.Messages)
+		}
+		// The cap search reports exactly the measured bootstrap in simulate
+		// mode (no PriorityBudget term on the simulated ledger).
+		sres, err := congest.SearchCap(tc.g, tc.tr, tc.p, congest.SearchOptions{Simulate: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if sres.BootstrapRounds != sim.EffectiveRounds {
+			t.Fatalf("%s: search booked bootstrap %d, the protocol measures %d",
+				tc.name, sres.BootstrapRounds, sim.EffectiveRounds)
+		}
+	}
+}

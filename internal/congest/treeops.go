@@ -6,50 +6,24 @@ import (
 	"repro/internal/graph"
 )
 
+// The single-value tree primitives are thin single-token wrappers over the
+// pipelined multi-token layer (Pipecast / PipeBroadcast): one tag, one
+// token per tree edge, O(height) rounds. They replaced a hand-rolled
+// blocking-API convergecast core that the pipelined protocol subsumes.
+
 // TreeBroadcast floods a value from the root down a rooted spanning tree:
 // O(height) rounds, one word per edge. Returns the value received at every
-// vertex.
+// vertex; an incomplete delivery is an error, never a partial array.
 func TreeBroadcast(t *graph.Tree, value uint64) (values []uint64, stats Stats, err error) {
-	g := t.G
-	out := make([]uint64, g.N())
-	rounds := t.Height() + 2
-	f := func(nd *Node) {
-		have := nd.ID == t.Root
-		v := value
-		if !have {
-			v = 0
-		}
-		sentDown := false
-		for r := 0; r < rounds; r++ {
-			if have && !sentDown {
-				for port := 0; port < nd.Degree(); port++ {
-					to := nd.Neighbor(port)
-					if t.Parent[to] == nd.ID && t.ParentEdge[to] == nd.PortEdge(port) {
-						nd.Send(port, Words{v})
-					}
-				}
-				sentDown = true
-			}
-			msgs, ok := nd.Step()
-			if !ok {
-				return
-			}
-			for _, m := range msgs {
-				if !have && m.Edge == t.ParentEdge[nd.ID] {
-					v = m.Payload[0]
-					have = true
-				}
-			}
-		}
-		if have {
-			out[nd.ID] = v
-		}
-	}
-	stats, err = Run(g, f, Options{MaxRounds: 4*rounds + 16})
+	res, err := PipeBroadcast(t, []Token{{Tag: 0, Value: value}})
 	if err != nil {
 		return nil, stats, err
 	}
-	return out, stats, nil
+	out := make([]uint64, t.G.N())
+	for v := range out {
+		out[v] = value // every vertex's receipt was validated by the run
+	}
+	return out, res.Stats, nil
 }
 
 // TreeSum convergecasts the sum of per-vertex values up a rooted spanning
@@ -57,7 +31,7 @@ func TreeBroadcast(t *graph.Tree, value uint64) (values []uint64, stats Stats, e
 // root's total is returned. This is the subtree-aggregation primitive the
 // min-cut 1-respecting evaluation uses.
 func TreeSum(t *graph.Tree, values []uint64) (total uint64, stats Stats, err error) {
-	return treeCombine(t, values, func(a, b uint64) uint64 { return a + b })
+	return treeCombine(t, values, CombineSum)
 }
 
 // TreeMax convergecasts the maximum of per-vertex values up a rooted
@@ -66,61 +40,27 @@ func TreeSum(t *graph.Tree, values []uint64) (total uint64, stats Stats, err err
 // congestion in-network — each vertex's value is the number of parts
 // admitted over its parent edge.
 func TreeMax(t *graph.Tree, values []uint64) (max uint64, stats Stats, err error) {
-	return treeCombine(t, values, func(a, b uint64) uint64 {
-		if b > a {
-			return b
-		}
-		return a
-	})
+	return treeCombine(t, values, CombineMax)
 }
 
-// treeCombine is the shared convergecast: each vertex waits for all
-// children, folds their subtree values into its own with combine, and sends
-// the result up its parent edge. The root's folded value is returned.
-func treeCombine(t *graph.Tree, values []uint64, combine func(a, b uint64) uint64) (total uint64, stats Stats, err error) {
+// treeCombine runs the pipelined convergecast with a single tag carried by
+// every vertex: each vertex contributes one token, so the stream degenerates
+// to the classic wait-for-children convergecast (n-1 messages, O(height)
+// rounds) while sharing the pipelined core's protocol and state layout.
+func treeCombine(t *graph.Tree, values []uint64, comb Combiner) (total uint64, stats Stats, err error) {
 	g := t.G
 	if len(values) != g.N() {
 		return 0, stats, fmt.Errorf("congest: %d values for %d vertices", len(values), g.N())
 	}
-	// Each vertex waits for all children, then sends its subtree sum up.
-	childCount := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		childCount[v] = len(t.Children[v])
+	backing := make([]Token, g.N())
+	contrib := make([][]Token, g.N())
+	for v := range contrib {
+		backing[v] = Token{Tag: 0, Value: values[v]}
+		contrib[v] = backing[v : v+1 : v+1]
 	}
-	var rootTotal uint64
-	rounds := t.Height() + 2
-	f := func(nd *Node) {
-		sum := values[nd.ID]
-		waiting := childCount[nd.ID]
-		sentUp := false
-		for r := 0; r < rounds; r++ {
-			if waiting == 0 && !sentUp && nd.ID != t.Root {
-				for port := 0; port < nd.Degree(); port++ {
-					if nd.PortEdge(port) == t.ParentEdge[nd.ID] {
-						nd.Send(port, Words{sum})
-					}
-				}
-				sentUp = true
-			}
-			msgs, ok := nd.Step()
-			if !ok {
-				return
-			}
-			for _, m := range msgs {
-				from := m.From
-				if t.Parent[from] == nd.ID && m.Edge == t.ParentEdge[from] {
-					sum = combine(sum, m.Payload[0])
-					waiting--
-				}
-			}
-		}
-		if nd.ID == t.Root {
-			rootTotal = sum
-		}
-	}
-	stats, err = Run(g, f, Options{MaxRounds: 4*rounds + 16})
+	res, err := Pipecast(t, 1, contrib, comb)
 	if err != nil {
 		return 0, stats, err
 	}
-	return rootTotal, stats, nil
+	return res.Values[0], res.Stats, nil
 }

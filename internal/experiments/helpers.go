@@ -17,29 +17,65 @@ func aggregate(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys []
 	return res.EffectiveRounds, nil
 }
 
+// Runner couples an experiment table's ID with its bench-friendly-size
+// runner, so callers (cmd/allbench's -table flag, the smoke tests) can
+// regenerate a single table without running the whole suite.
+type Runner struct {
+	ID  string
+	Run func(seed int64) *Table
+}
+
+// Runners returns every experiment at bench-friendly sizes, in ID order.
+func Runners() []Runner {
+	return []Runner{
+		{"E1", func(seed int64) *Table { return E1PlanarQuality([]int{6, 10, 14, 18}, seed) }},
+		{"E2", func(seed int64) *Table { return E2Treewidth(400, []int{2, 3, 4, 6}, seed) }},
+		{"E3", func(seed int64) *Table { return E3CliqueSum([]int{2, 4, 8, 12}, 18, 3, seed) }},
+		{"E4", func(seed int64) *Table { return E4AlmostEmbeddable(seed) }},
+		{"E5", func(seed int64) *Table { return E5Main([]int{2, 4, 8, 16}, seed) }},
+		{"E6", func(seed int64) *Table { return E6MST([]int{64, 128, 256, 512}, seed) }},
+		{"E6b", func(seed int64) *Table { return E6bMSTExcludedMinor([]int{2, 4, 8}, seed) }},
+		{"E6c", func(seed int64) *Table { return AggregationShowcase([]int{16, 32, 64, 128}, seed) }},
+		{"E7", func(seed int64) *Table { return E7MinCut([]int{40, 80, 160}, seed) }},
+		{"E8", func(seed int64) *Table { return E8LowerBound([]int{4, 8, 12, 16}, seed) }},
+		{"E8b", func(seed int64) *Table { return E8bLowerBoundMST([]int{4, 6, 8}, seed) }},
+		{"E9", func(seed int64) *Table { return E9SSSP([]int{64, 128, 256, 512}, []int{32, 64, 128, 256}, seed) }},
+		{"E10", func(seed int64) *Table { return E10FoldingAblation([]int{8, 16, 32, 64}, seed) }},
+		{"E11", func(seed int64) *Table { return E11ApexEffect([]int{32, 64, 128}, seed) }},
+		{"E12", func(seed int64) *Table { return E12Planarize([]int{0, 1, 2, 3}, seed) }},
+		{"E13", func(seed int64) *Table { return E13Construct([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
+		{"E14", func(seed int64) *Table { return E14Pipeline([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
+		{"E15", func(seed int64) *Table { return E15Pipecast([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
+	}
+}
+
+// ByID regenerates the single experiment table with the given ID (case
+// as listed — "E6c", "E15") at bench-friendly sizes; ok is false for an
+// unknown ID.
+func ByID(id string, seed int64) (t *Table, ok bool) {
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r.Run(seed), true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists every experiment table ID in order.
+func IDs() []string {
+	rs := Runners()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
 // All runs every experiment at bench-friendly sizes and returns the tables
 // in ID order. The tables build concurrently (each one also parallelizes
 // its own grid points); results are deterministic either way. Used by
 // cmd/allbench and smoke tests.
 func All(seed int64) []*Table {
-	runners := []func() *Table{
-		func() *Table { return E1PlanarQuality([]int{6, 10, 14, 18}, seed) },
-		func() *Table { return E2Treewidth(400, []int{2, 3, 4, 6}, seed) },
-		func() *Table { return E3CliqueSum([]int{2, 4, 8, 12}, 18, 3, seed) },
-		func() *Table { return E4AlmostEmbeddable(seed) },
-		func() *Table { return E5Main([]int{2, 4, 8, 16}, seed) },
-		func() *Table { return E6MST([]int{64, 128, 256, 512}, seed) },
-		func() *Table { return E6bMSTExcludedMinor([]int{2, 4, 8}, seed) },
-		func() *Table { return AggregationShowcase([]int{16, 32, 64, 128}, seed) },
-		func() *Table { return E7MinCut([]int{40, 80, 160}, seed) },
-		func() *Table { return E8LowerBound([]int{4, 8, 12, 16}, seed) },
-		func() *Table { return E8bLowerBoundMST([]int{4, 6, 8}, seed) },
-		func() *Table { return E9SSSP([]int{64, 128, 256, 512}, []int{32, 64, 128, 256}, seed) },
-		func() *Table { return E10FoldingAblation([]int{8, 16, 32, 64}, seed) },
-		func() *Table { return E11ApexEffect([]int{32, 64, 128}, seed) },
-		func() *Table { return E12Planarize([]int{0, 1, 2, 3}, seed) },
-		func() *Table { return E13Construct([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) },
-		func() *Table { return E14Pipeline([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) },
-	}
-	return forEachPoint(len(runners), func(i int) *Table { return runners[i]() })
+	runners := Runners()
+	return forEachPoint(len(runners), func(i int) *Table { return runners[i].Run(seed) })
 }

@@ -126,10 +126,46 @@ func Voronoi(g *graph.Graph, numSeeds int, rng *rand.Rand) (*Parts, error) {
 // exactly the part family the distributed MST algorithm feeds to the
 // shortcut framework.
 func BoruvkaFragments(g *graph.Graph, phases int) (*Parts, error) {
-	uf := graph.NewUnionFind(g.N())
+	_, p, err := BoruvkaTrace(g, phases)
+	return p, err
+}
+
+// BoruvkaPhase records one phase of the sequential Borůvka run in the
+// dense fragment-label space a distributed replay needs: labels are
+// assigned in smallest-member order (the same order UnionFind.Sets uses,
+// so the final phase's Next labels coincide with the resulting part
+// indices).
+type BoruvkaPhase struct {
+	// Frag is each vertex's fragment label at the start of the phase.
+	Frag []int32
+	// NumFrags is the number of fragments at the start of the phase.
+	NumFrags int
+	// Best is, per fragment, the lightest outgoing edge chosen this phase
+	// (graph.EdgeLess order), or -1 for a fragment with no outgoing edge.
+	Best []int32
+	// Next maps this phase's fragment labels to the labels after the
+	// phase's merges (the next phase's Frag, or the final part indices).
+	Next []int32
+}
+
+// BoruvkaTrace runs sequential Borůvka for up to `phases` phases and
+// returns, besides the resulting fragment parts, the per-phase merge trace
+// — fragment labels, chosen lightest outgoing edges, and the post-merge
+// relabeling. The trace is the ground truth the in-network decomposition
+// (congest.BoruvkaDecompose) replays with pipelined convergecasts: each
+// phase's Best is one min-convergecast of locally known outgoing edges and
+// each Next one pipelined broadcast. A phase in which no fragment has an
+// outgoing edge ends the run early (exactly as BoruvkaFragments stopped),
+// so the trace can be shorter than `phases`.
+func BoruvkaTrace(g *graph.Graph, phases int) ([]BoruvkaPhase, *Parts, error) {
+	n := g.N()
+	uf := graph.NewUnionFind(n)
 	best := g.AcquireScratch() // fragment root -> lightest outgoing edge ID
 	defer g.ReleaseScratch(best)
-	roots := make([]int, 0, g.N())
+	label := g.AcquireScratch() // fragment root -> dense label + 1
+	defer g.ReleaseScratch(label)
+	roots := make([]int, 0, n)
+	var trace []BoruvkaPhase
 	for ph := 0; ph < phases; ph++ {
 		best.Reset()
 		roots = roots[:0]
@@ -151,14 +187,66 @@ func BoruvkaFragments(g *graph.Graph, phases int) (*Parts, error) {
 		if len(roots) == 0 {
 			break
 		}
+		rec := BoruvkaPhase{Frag: denseLabels(g, uf, label)}
+		rec.NumFrags = numLabels(rec.Frag)
+		rec.Best = make([]int32, rec.NumFrags)
+		for i := range rec.Best {
+			rec.Best[i] = -1
+		}
+		for _, r := range roots {
+			id, _ := best.Get(r)
+			rec.Best[rec.Frag[r]] = id
+		}
 		for _, r := range roots {
 			id, _ := best.Get(r)
 			e := g.Edge(int(id))
 			uf.Union(e.U, e.V)
 		}
+		// Next labels: the post-merge labeling, read off any member.
+		next := denseLabels(g, uf, label)
+		rec.Next = make([]int32, rec.NumFrags)
+		for v := 0; v < n; v++ {
+			rec.Next[rec.Frag[v]] = next[v]
+		}
+		trace = append(trace, rec)
 	}
 	// Fragments grow along edges, so each is connected by construction.
-	return NewUnchecked(g, uf.Sets())
+	p, err := NewUnchecked(g, uf.Sets())
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace, p, nil
+}
+
+// denseLabels assigns each union-find fragment a dense label in
+// smallest-member order and returns the per-vertex labeling. The label
+// scratch is reset here; callers just lend it.
+func denseLabels(g *graph.Graph, uf *graph.UnionFind, label *graph.Scratch) []int32 {
+	label.Reset()
+	out := make([]int32, g.N())
+	num := int32(0)
+	for v := 0; v < g.N(); v++ {
+		r := uf.Find(v)
+		l, ok := label.Get(r)
+		if !ok {
+			l = num
+			label.Set(r, l)
+			num++
+		}
+		out[v] = l
+	}
+	return out
+}
+
+// numLabels returns 1 + the maximum label (labels are dense from 0).
+func numLabels(frag []int32) int {
+	num := int32(0)
+	for _, l := range frag {
+		if l+1 > num {
+			num = l + 1
+		}
+	}
+	return int(num)
 }
 
 // GridRows returns the rows of a rows x cols grid as parts: long skinny

@@ -168,3 +168,85 @@ func TestPathsAsParts(t *testing.T) {
 		t.Fatalf("parts %d", p.NumParts())
 	}
 }
+
+// TestBoruvkaTraceConsistency: the trace's per-phase record is internally
+// consistent and its endpoint matches BoruvkaFragments — dense labels in
+// smallest-member order, Next mappings that compose to the final part
+// indices, and Best edges that actually leave their fragment and are
+// lightest among the fragment's incident outgoing edges.
+func TestBoruvkaTraceConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := gen.DistinctWeights(gen.UniformWeights(gen.Grid(7, 9).G, rng))
+	const phases = 3
+	trace, p, err := partition.BoruvkaTrace(g, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := partition.BoruvkaFragments(g, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != want.NumParts() {
+		t.Fatalf("trace parts %d, fragments %d", p.NumParts(), want.NumParts())
+	}
+	for v := range p.Of {
+		if p.Of[v] != want.Of[v] {
+			t.Fatalf("vertex %d: trace part %d, fragments part %d", v, p.Of[v], want.Of[v])
+		}
+	}
+	for phi, ph := range trace {
+		if len(ph.Frag) != g.N() || len(ph.Best) != ph.NumFrags || len(ph.Next) != ph.NumFrags {
+			t.Fatalf("phase %d: inconsistent record shapes", phi)
+		}
+		// Labels dense in smallest-member order: the first occurrence of
+		// label l scanning v ascending must be preceded by labels 0..l-1.
+		seen := int32(0)
+		for v := 0; v < g.N(); v++ {
+			if ph.Frag[v] == seen {
+				seen++
+			} else if ph.Frag[v] > seen {
+				t.Fatalf("phase %d: label %d appears before %d", phi, ph.Frag[v], seen)
+			}
+		}
+		if int(seen) != ph.NumFrags {
+			t.Fatalf("phase %d: %d labels for NumFrags %d", phi, seen, ph.NumFrags)
+		}
+		for f := 0; f < ph.NumFrags; f++ {
+			id := ph.Best[f]
+			if id == -1 {
+				continue
+			}
+			e := g.Edge(int(id))
+			fu, fv := ph.Frag[e.U], ph.Frag[e.V]
+			if fu != int32(f) && fv != int32(f) {
+				t.Fatalf("phase %d fragment %d: best edge %d not incident", phi, f, id)
+			}
+			if fu == fv {
+				t.Fatalf("phase %d fragment %d: best edge %d does not leave the fragment", phi, f, id)
+			}
+			// Lightest among the fragment's outgoing edges.
+			for id2 := 0; id2 < g.M(); id2++ {
+				e2 := g.Edge(id2)
+				f2u, f2v := ph.Frag[e2.U], ph.Frag[e2.V]
+				if f2u == f2v || (f2u != int32(f) && f2v != int32(f)) {
+					continue
+				}
+				if graph.EdgeLess(g, id2, int(id)) {
+					t.Fatalf("phase %d fragment %d: edge %d lighter than chosen %d", phi, f, id2, id)
+				}
+			}
+		}
+		// Next composes with the following phase's labels (or the final
+		// part indices).
+		for v := 0; v < g.N(); v++ {
+			next := ph.Next[ph.Frag[v]]
+			if phi+1 < len(trace) {
+				if next != trace[phi+1].Frag[v] {
+					t.Fatalf("phase %d vertex %d: Next %d != next phase label %d", phi, v, next, trace[phi+1].Frag[v])
+				}
+			} else if int(next) != p.Of[v] {
+				t.Fatalf("final phase vertex %d: Next %d != part index %d", v, next, p.Of[v])
+			}
+		}
+	}
+}

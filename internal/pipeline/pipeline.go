@@ -219,3 +219,21 @@ func (s *Setup) TreeFor(h *graph.Graph) (*graph.Tree, error) {
 func (s *Setup) Provider() Provider {
 	return AutoFlood(s.G, s.Tree, s.Simulate)
 }
+
+// Decompose runs the Borůvka fragment decomposition in-network over the
+// elected tree (congest.BoruvkaDecompose): per phase, one pipelined
+// min-convergecast of the fragments' lightest outgoing edges up the tree
+// and one pipelined relabeling broadcast back down — the decomposition the
+// self-sufficient SSSP pipeline feeds to the shortcut framework, priced in
+// the setup's mode. In simulate mode the protocols run on the engine and
+// the measured rounds land in the simulated ledger; analytic mode charges
+// congest.DecomposePhaseBudget per phase. (Before this existed, the
+// decomposition was partition.BoruvkaFragments plus a flat modeled
+// aggregation charge per phase.)
+func (s *Setup) Decompose(phases int) (*partition.Parts, Rounds, error) {
+	res, err := congest.BoruvkaDecompose(s.G, s.Tree, phases, s.Simulate)
+	if err != nil {
+		return nil, Rounds{}, fmt.Errorf("pipeline: fragment decomposition: %w", err)
+	}
+	return res.Parts, Rounds{Simulated: res.EffectiveRounds, Charged: res.ChargedRounds}, nil
+}

@@ -39,9 +39,22 @@ func TreeBlockCounts(t *graph.Tree, p *partition.Parts) []int {
 // gain from tree edges — the paper's block/congestion trade-off), ties
 // break toward the lower part ID (the deterministic static order the
 // construction used before priorities existed).
+//
+// The distributed realization (congest.BootstrapPriorities) computes the
+// same ranking in-network: the block counts pipeline up the tree as tagged
+// tokens, the root ranks them with RankBlockCounts, and the ranking
+// streams back down — its fixed point is validated against this function.
 func TreeBlockPriorities(t *graph.Tree, p *partition.Parts) []int32 {
-	blocks := TreeBlockCounts(t, p)
-	order := make([]int, p.NumParts())
+	return RankBlockCounts(TreeBlockCounts(t, p))
+}
+
+// RankBlockCounts turns per-part block counts into the eviction ranking
+// (rank 0 = highest priority): more blocks rank higher, ties break toward
+// the lower part ID. Exposed separately so the in-network bootstrap can
+// rank the counts its convergecast produced exactly the way the
+// sequential path does.
+func RankBlockCounts(blocks []int) []int32 {
+	order := make([]int, len(blocks))
 	for i := range order {
 		order[i] = i
 	}
@@ -52,7 +65,7 @@ func TreeBlockPriorities(t *graph.Tree, p *partition.Parts) []int32 {
 		}
 		return ia < ib
 	})
-	prio := make([]int32, p.NumParts())
+	prio := make([]int32, len(blocks))
 	for rank, part := range order {
 		prio[part] = int32(rank)
 	}

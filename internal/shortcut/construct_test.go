@@ -194,3 +194,50 @@ func TestConstructAutoGuessCount(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockTopsSumToBlockCounts: the per-vertex locally decidable top
+// indicators decompose the block parameter exactly — per part, the number
+// of vertices topping a block equals BlockCounts — across flooding
+// constructions at several caps and the oblivious construction. This is
+// the invariant the cap search's pipelined block-count convergecast
+// streams to the root.
+func TestBlockTopsSumToBlockCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 5; trial++ {
+		g := gen.DistinctWeights(gen.UniformWeights(gen.ErdosRenyiConnected(30+rng.Intn(30), 120, rng), rng))
+		tr, err := graph.BFSTree(g, rng.Intn(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := partition.Voronoi(g, 2+rng.Intn(6), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, s *shortcut.Shortcut) {
+			t.Helper()
+			counts := s.BlockCounts()
+			sums := make([]int, p.NumParts())
+			for v, tops := range s.BlockTops() {
+				for i := 1; i < len(tops); i++ {
+					if tops[i] <= tops[i-1] {
+						t.Fatalf("%s vertex %d: tops not sorted/distinct: %v", name, v, tops)
+					}
+				}
+				for _, pi := range tops {
+					sums[pi]++
+				}
+			}
+			for i := range counts {
+				if sums[i] != counts[i] {
+					t.Fatalf("%s part %d: %d tops, BlockCounts has %d", name, i, sums[i], counts[i])
+				}
+			}
+		}
+		for _, cap := range []int{1, 2, p.NumParts()} {
+			check("construct", shortcut.Construct(g, tr, p, cap))
+		}
+		s, _ := shortcut.ObliviousAuto(g, tr, p)
+		check("oblivious", s)
+		check("empty", shortcut.Empty(g, tr, p))
+	}
+}

@@ -167,6 +167,83 @@ func (s *Shortcut) BlockCounts() []int {
 	return out
 }
 
+// BlockTops returns, per vertex, the sorted list of parts for which the
+// vertex is the topmost point of a block of (V, Hᵢ) — the per-vertex
+// decomposition of BlockCounts into locally decidable indicators. A vertex
+// v tops a block of part i iff i is absent from v's own admitted set (its
+// parent edge is not in Hᵢ, so no H-edge continues upward) while either a
+// child admitted i (v closes one or more upward chains) or v is a member
+// of part i (an uncovered member is its own singleton block). Every block
+// has exactly one top, so for assignments whose H-components all touch
+// their part — true for the flooding and claiming constructions, whose
+// admitted chains grow upward from part vertices — the per-part sums of
+// these indicators equal BlockCounts; the pipelined block-count
+// convergecast of the cap search validates exactly that after streaming
+// the indicators to the root.
+//
+// Each indicator depends only on state the construction protocol already
+// holds at v (its own forwarded set and its children's admitted sets), so
+// a deployed network computes BlockTops with zero extra communication.
+func (s *Shortcut) BlockTops() [][]int32 {
+	n := s.G.N()
+	t := s.T
+	// admitted[v]: parts whose shortcut contains v's parent edge;
+	// fromChild[v]: parts admitted by at least one child of v. Iterating
+	// parts in ascending order keeps both lists sorted.
+	admitted := make([][]int32, n)
+	fromChild := make([][]int32, n)
+	for i, ids := range s.Edges {
+		for _, id := range ids {
+			e := s.G.Edge(id)
+			child, parent := e.U, e.V
+			if t.ParentEdge[child] != id {
+				child, parent = e.V, e.U
+			}
+			admitted[child] = append(admitted[child], int32(i))
+			if l := fromChild[parent]; len(l) == 0 || l[len(l)-1] != int32(i) {
+				fromChild[parent] = append(fromChild[parent], int32(i))
+			}
+		}
+	}
+	tops := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		own := int32(-1)
+		if pi := s.P.Of[v]; pi != -1 {
+			own = int32(pi)
+		}
+		adm := admitted[v]
+		ai := 0
+		inAdmitted := func(i int32) bool {
+			for ai < len(adm) && adm[ai] < i {
+				ai++
+			}
+			return ai < len(adm) && adm[ai] == i
+		}
+		// Merge {own} into the sorted fromChild list, skipping admitted
+		// parts; candidates arrive in ascending order so inAdmitted's
+		// cursor advances monotonically.
+		ownDone := own == -1
+		for _, i := range fromChild[v] {
+			if !ownDone && own < i {
+				if !inAdmitted(own) {
+					tops[v] = append(tops[v], own)
+				}
+				ownDone = true
+			}
+			if !ownDone && own == i {
+				ownDone = true
+			}
+			if !inAdmitted(i) {
+				tops[v] = append(tops[v], i)
+			}
+		}
+		if !ownDone && !inAdmitted(own) {
+			tops[v] = append(tops[v], own)
+		}
+	}
+	return tops
+}
+
 // AugmentedDiameter returns the hop diameter of G[Pᵢ] + Hᵢ — the subgraph
 // induced by the part plus its shortcut edges (with their endpoints). The
 // framework's promise is that this is O(bᵢ · d_T).

@@ -302,11 +302,13 @@ func (nw *Network) MinCutConstructed(eps float64, simulate bool) (*CutResult, er
 
 // SSSPSelfSufficient runs the (1+ε)-approximate single-source shortest
 // paths with zero generator-supplied structure: the network elects a
-// leader, builds its own BFS tree, decomposes itself into Borůvka fragments
-// (the part family the MST pipeline computes distributively), cap-searches
-// a shortcut over them in-network, and runs the part-wise relaxation. The
-// fragment decomposition is charged one aggregation budget per Borůvka
-// phase in the matching ledger.
+// leader, builds its own BFS tree, decomposes itself into Borůvka
+// fragments in-network (per phase, a pipelined min-convergecast of
+// fragment-best outgoing edges plus a pipelined relabeling broadcast over
+// the elected tree — congest.BoruvkaDecompose), cap-searches a shortcut
+// over the fragments, and runs the part-wise relaxation. In simulate mode
+// every decomposition round is measured on the engine; analytic mode
+// charges the pipelined O(height + fragments) budget per phase.
 func (nw *Network) SSSPSelfSufficient(src int, eps float64, simulate bool) (*SSSPResult, error) {
 	setup, err := nw.bootstrap(simulate)
 	if err != nil {
@@ -315,7 +317,7 @@ func (nw *Network) SSSPSelfSufficient(src int, eps float64, simulate bool) (*SSS
 	phases := 2
 	for n := nw.G.N(); (1 << (2 * phases)) < n; phases++ {
 	}
-	parts, err := partition.BoruvkaFragments(nw.G, phases)
+	parts, decompCost, err := setup.Decompose(phases)
 	if err != nil {
 		return nil, err
 	}
@@ -323,14 +325,8 @@ func (nw *Network) SSSPSelfSufficient(src int, eps float64, simulate bool) (*SSS
 	if err != nil {
 		return nil, err
 	}
-	// Bootstrap plus the fragment decomposition: each Borůvka phase is one
-	// fragment-wise aggregation over the elected tree, O(height) per phase.
-	decomp := phases * (2*setup.Tree.Height() + 2)
-	if simulate {
-		r.CommRounds += setup.Cost.Simulated + decomp
-	} else {
-		r.ChargedRounds += setup.Cost.Charged + decomp
-	}
+	r.CommRounds += setup.Cost.Simulated + decompCost.Simulated
+	r.ChargedRounds += setup.Cost.Charged + decompCost.Charged
 	return r, nil
 }
 
