@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench
+.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
 
 all: vet build test
 
@@ -20,7 +20,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 bench-smoke:
-	$(GO) test -bench='E5|E9|E13|E14|E15' -benchtime=1x -run=NONE .
+	$(GO) test -bench='E5|E9|E13|E14|E15|E18' -benchtime=1x -run=NONE .
 
 # sssp-bench regenerates the E9 (1+eps)-approximate shortest-path table.
 sssp-bench:
@@ -37,6 +37,10 @@ pipeline-bench:
 # pipecast-bench regenerates the E15 pipelined multi-token convergecast table.
 pipecast-bench:
 	$(GO) run ./cmd/pipecastbench
+
+# churn-bench regenerates the E18 self-healing shortcuts-under-churn table.
+churn-bench:
+	$(GO) run ./cmd/churnbench
 
 # bench-baseline records the full benchmark suite as JSON for perf
 # trajectory tracking across PRs (compare with benchstat or jq).

@@ -241,3 +241,18 @@ func BenchmarkE12Planarize(b *testing.B) {
 	fmt.Println(t)
 	reportLastCell(b, t, "cut_n", "vertices")
 }
+
+// BenchmarkE18Churn regenerates the self-healing shortcut table: a Poisson
+// edge-churn stream (weight updates, inserts, deletes including tree-edge
+// splices) repaired along dirty tree paths only, versus the strawman that
+// re-floods the whole construction after every event, with final quality
+// checked against a fresh full cap re-search on the churned graph.
+func BenchmarkE18Churn(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E18Churn([]int{6, 10, 14}, []int{32, 64}, []int{2, 4}, 40, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "ratio", "ratio")
+}

@@ -1,0 +1,32 @@
+// churnbench regenerates the self-healing shortcut table (experiment E18):
+// a maintained flooding construction absorbs a Poisson edge-churn stream —
+// weight updates, inserts, deletes including tree-edge deletes spliced via
+// replacement edges — through dirty-path repair (shortcut.Repair), with
+// threshold-triggered full rebuilds, against the strawman that re-floods
+// after every event, on grids, wheels, and K5-minor-free clique-sum
+// chains.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	steps := flag.Int("steps", 40, "churn steps per instance (events ~ Poisson(1.5) per step)")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	grids := []int{6, 10, 14}
+	wheels := []int{32, 64}
+	chains := []int{2, 4}
+	if *big {
+		grids = []int{6, 10, 14, 18, 24}
+		wheels = []int{32, 64, 128}
+		chains = []int{2, 4, 8}
+	}
+	fmt.Println(experiments.E18Churn(grids, wheels, chains, *steps, *seed))
+}

@@ -33,6 +33,19 @@ type AggregateResult struct {
 // quality and doubles until the flood converges (checked against the
 // sequential answer); the converged run's quiet-point is reported.
 func AggregateMin(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys []uint64) (*AggregateResult, error) {
+	return AggregateMinUnder(g, p, s, keys, nil)
+}
+
+// AggregateMinUnder is AggregateMin under an adversary: each attempt of the
+// existing doubling loop runs with the adversary's fault plan (advanced
+// along its timeline per attempt), aborted runs count as non-converged
+// attempts instead of hard failures, and the attempt cap comes from the
+// adversary's retry policy. The flooding protocol re-offers its best-known
+// key whenever it changes, but a dropped update can still leave a member
+// stale at the budget boundary — which the sequential convergence check
+// catches, exactly as it catches an undersized budget. A nil adversary is
+// the fault-free AggregateMin.
+func AggregateMinUnder(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys []uint64, adv *Adversary) (*AggregateResult, error) {
 	if len(keys) != g.N() {
 		return nil, fmt.Errorf("congest: %d keys for %d vertices", len(keys), g.N())
 	}
@@ -52,21 +65,39 @@ func AggregateMin(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, keys
 	}
 	m := s.Measure()
 	budget := m.Quality + 2*m.TreeDiameter + 8
-	for attempt := 0; attempt < 8; attempt++ {
-		res, converged, err := runAggregate(g, p, partsOnEdge, keys, want, budget)
+	attempts := 8
+	if adv != nil {
+		attempts = adv.attempts()
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		ropts := Options{MaxRounds: budget + 64}
+		if adv != nil {
+			// Crashes stall nodes' local round counters, so grant headroom.
+			ropts = adv.options(2*budget + 64)
+		}
+		res, converged, err := runAggregate(g, p, partsOnEdge, keys, want, budget, ropts)
 		if err != nil {
+			if adv != nil && Retryable(err) {
+				adv.Retries++
+				budget *= 2
+				continue
+			}
 			return nil, err
 		}
 		if converged {
 			res.Budget = budget
 			return res, nil
 		}
+		if adv != nil {
+			adv.Retries++
+		}
 		budget *= 2
 	}
-	return nil, fmt.Errorf("congest: aggregation failed to converge within budget %d", budget)
+	return nil, &IncompleteError{Protocol: "AggregateMin", Budget: budget,
+		Detail: "flood failed to converge within the doubling budget"}
 }
 
-func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []int32, keys, want []uint64, budget int) (*AggregateResult, bool, error) {
+func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []int32, keys, want []uint64, budget int, ropts Options) (*AggregateResult, bool, error) {
 	n := g.N()
 	// finalBest[v] = best-known key of v's own part when the budget ran out.
 	finalBest := make([]uint64, n)
@@ -188,7 +219,7 @@ func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []in
 		st.round++
 		return true
 	}
-	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, Options{MaxRounds: budget + 64})
+	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, ropts)
 	if err != nil {
 		return nil, false, err
 	}

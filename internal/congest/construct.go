@@ -24,6 +24,10 @@ type ConstructOptions struct {
 	// that run several constructions over one part family (the cap search)
 	// pass it in so the ranking, and its dissemination cost, are paid once.
 	Priorities []int32
+	// Adversary, when non-nil, injects its fault plan into every simulated
+	// run and widens the doubling loop to its retry policy. Requires
+	// Simulate (the analytic path runs no protocol to disrupt).
+	Adversary *Adversary
 }
 
 // ConstructResult reports a distributed shortcut construction. Exactly one
@@ -87,6 +91,10 @@ func ConstructShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts C
 	} else if err := shortcut.ValidPriorities(prio, p.NumParts()); err != nil {
 		return nil, fmt.Errorf("congest: %w", err)
 	}
+	adv := opts.Adversary
+	if adv != nil && !opts.Simulate {
+		return nil, fmt.Errorf("congest: construction adversary requires simulate mode")
+	}
 	res := &ConstructResult{Cap: cap}
 	if !opts.Simulate {
 		res.S = shortcut.ConstructPrio(g, t, p, cap, prio)
@@ -95,9 +103,23 @@ func ConstructShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts C
 	}
 	want := shortcut.FloodFixedPoint(g, t, p, cap, prio)
 	budget := ConstructBudget(t, cap)
-	for attempt := 0; attempt < 8; attempt++ {
-		final, stats, err := runConstruct(g, t, p, cap, budget, prio)
+	attempts := 8
+	if adv != nil {
+		attempts = adv.attempts()
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		ropts := Options{MaxRounds: budget + 64}
+		if adv != nil {
+			// Crashes stall nodes' local round counters, so grant headroom.
+			ropts = adv.options(2*budget + 64)
+		}
+		final, stats, err := runConstruct(g, t, p, cap, budget, prio, ropts)
 		if err != nil {
+			if adv != nil && Retryable(err) {
+				adv.Retries++
+				budget *= 2
+				continue
+			}
 			return nil, err
 		}
 		if floodStatesEqual(final, want) {
@@ -111,9 +133,13 @@ func ConstructShortcut(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts C
 			res.Budget = budget
 			return res, nil
 		}
+		if adv != nil {
+			adv.Retries++
+		}
 		budget *= 2
 	}
-	return nil, fmt.Errorf("congest: construction failed to converge within budget %d", budget)
+	return nil, &IncompleteError{Protocol: "ConstructShortcut", Budget: budget,
+		Detail: "flood-and-evict failed to converge to the fixed point within the doubling budget"}
 }
 
 func floodStatesEqual(a, b [][]int32) bool {
@@ -153,7 +179,7 @@ type conNode struct {
 
 // runConstruct executes the flood-and-evict protocol for a fixed round
 // budget and returns each node's final forwarded set (in rank space).
-func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget int, prio []int32) ([][]int32, Stats, error) {
+func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget int, prio []int32, ropts Options) ([][]int32, Stats, error) {
 	n := g.N()
 	final := make([][]int32, n)
 	state := make([]conNode, n)
@@ -212,7 +238,7 @@ func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget
 		st.round++
 		return true
 	}
-	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, Options{MaxRounds: budget + 64})
+	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, ropts)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -79,6 +79,33 @@ type Options struct {
 	Bandwidth int
 	// MaxRounds aborts runs that fail to terminate (0 = 64·n + 1024).
 	MaxRounds int
+	// Faults, when non-nil, injects the deterministic adversary into the
+	// run: message drops, link-down intervals, and node crash/restarts.
+	// The plan is validated before the run starts (ErrInvalidOptions).
+	Faults *FaultPlan
+}
+
+// ErrInvalidOptions is wrapped by Run/RunSync when Options fail validation
+// (negative bandwidth or round bound, malformed fault plan) — the run never
+// starts.
+var ErrInvalidOptions = errors.New("congest: invalid options")
+
+// validate rejects malformed options before a run starts; blocking reports
+// whether the run uses the goroutine-per-node API (which cannot host crash
+// faults).
+func (o Options) validate(n, m int, blocking bool) error {
+	if o.Bandwidth < 0 {
+		return fmt.Errorf("%w: negative bandwidth %d", ErrInvalidOptions, o.Bandwidth)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("%w: negative round bound %d", ErrInvalidOptions, o.MaxRounds)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(n, m, blocking); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+	}
+	return nil
 }
 
 // Stats summarizes a run.
@@ -88,6 +115,14 @@ type Stats struct {
 	TotalBits       int
 	MaxEdgeLoad     int // max messages that crossed any single edge (both directions)
 	LastActiveRound int // last round in which any message was delivered
+
+	// Fault ledger (all zero on fault-free runs): messages lost to the
+	// Bernoulli drop coins, to down links, and to crashed receivers, plus
+	// the total node-rounds spent crashed.
+	Dropped       int
+	DownDrops     int
+	CrashDrops    int
+	CrashedRounds int
 }
 
 // Add accumulates another run's statistics (rounds add sequentially).
@@ -99,6 +134,10 @@ func (s *Stats) Add(o Stats) {
 		s.MaxEdgeLoad = o.MaxEdgeLoad
 	}
 	s.LastActiveRound += o.LastActiveRound
+	s.Dropped += o.Dropped
+	s.DownDrops += o.DownDrops
+	s.CrashDrops += o.CrashDrops
+	s.CrashedRounds += o.CrashedRounds
 }
 
 // Node is the per-process API handed to a NodeFunc. All methods must be
@@ -228,6 +267,16 @@ type engine struct {
 	alive   []bool
 	active  int
 
+	// Fault-injection state (nil/empty on fault-free runs). The scheduler
+	// refreshes crashed/downEdge once per round between phase barriers
+	// (single-threaded), so the shard workers only ever read them.
+	faults     *FaultPlan
+	proto      SyncProtocol // retained for wiped crash restarts
+	gRound     int          // current global round (faults.Offset + local round)
+	crashed    []bool
+	downEdge   []bool
+	downMarked []int32 // edges currently marked down, for O(marked) clearing
+
 	inboxes    [][]Message
 	inboxArena [][]uint64 // per receiver: payload backing, reused per round
 
@@ -254,7 +303,14 @@ type shardResult struct {
 	bits     int
 	anyMsg   bool
 	exited   int
-	_        [4]int64 // pad to keep shards off each other's cache lines
+
+	// Fault counters, merged into Stats in shard order.
+	dropped       int
+	downDrops     int
+	crashDrops    int
+	crashedRounds int
+
+	_ [4]int64 // pad to keep shards off each other's cache lines
 }
 
 func (e *engine) fail(err error) {
@@ -284,12 +340,21 @@ func (e *engine) runPhase(fn func(shard int)) {
 func (e *engine) computeShard(shard int) {
 	res := &e.shardWork[shard]
 	res.exited = 0
+	res.crashedRounds = 0
 	failed := e.failed()
 	for v := e.bounds[shard]; v < e.bounds[shard+1]; v++ {
 		if !e.alive[v] {
 			continue
 		}
 		nd := &e.nodes[v]
+		if e.faults != nil && e.crashed[v] {
+			// Crashed: no compute, and the outbox must be empty so the
+			// deliver phase finds nothing from it (slots are only cleared
+			// at the owner's next compute otherwise).
+			nd.clearOut()
+			res.crashedRounds++
+			continue
+		}
 		if nd.fn != nil {
 			nd.round++
 			nd.clearOut()
@@ -314,7 +379,22 @@ func (e *engine) computeShard(shard int) {
 func (e *engine) deliverShard(shard int) {
 	res := &e.shardWork[shard]
 	res.messages, res.bits, res.anyMsg = 0, 0, false
+	res.dropped, res.downDrops, res.crashDrops = 0, 0, 0
 	for v := e.bounds[shard]; v < e.bounds[shard+1]; v++ {
+		if e.faults != nil && e.crashed[v] {
+			// Crashed receiver: everything addressed to it this round is
+			// lost, and its inbox must be empty so a restart sees no stale
+			// messages. (Crash precedes the link checks: a message to a
+			// crashed node is booked as a crash drop even if its link is
+			// also down.)
+			for p := range e.g.Adj(v) {
+				if e.nodes[e.g.Adj(v)[p].To].out[e.revPort[v][p]].has {
+					res.crashDrops++
+				}
+			}
+			e.inboxes[v] = e.inboxes[v][:0]
+			continue
+		}
 		inbox := e.inboxes[v][:0]
 		arena := e.inboxArena[v][:0]
 		for p, a := range e.g.Adj(v) {
@@ -322,6 +402,20 @@ func (e *engine) deliverShard(shard int) {
 			slot := &e.nodes[a.To].out[sp]
 			if !slot.has {
 				continue
+			}
+			if e.faults != nil {
+				if e.downEdge[a.ID] {
+					res.downDrops++
+					continue
+				}
+				dir := 0
+				if e.g.Edge(a.ID).V == v {
+					dir = 1
+				}
+				if e.faults.drops(a.ID, dir, e.gRound) {
+					res.dropped++
+					continue
+				}
 			}
 			words := e.nodes[a.To].sendArena[slot.off : slot.off+slot.len]
 			off := len(arena)
@@ -348,6 +442,40 @@ func (e *engine) deliverShard(shard int) {
 	}
 }
 
+// updateFaults refreshes the adversary's per-round state for local round
+// `local` (1-based). Runs single-threaded between phase barriers, so the
+// shard workers only ever read crashed/downEdge/gRound.
+func (e *engine) updateFaults(local int) {
+	e.gRound = e.faults.Offset + local
+	for _, id := range e.downMarked {
+		e.downEdge[id] = false
+	}
+	e.downMarked = e.downMarked[:0]
+	for _, d := range e.faults.LinkDowns {
+		if d.From <= e.gRound && e.gRound < d.To && !e.downEdge[d.Edge] {
+			e.downEdge[d.Edge] = true
+			e.downMarked = append(e.downMarked, int32(d.Edge))
+		}
+	}
+	for _, c := range e.faults.Crashes {
+		v := c.Node
+		now := e.faults.CrashedAt(v, e.gRound)
+		if e.crashed[v] == now {
+			continue // also dedupes multiple intervals for the same node
+		}
+		if !now && e.alive[v] && e.faults.wipesAt(v, e.gRound) && e.proto != nil {
+			// Wiped restart: discard the node's protocol state and rebuild
+			// it through the factory; the node re-runs from its round 1 in
+			// an otherwise mid-flight network.
+			nd := &e.nodes[v]
+			nd.round = 0
+			nd.clearOut()
+			nd.fn = e.proto(nd)
+		}
+		e.crashed[v] = now
+	}
+}
+
 // ErrAborted is wrapped by Run when the protocol was cut short.
 var ErrAborted = errors.New("congest: run aborted")
 
@@ -356,7 +484,7 @@ var ErrAborted = errors.New("congest: run aborted")
 var enginePool = sync.Pool{New: func() any { return &engine{} }}
 
 // prepare (re)sizes pooled engine state for graph g.
-func (e *engine) prepare(g *graph.Graph, bw, maxRounds int) {
+func (e *engine) prepare(g *graph.Graph, bw, maxRounds int, faults *FaultPlan) {
 	n := g.N()
 	e.g = g
 	e.bandwidth = bw
@@ -365,6 +493,27 @@ func (e *engine) prepare(g *graph.Graph, bw, maxRounds int) {
 	e.errFlag.Store(false)
 	e.stats = Stats{}
 	e.active = n
+
+	e.faults = faults
+	e.proto = nil
+	e.gRound = 0
+	e.downMarked = e.downMarked[:0]
+	if faults != nil {
+		if cap(e.crashed) < n {
+			e.crashed = make([]bool, n)
+		}
+		e.crashed = e.crashed[:n]
+		for v := range e.crashed {
+			e.crashed[v] = false
+		}
+		if cap(e.downEdge) < g.M() {
+			e.downEdge = make([]bool, g.M())
+		}
+		e.downEdge = e.downEdge[:g.M()]
+		for i := range e.downEdge {
+			e.downEdge[i] = false
+		}
+	}
 
 	if cap(e.nodes) < n {
 		e.nodes = make([]Node, n)
@@ -484,6 +633,9 @@ func RunSync(g *graph.Graph, proto SyncProtocol, opts Options) (Stats, error) {
 
 func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, error) {
 	n := g.N()
+	if err := opts.validate(n, g.M(), proto == nil); err != nil {
+		return Stats{}, err
+	}
 	bw := opts.Bandwidth
 	if bw == 0 {
 		words := 2
@@ -497,7 +649,7 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 		maxRounds = 64*n + 1024
 	}
 	e := enginePool.Get().(*engine)
-	e.prepare(g, bw, maxRounds)
+	e.prepare(g, bw, maxRounds, opts.Faults)
 	if n == 0 {
 		enginePool.Put(e)
 		return Stats{}, nil
@@ -519,6 +671,7 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 	var nodeWg sync.WaitGroup
 	if proto != nil {
 		// Round-driven mode: build per-node state; no goroutines.
+		e.proto = proto // retained: wiped crash restarts rebuild through it
 		for v := 0; v < n; v++ {
 			e.nodes[v].fn = proto(&e.nodes[v])
 		}
@@ -542,9 +695,13 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 	}
 
 	for e.active > 0 {
+		if e.faults != nil {
+			e.updateFaults(e.stats.Rounds + 1)
+		}
 		e.runPhase(e.computeShard)
 		for s := range e.shardWork {
 			e.active -= e.shardWork[s].exited
+			e.stats.CrashedRounds += e.shardWork[s].crashedRounds
 		}
 		if !e.failed() {
 			e.runPhase(e.deliverShard)
@@ -552,6 +709,9 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 			for s := range e.shardWork {
 				e.stats.Messages += e.shardWork[s].messages
 				e.stats.TotalBits += e.shardWork[s].bits
+				e.stats.Dropped += e.shardWork[s].dropped
+				e.stats.DownDrops += e.shardWork[s].downDrops
+				e.stats.CrashDrops += e.shardWork[s].crashDrops
 				anyMsg = anyMsg || e.shardWork[s].anyMsg
 			}
 			if anyMsg {

@@ -107,6 +107,14 @@ type PipecastResult struct {
 // [0, numTags). The root's per-tag results are validated against the
 // sequential fold — a mismatch is an engine bug, reported as an error.
 func Pipecast(t *graph.Tree, numTags int, contrib [][]Token, comb Combiner) (*PipecastResult, error) {
+	return pipecastOpts(t, numTags, contrib, comb, Options{})
+}
+
+// pipecastOpts is Pipecast under explicit engine options — the resilient
+// retry layer passes a fault plan and a per-attempt round budget through
+// here (opts.MaxRounds of 0 selects the protocol's own default). All slab
+// state is built per call, so a retried attempt starts from scratch.
+func pipecastOpts(t *graph.Tree, numTags int, contrib [][]Token, comb Combiner, opts Options) (*PipecastResult, error) {
 	g := t.G
 	n := g.N()
 	if len(contrib) != n {
@@ -282,7 +290,10 @@ func Pipecast(t *graph.Tree, numTags int, contrib [][]Token, comb Combiner) (*Pi
 		}
 		return true
 	}
-	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, Options{MaxRounds: t.Height() + numTags + 64})
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = t.Height() + numTags + 64
+	}
+	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +312,8 @@ func Pipecast(t *graph.Tree, numTags int, contrib [][]Token, comb Combiner) (*Pi
 	}
 	for tg := 0; tg < numTags; tg++ {
 		if res.Values[tg] != want[tg] {
-			return nil, fmt.Errorf("congest: pipecast tag %d converged to %d, sequential fold has %d", tg, res.Values[tg], want[tg])
+			return nil, &IncompleteError{Protocol: "Pipecast", Rounds: stats.Rounds, Budget: opts.MaxRounds,
+				Detail: fmt.Sprintf("tag %d converged to %d, sequential fold has %d", tg, res.Values[tg], want[tg])}
 		}
 	}
 	return res, nil
@@ -326,6 +338,12 @@ type BroadcastResult struct {
 // validated against the input; an incomplete or reordered delivery is an
 // error, never a silent partial result.
 func PipeBroadcast(t *graph.Tree, tokens []Token) (*BroadcastResult, error) {
+	return pipeBroadcastOpts(t, tokens, Options{})
+}
+
+// pipeBroadcastOpts is PipeBroadcast under explicit engine options (see
+// pipecastOpts); slab state is rebuilt per call so retries start clean.
+func pipeBroadcastOpts(t *graph.Tree, tokens []Token, opts Options) (*BroadcastResult, error) {
 	g := t.G
 	n := g.N()
 	k := len(tokens)
@@ -411,13 +429,17 @@ func PipeBroadcast(t *graph.Tree, tokens []Token) (*BroadcastResult, error) {
 		}
 		return true
 	}
-	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, Options{MaxRounds: t.Height() + k + 64})
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = t.Height() + k + 64
+	}
+	stats, err := RunSync(g, func(*Node) RoundFunc { return step }, opts)
 	if err != nil {
 		return nil, err
 	}
 	for v := 0; v < n; v++ {
 		if int(recvd[v]) != k {
-			return nil, fmt.Errorf("congest: broadcast node %d received %d of %d tokens", v, recvd[v], k)
+			return nil, &IncompleteError{Protocol: "PipeBroadcast", Rounds: stats.Rounds, Budget: opts.MaxRounds,
+				Detail: fmt.Sprintf("node %d received %d of %d tokens", v, recvd[v], k)}
 		}
 	}
 	return &BroadcastResult{Stats: stats, EffectiveRounds: stats.LastActiveRound}, nil

@@ -79,10 +79,12 @@ func DistributedBFS(g *graph.Graph, root, diamBound int) (parent, parentEdge []i
 	}
 	for v := 0; v < n; v++ {
 		if !results[v].done {
-			return nil, nil, stats, fmt.Errorf("%w: BFS node %d bailed before round %d", ErrIncomplete, v, diamBound+2)
+			return nil, nil, stats, &IncompleteError{Protocol: "BFS", Rounds: stats.Rounds, Budget: diamBound + 2,
+				Detail: fmt.Sprintf("node %d bailed before round %d", v, diamBound+2)}
 		}
 		if v != root && results[v].parent == -1 {
-			return nil, nil, stats, fmt.Errorf("%w: BFS flood from %d missed node %d within diamBound %d", ErrIncomplete, root, v, diamBound)
+			return nil, nil, stats, &IncompleteError{Protocol: "BFS", Rounds: stats.Rounds, Budget: diamBound + 2,
+				Detail: fmt.Sprintf("flood from %d missed node %d within diamBound %d", root, v, diamBound)}
 		}
 		parent[v] = results[v].parent
 		parentEdge[v] = results[v].parentEdge
@@ -134,7 +136,8 @@ func LeaderElect(g *graph.Graph, diamBound int) (leader int, stats Stats, err er
 	leader = out[0]
 	for v, l := range out {
 		if l == -1 {
-			return -1, stats, fmt.Errorf("%w: node %d bailed before voting", ErrIncomplete, v)
+			return -1, stats, &IncompleteError{Protocol: "LeaderElect", Rounds: stats.Rounds, Budget: diamBound + 1,
+				Detail: fmt.Sprintf("node %d bailed before voting", v)}
 		}
 		if l != leader {
 			return -1, stats, fmt.Errorf("congest: leader election disagreement: %d vs %d", l, leader)

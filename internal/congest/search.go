@@ -15,6 +15,13 @@ type SearchOptions struct {
 	// fixed points and estimates sequentially and charges the framework
 	// budgets (the two-ledger convention).
 	Simulate bool
+	// Adversary, when non-nil, injects its fault plan into every simulated
+	// protocol of the search (bootstrap, constructions, probes, winner
+	// broadcast), with per-protocol retry under doubled budgets. Requires
+	// Simulate. Because every sub-protocol validates against the sequential
+	// fixed points both modes share, a successful faulted search returns
+	// the identical cap, priorities, and shortcut as the fault-free search.
+	Adversary *Adversary
 }
 
 // SearchResult reports an in-network cap search. Exactly one round ledger
@@ -91,6 +98,13 @@ type BootstrapResult struct {
 // validated against the sequential functions, so the two modes share the
 // ranking — and with it every downstream construction — exactly.
 func BootstrapPriorities(t *graph.Tree, p *partition.Parts, simulate bool) (*BootstrapResult, error) {
+	return BootstrapPrioritiesUnder(t, p, simulate, nil)
+}
+
+// BootstrapPrioritiesUnder is the priority bootstrap under an adversary:
+// both pipelined streams run through the adversary's retrying wrappers (a
+// nil adversary is the fault-free bootstrap).
+func BootstrapPrioritiesUnder(t *graph.Tree, p *partition.Parts, simulate bool, adv *Adversary) (*BootstrapResult, error) {
 	counts := shortcut.TreeBlockCounts(t, p)
 	res := &BootstrapResult{Counts: counts, Priorities: shortcut.RankBlockCounts(counts)}
 	if !simulate {
@@ -98,7 +112,7 @@ func BootstrapPriorities(t *graph.Tree, p *partition.Parts, simulate bool) (*Boo
 		return res, nil
 	}
 	np := p.NumParts()
-	up, err := Pipecast(t, np, BlockTopTokens(t, p), CombineCount)
+	up, err := adv.Pipecast(t, np, BlockTopTokens(t, p), CombineCount)
 	if err != nil {
 		return nil, fmt.Errorf("congest: priority bootstrap convergecast: %w", err)
 	}
@@ -114,7 +128,7 @@ func BootstrapPriorities(t *graph.Tree, p *partition.Parts, simulate bool) (*Boo
 	for i := range tokens {
 		tokens[i] = Token{Tag: int32(i), Value: uint64(res.Priorities[i])}
 	}
-	down, err := PipeBroadcast(t, tokens)
+	down, err := adv.PipeBroadcast(t, tokens)
 	if err != nil {
 		return nil, fmt.Errorf("congest: priority bootstrap ranking broadcast: %w", err)
 	}
@@ -195,7 +209,10 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 	if np == 0 {
 		return nil, fmt.Errorf("congest: cap search over an empty part family")
 	}
-	boot, err := BootstrapPriorities(t, p, opts.Simulate)
+	if opts.Adversary != nil && !opts.Simulate {
+		return nil, fmt.Errorf("congest: cap search adversary requires simulate mode")
+	}
+	boot, err := BootstrapPrioritiesUnder(t, p, opts.Simulate, opts.Adversary)
 	if err != nil {
 		return nil, err
 	}
@@ -222,14 +239,14 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 			c = np
 		}
 		cres, err := ConstructShortcut(g, t, p, ConstructOptions{
-			Cap: c, Simulate: opts.Simulate, Priorities: res.Priorities,
+			Cap: c, Simulate: opts.Simulate, Priorities: res.Priorities, Adversary: opts.Adversary,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("congest: cap search guess %d: %w", c, err)
 		}
 		res.Guesses++
 		res.Stats.Add(cres.Stats)
-		est, err := estimateQuality(g, t, p, cres.S, opts.Simulate, res)
+		est, err := estimateQuality(g, t, p, cres.S, opts.Simulate, opts.Adversary, res)
 		if err != nil {
 			return nil, fmt.Errorf("congest: cap search guess %d: %w", c, err)
 		}
@@ -249,10 +266,11 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 	// Disseminate the winning cap down the tree so every node constructs
 	// (and keeps) the same assignment.
 	if opts.Simulate {
-		_, bstats, err := TreeBroadcast(t, uint64(res.Cap))
+		bres, err := opts.Adversary.PipeBroadcast(t, []Token{{Tag: 0, Value: uint64(res.Cap)}})
 		if err != nil {
 			return nil, fmt.Errorf("congest: broadcasting winning cap: %w", err)
 		}
+		bstats := bres.Stats
 		res.Stats.Add(bstats)
 		book(bstats.Rounds, t.Height()+2)
 	} else {
@@ -270,7 +288,7 @@ func SearchCap(g *graph.Graph, t *graph.Tree, p *partition.Parts, opts SearchOpt
 // multi-token convergecast of the locally decidable BlockTops indicators
 // — formerly a modeled charge). The estimate's value is always derived
 // from the converged fixed point, so both modes agree on it.
-func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *shortcut.Shortcut, simulate bool, res *SearchResult) (int, error) {
+func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *shortcut.Shortcut, simulate bool, adv *Adversary, res *SearchResult) (int, error) {
 	m := s.Measure()
 	maxEcc := 0
 	for i := 0; i < p.NumParts(); i++ {
@@ -300,7 +318,7 @@ func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *short
 			}
 		}
 		g.ReleaseScratch(use)
-		rootMax, mstats, err := TreeMax(t, counts)
+		rootMax, mstats, err := treeCombineUnder(t, counts, CombineMax, adv)
 		if err != nil {
 			return 0, err
 		}
@@ -316,7 +334,7 @@ func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *short
 		for v := range keys {
 			keys[v] = uint64(v)
 		}
-		pres, err := AggregateMin(g, p, s, keys)
+		pres, err := AggregateMinUnder(g, p, s, keys, adv)
 		if err != nil {
 			return 0, err
 		}
@@ -343,7 +361,7 @@ func estimateQuality(g *graph.Graph, t *graph.Tree, p *partition.Parts, s *short
 			}
 			contrib[v] = backing[base:len(backing):len(backing)]
 		}
-		bres, err := Pipecast(t, p.NumParts(), contrib, CombineCount)
+		bres, err := adv.Pipecast(t, p.NumParts(), contrib, CombineCount)
 		if err != nil {
 			return 0, fmt.Errorf("congest: block-count convergecast: %w", err)
 		}

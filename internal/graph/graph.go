@@ -114,6 +114,40 @@ func appendArc(as []Arc, a Arc) []Arc {
 	return append(as, a)
 }
 
+// RemoveEdge deletes edge id from the graph: both adjacency arcs are
+// dropped (preserving the port order of the remaining arcs) and the edge
+// slot becomes a tombstone, so every other edge keeps its stable ID — the
+// invariant the shortcut layers' congestion accounting depends on. M()
+// still counts the slot; iterations over the edge list must skip tombstones
+// (EdgeRemoved), as Validate, Simplify, InducedSubgraph, and the weight
+// aggregates do. Introduced for the churn-repair path (edge deletions under
+// a live maintained shortcut).
+func (g *Graph) RemoveEdge(id int) {
+	if id < 0 || id >= len(g.edges) {
+		panic(fmt.Sprintf("graph.RemoveEdge: edge %d out of range", id))
+	}
+	e := g.edges[id]
+	if e.U < 0 {
+		panic(fmt.Sprintf("graph.RemoveEdge: edge %d already removed", id))
+	}
+	g.adj[e.U] = dropArc(g.adj[e.U], id)
+	g.adj[e.V] = dropArc(g.adj[e.V], id)
+	g.edges[id] = Edge{U: -1, V: -1}
+}
+
+// EdgeRemoved reports whether edge id is a RemoveEdge tombstone.
+func (g *Graph) EdgeRemoved(id int) bool { return g.edges[id].U < 0 }
+
+// dropArc removes the arc with the given edge ID, preserving order.
+func dropArc(as []Arc, id int) []Arc {
+	for i, a := range as {
+		if a.ID == id {
+			return append(as[:i], as[i+1:]...)
+		}
+	}
+	panic(fmt.Sprintf("graph: adjacency missing arc for edge %d", id))
+}
+
 // ReserveAdj ensures the adjacency list of v has capacity for at least
 // extra more arcs, so a construction loop that knows its degree contribution
 // up front (e.g. merging a piece into a clique-sum) pays one allocation.
@@ -244,6 +278,9 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) TotalWeight() float64 {
 	var s float64
 	for _, e := range g.edges {
+		if e.U < 0 {
+			continue // RemoveEdge tombstone
+		}
 		s += e.W
 	}
 	return s
@@ -272,6 +309,9 @@ func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, oldToNew []int, edgeOri
 	deg := make([]int32, len(keep))
 	surviving := 0
 	for _, e := range g.edges {
+		if e.U < 0 {
+			continue // RemoveEdge tombstone
+		}
 		nu, nv := oldToNew[e.U], oldToNew[e.V]
 		if nu != -1 && nv != -1 {
 			surviving++
@@ -288,6 +328,9 @@ func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, oldToNew []int, edgeOri
 	}
 	edgeOrig = make([]int, 0, surviving)
 	for id, e := range g.edges {
+		if e.U < 0 {
+			continue // RemoveEdge tombstone
+		}
 		nu, nv := oldToNew[e.U], oldToNew[e.V]
 		if nu != -1 && nv != -1 {
 			eid := len(sub.edges)
@@ -313,6 +356,9 @@ func (g *Graph) Simplify() (*Graph, []int) {
 	kept := make([]int, 0, len(g.edges))
 	n := int64(g.N())
 	for id, e := range g.edges {
+		if e.U < 0 {
+			continue // RemoveEdge tombstone
+		}
 		u, v := e.U, e.V
 		if u > v {
 			u, v = v, u
@@ -343,6 +389,9 @@ var ErrDisconnected = errors.New("graph: not connected")
 func (g *Graph) Validate() error {
 	deg := make([]int, g.N())
 	for id, e := range g.edges {
+		if e.U < 0 && e.V < 0 {
+			continue // RemoveEdge tombstone
+		}
 		if e.U == e.V {
 			return fmt.Errorf("graph: edge %d is a self-loop at %d", id, e.U)
 		}
@@ -372,13 +421,18 @@ func (g *Graph) Validate() error {
 // MaxWeight returns the maximum edge weight, or 0 for an edgeless graph.
 func (g *Graph) MaxWeight() float64 {
 	m := math.Inf(-1)
-	if len(g.edges) == 0 {
-		return 0
-	}
+	any := false
 	for _, e := range g.edges {
+		if e.U < 0 {
+			continue // RemoveEdge tombstone
+		}
+		any = true
 		if e.W > m {
 			m = e.W
 		}
+	}
+	if !any {
+		return 0
 	}
 	return m
 }

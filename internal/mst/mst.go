@@ -198,8 +198,9 @@ func ShortcutBoruvka(g *graph.Graph, provider Provider) (*RunStats, error) {
 	// of returning it as if the run finished (the same zero-masquerade class
 	// DistributedBFS fixed).
 	if uf.Count() > 1 {
-		return nil, fmt.Errorf("%w: MST halted with %d fragments after %d phases (disconnected graph or phase budget exhausted)",
-			congest.ErrIncomplete, uf.Count(), stats.Phases)
+		return nil, &congest.IncompleteError{Protocol: "MST", Rounds: stats.CommRounds, Budget: stats.Phases,
+			Detail: fmt.Sprintf("halted with %d fragments after %d phases (disconnected graph or phase budget exhausted)",
+				uf.Count(), stats.Phases)}
 	}
 	for id := range chosen {
 		stats.EdgeIDs = append(stats.EdgeIDs, id)

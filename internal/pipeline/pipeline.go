@@ -100,8 +100,18 @@ func Flood(g *graph.Graph, t *graph.Tree, cap int, simulate bool) Provider {
 // quality estimate per guess, winner broadcast — and returns the winning
 // shortcut with the search's full cost in the mode's ledger.
 func AutoFlood(g *graph.Graph, t *graph.Tree, simulate bool) Provider {
+	return AutoFloodUnder(g, t, simulate, nil)
+}
+
+// AutoFloodUnder is AutoFlood on a degraded network: every protocol of the
+// cap search runs against the adversary's fault plan, retrying with
+// doubled budgets on non-convergence. Because every sub-protocol
+// self-checks against the sequential fixed points, a successful faulted
+// search yields the identical shortcut and cap as the fault-free search —
+// only the measured rounds differ. A nil adversary is AutoFlood.
+func AutoFloodUnder(g *graph.Graph, t *graph.Tree, simulate bool, adv *congest.Adversary) Provider {
 	return func(p *partition.Parts) (*shortcut.Shortcut, Rounds, error) {
-		res, err := congest.SearchCap(g, t, p, congest.SearchOptions{Simulate: simulate})
+		res, err := congest.SearchCap(g, t, p, congest.SearchOptions{Simulate: simulate, Adversary: adv})
 		if err != nil {
 			return nil, Rounds{}, err
 		}
@@ -118,6 +128,10 @@ type Setup struct {
 	Tree   *graph.Tree
 	// Cost is the bootstrap's round cost in the ledger matching the mode.
 	Cost Rounds
+	// Stats accumulates the bootstrap protocols' engine counters in
+	// simulate mode (rounds, messages, and — under an adversary — the
+	// dropped/down/crash tallies), so degraded runs are observable.
+	Stats congest.Stats
 	// ChargedEquivalent is the analytic-ledger bootstrap charge regardless
 	// of mode (a closed form of the diameter bound), so a simulate run can
 	// report both ledgers without re-running the setup. Equals Cost.Charged
@@ -136,8 +150,23 @@ type Setup struct {
 // sweep estimate (2·ecc ≥ D for any vertex), matching the CONGEST
 // convention that nodes know an upper bound on D (§1.3.1).
 func SelfSetup(g *graph.Graph, simulate bool) (*Setup, error) {
+	return SelfSetupUnder(g, simulate, nil)
+}
+
+// SelfSetupUnder is the zero-witness bootstrap on a degraded network: with
+// a non-nil adversary (simulate mode only), election and BFS run as the
+// resilient re-broadcasting protocols — every round re-offers the node's
+// current knowledge, so lost messages cost rounds, not correctness — with
+// per-protocol retry under doubled budgets. Their converged states are
+// checked against the same sequential fixed points the fault-free
+// protocols use, so a successful degraded setup elects the identical
+// leader and tree. A nil adversary is SelfSetup.
+func SelfSetupUnder(g *graph.Graph, simulate bool, adv *congest.Adversary) (*Setup, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("pipeline: self-setup over an empty network")
+	}
+	if adv != nil && !simulate {
+		return nil, fmt.Errorf("pipeline: self-setup adversary requires simulate mode")
 	}
 	diamBound := 2*graph.DiameterApprox(g) + 2
 	s := &Setup{G: g, Simulate: simulate, ChargedEquivalent: 2 * (diamBound + 2)}
@@ -151,11 +180,26 @@ func SelfSetup(g *graph.Graph, simulate bool) (*Setup, error) {
 		s.Cost = Rounds{Charged: 2 * (diamBound + 2)}
 		return s, nil
 	}
-	leader, estats, err := congest.LeaderElect(g, diamBound)
+	var (
+		leader         int
+		parent         []int
+		parentEdge     []int
+		estats, bstats congest.Stats
+		err            error
+	)
+	if adv != nil {
+		leader, estats, err = adv.LeaderElect(g, diamBound)
+	} else {
+		leader, estats, err = congest.LeaderElect(g, diamBound)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: leader election: %w", err)
 	}
-	parent, parentEdge, bstats, err := congest.DistributedBFS(g, leader, diamBound)
+	if adv != nil {
+		parent, parentEdge, bstats, err = adv.BFS(g, leader, diamBound)
+	} else {
+		parent, parentEdge, bstats, err = congest.DistributedBFS(g, leader, diamBound)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: distributed BFS: %w", err)
 	}
@@ -166,34 +210,20 @@ func SelfSetup(g *graph.Graph, simulate bool) (*Setup, error) {
 	s.Leader = leader
 	s.Tree = t
 	s.Cost = Rounds{Simulated: estats.Rounds + bstats.Rounds}
+	s.Stats = estats
+	s.Stats.Add(bstats)
 	return s, nil
 }
 
 // electedTree builds, sequentially, exactly the BFS tree the distributed
-// flood elects: every vertex adopts as parent its first adjacency-order
-// (lowest-port) neighbor one BFS level closer to the root — the tie-break
-// congest.DistributedBFS applies to simultaneous announcements. Keeping
-// the analytic path byte-identical to the protocol's fixed point means the
-// two modes of the whole downstream pipeline construct the same shortcuts
-// (the repo's sequential-oracle convention).
+// flood elects — congest.CanonicalBFSParents' lowest-port rule, assembled
+// into a Tree. Keeping the analytic path byte-identical to the protocol's
+// fixed point means the two modes of the whole downstream pipeline
+// construct the same shortcuts (the repo's sequential-oracle convention).
 func electedTree(g *graph.Graph, root int) (*graph.Tree, error) {
-	r := graph.BFS(g, root)
-	if len(r.Order) != g.N() {
-		return nil, graph.ErrDisconnected
-	}
-	parent := make([]int, g.N())
-	parentEdge := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		parent[v], parentEdge[v] = -1, -1
-		if v == root {
-			continue
-		}
-		for _, a := range g.Adj(v) {
-			if r.Dist[a.To] == r.Dist[v]-1 {
-				parent[v], parentEdge[v] = a.To, a.ID
-				break
-			}
-		}
+	parent, parentEdge, err := congest.CanonicalBFSParents(g, root)
+	if err != nil {
+		return nil, err
 	}
 	return graph.TreeFromParents(g, root, parent, parentEdge)
 }

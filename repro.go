@@ -250,6 +250,84 @@ func (nw *Network) bootstrap(simulate bool) (*pipeline.Setup, error) {
 	return pipeline.SelfSetup(nw.G, simulate)
 }
 
+// FaultPlan is a deterministic fault schedule for simulated runs: seeded
+// per-edge Bernoulli message drops (with an optional horizon), link
+// outages over round intervals, and node crash/restart windows.
+type FaultPlan = congest.FaultPlan
+
+// LinkDown takes one edge down for a global-round interval.
+type LinkDown = congest.LinkDown
+
+// Crash takes one node down (optionally wiping its protocol state at
+// restart) for a global-round interval.
+type Crash = congest.Crash
+
+// Adversary drives a FaultPlan across a sequence of protocol runs,
+// advancing the fault timeline between retries and counting them.
+type Adversary = congest.Adversary
+
+// NewAdversary wraps a fault plan for resilient runs.
+func NewAdversary(plan FaultPlan) *Adversary { return congest.NewAdversary(plan) }
+
+// ConstructShortcutResilient is ConstructShortcut (simulate mode) on a
+// degraded network: every protocol runs under the adversary's fault plan,
+// retrying with doubled budgets on non-convergence, and — whenever the
+// plan leaves the graph connected — converges to the identical shortcut
+// and cap as the fault-free run. cap < 1 runs the resilient in-network cap
+// search.
+func (nw *Network) ConstructShortcutResilient(p *Parts, cap int, adv *Adversary) (*ConstructResult, error) {
+	if cap < 1 {
+		sr, err := congest.SearchCap(nw.G, nw.Tree, p, congest.SearchOptions{Simulate: true, Adversary: adv})
+		if err != nil {
+			return nil, err
+		}
+		return &ConstructResult{
+			S:               sr.S,
+			Cap:             sr.Cap,
+			Stats:           sr.Stats,
+			EffectiveRounds: sr.EffectiveRounds,
+			ChargedRounds:   sr.ChargedRounds,
+		}, nil
+	}
+	return congest.ConstructShortcut(nw.G, nw.Tree, p, congest.ConstructOptions{Cap: cap, Simulate: true, Adversary: adv})
+}
+
+// MaintainedShortcut is a shortcut kept consistent under edge churn via
+// dirty-path repair (shortcut.Maintain/Repair).
+type MaintainedShortcut = shortcut.Maintained
+
+// ChurnEvent is one churn event for MaintainShortcut: a weight update, an
+// edge insert, or an edge delete.
+type ChurnEvent = shortcut.Event
+
+// RepairReport describes what one repair did: dirty vertices, modeled
+// repair rounds, tree patching, and the rebuild recommendation.
+type RepairReport = shortcut.RepairReport
+
+// Churn event kinds (re-exported).
+const (
+	WeightUpdate = shortcut.WeightUpdate
+	EdgeInsert   = shortcut.EdgeInsert
+	EdgeDelete   = shortcut.EdgeDelete
+)
+
+// MaintainShortcut builds the flooding construction at the given cap
+// (cap < 1 first runs the in-network cap search, analytic mode) and wraps
+// it for incremental repair under churn: feed edge events to Repair on the
+// returned value; it re-floods admissions only along the dirty tree path
+// and recommends a full rebuild when quality degrades past rebuildFactor
+// (values <= 1 select the default threshold of 2).
+func (nw *Network) MaintainShortcut(p *Parts, cap int, rebuildFactor float64) (*MaintainedShortcut, error) {
+	if cap < 1 {
+		sr, err := congest.SearchCap(nw.G, nw.Tree, p, congest.SearchOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return shortcut.MaintainPrio(nw.G, nw.Tree, p, sr.Cap, sr.Priorities, rebuildFactor)
+	}
+	return shortcut.Maintain(nw.G, nw.Tree, p, cap, rebuildFactor)
+}
+
 // MSTConstructed runs the shortcut-framework Borůvka with zero
 // generator-supplied structure: the network elects a leader, builds its own
 // BFS tree, and per phase runs the in-network doubling cap search with

@@ -207,3 +207,60 @@ func TestSSSPFacade(t *testing.T) {
 		t.Fatalf("no rounds accounted: %+v", approx)
 	}
 }
+
+// TestResilienceAndChurnFacade exercises the fault-injection and
+// self-healing entry points end to end: a resilient in-network cap search
+// under a connectivity-preserving fault plan must converge to the
+// fault-free shortcut, and a maintained shortcut must absorb churn events
+// with dirty-path repairs.
+func TestResilienceAndChurnFacade(t *testing.T) {
+	nw, err := repro.GridNetwork(6, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nw.VoronoiParts(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := nw.ConstructShortcut(p, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := repro.NewAdversary(repro.FaultPlan{
+		Seed:      5,
+		DropProb:  0.15,
+		DropUntil: 250,
+		LinkDowns: []repro.LinkDown{{Edge: 2, From: 1, To: 20}},
+		Crashes:   []repro.Crash{{Node: 7, Round: 3, Restart: 12}},
+	})
+	faulted, err := nw.ConstructShortcutResilient(p, 0, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Cap != clean.Cap {
+		t.Fatalf("resilient cap %d, fault-free %d", faulted.Cap, clean.Cap)
+	}
+	if fq, cq := faulted.S.Measure().Quality, clean.S.Measure().Quality; fq != cq {
+		t.Fatalf("resilient quality %d, fault-free %d", fq, cq)
+	}
+
+	m, err := nw.MaintainShortcut(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete a tree edge: the repair must splice and stay consistent.
+	id := m.T.ParentEdge[m.T.Order[len(m.T.Order)-1]]
+	rep, err := m.Repair(repro.ChurnEvent{Kind: repro.EdgeDelete, Edge: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TreePatched || rep.RepairRounds < 2 {
+		t.Fatalf("tree-edge delete not repaired: %+v", rep)
+	}
+	if _, err := m.Repair(repro.ChurnEvent{Kind: repro.WeightUpdate, Edge: m.T.ParentEdge[1], W: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Quality() <= 0 {
+		t.Fatalf("maintained quality %d after churn", m.Quality())
+	}
+}
