@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
+.PHONY: all build test race vet lint bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs congestlint (the repository's go/analysis suite: detmap,
+# hotalloc, ledger, seededrand, zeromask) plus a gofmt cleanliness check.
+lint:
+	$(GO) run ./cmd/congestlint ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .

@@ -1,0 +1,161 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: Analyzer, Pass, and Diagnostic,
+// plus a package loader (load.go) built on `go list -export` and the
+// standard library's type checker. The container this repository builds in
+// has no module proxy access, so vendoring x/tools is not an option; the
+// five congestlint analyzers (detmap, ledger, hotalloc, zeromask,
+// seededrand) only need this small surface.
+//
+// The suite exists because every invariant it checks has already shipped a
+// bug that was found by hand: map-order nondeterminism in core.AssignCells
+// (PR 1), simulated/charged ledger mixing in min-cut and ShortcutBoruvka
+// (PR 2/PR 4), and zero-value results masquerading as successes in
+// incomplete floods (PR 2/PR 3). congestlint turns each of those
+// post-mortems into a machine-checked structural rule.
+//
+// Suppression: a finding may be silenced with a directive comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory — a bare allow does not suppress anything.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors the x/tools type of the
+// same name so the analyzers port unchanged if the real framework ever
+// becomes available.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in //lint:allow
+	Doc  string // one-paragraph description: invariant + historical bug
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies each analyzer to each loaded package and returns the
+// surviving diagnostics sorted by position, with //lint:allow suppressions
+// already applied.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !allows.suppresses(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	file     string
+	line     int // line the directive is written on
+	analyzer string
+	reason   string
+}
+
+type allowSet struct{ directives []allowDirective }
+
+// collectAllows parses every //lint:allow directive in the package. The
+// directive must name an analyzer and give a non-empty reason.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	var s allowSet
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // analyzer without reason: not a valid suppression
+				}
+				pos := fset.Position(c.Pos())
+				s.directives = append(s.directives, allowDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether d is covered by a directive on the same line
+// or the line directly above.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s.directives {
+		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

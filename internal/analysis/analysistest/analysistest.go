@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against `// want` comment expectations, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := rangeOverMap() // want `nondeterministic map iteration`
+//
+// A want comment holds one or more quoted or backquoted regular
+// expressions; each must be matched by exactly one diagnostic reported on
+// that line. Diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test. //lint:allow suppression is applied before
+// matching, so fixtures can also assert that the directive silences a
+// finding (a suppressed line simply carries no want comment).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir (a directory of .go files, usually
+// testdata/src/<name>), applies the analyzer, and reports mismatches
+// between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWant(text)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// parseWant extracts the quoted or backquoted regexp literals from the
+// text following "// want ".
+func parseWant(text string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", rest)
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			// Re-quote through strconv to honor escapes.
+			var lit string
+			n := len(rest)
+			for i := 1; i < n; i++ {
+				if rest[i] == '"' && rest[i-1] != '\\' {
+					n = i + 1
+					break
+				}
+			}
+			unq, err := strconv.Unquote(rest[:n])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern %q: %v", rest[:n], err)
+			}
+			lit = unq
+			out = append(out, lit)
+			rest = strings.TrimSpace(rest[n:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", rest)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

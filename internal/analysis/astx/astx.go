@@ -1,0 +1,124 @@
+// Package astx holds the small AST/type helpers shared by the congestlint
+// analyzers.
+package astx
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// InScope reports whether an analyzer restricted to the given repo package
+// prefixes should run on pkgPath. Fixture packages (anything outside the
+// repro module) always pass, so analysistest testdata exercises the checks
+// without living under the restricted paths.
+func InScope(pkgPath string, prefixes []string) bool {
+	if !strings.HasPrefix(pkgPath, "repro/") {
+		return true
+	}
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RootObj peels index, selector, paren, and star layers off an lvalue-ish
+// expression and returns the types.Object of the base identifier, or nil.
+// edges[i], s.buf, and (*p).xs all resolve to their base variable.
+func RootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// UsesObj reports whether obj appears anywhere inside e.
+func UsesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// PkgFunc returns the package path and name of the function called by
+// fun, if it is a package-level function of an imported package
+// (e.g. sort.Slice → "sort", "Slice"). ok is false for methods, builtins,
+// and locals.
+func PkgFunc(info *types.Info, fun ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// IsMapType reports whether the static type of e is a map.
+func IsMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// NamedTypeName returns the name of e's static type if it is a named
+// (defined) type, unwrapping one pointer level: *congest.Stats and
+// congest.Stats both yield "Stats".
+func NamedTypeName(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if n, isNamed := t.(*types.Named); isNamed {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// EnclosingFuncs walks file and calls fn for every function body (FuncDecl
+// or FuncLit) with the node providing the body.
+func EnclosingFuncs(file *ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Body)
+		}
+		return true
+	})
+}

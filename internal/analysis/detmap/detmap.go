@@ -1,0 +1,196 @@
+// Package detmap implements the congestlint analyzer that guards the
+// engine's byte-determinism against Go's randomized map iteration order.
+//
+// The invariant: a `range` over a map may only feed order-insensitive
+// computation (set/map writes, commutative counters). The moment map
+// iteration order can reach a returned slice, a message emission, or a
+// Stats field, transcripts stop being byte-identical across runs and
+// GOMAXPROCS settings — the exact bug PR 1 fixed by hand in
+// core.AssignCells. detmap flags:
+//
+//   - appends into a slice inside a map-range body with no subsequent
+//     sort.*/slices.Sort* call on that slice in the same function;
+//   - channel sends and Send/Broadcast/Emit/Write/Print-style calls
+//     inside a map-range body;
+//   - plain (last-write-wins) assignments to fields of a Stats value
+//     inside a map-range body.
+//
+// The canonical fixes are to collect keys, sort them, and iterate the
+// sorted slice, or to sort the accumulated slice before it escapes.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astx"
+)
+
+// Scope is the set of repo packages whose map ranges are checked: the
+// packages on the deterministic-transcript path.
+var Scope = []string{
+	"repro/internal/congest",
+	"repro/internal/shortcut",
+	"repro/internal/partition",
+	"repro/internal/core",
+	"repro/internal/pipeline",
+	"repro/internal/experiments",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flags map iteration whose order can reach returned slices, messages, or Stats fields (PR 1's core.AssignCells bug class)",
+	Run:  run,
+}
+
+// emitNames are method names that emit messages or output; calling one
+// per map-iteration step serializes the random order into a transcript.
+var emitNames = map[string]bool{
+	"Send": true, "Broadcast": true, "Emit": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// sortCalls neutralize an order-dependent accumulation.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !astx.InScope(pass.Pkg.Path(), Scope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		astx.EnclosingFuncs(file, func(node ast.Node, body *ast.BlockStmt) {
+			checkBody(pass, node, body)
+		})
+	}
+	return nil
+}
+
+// checkBody examines the map-range loops directly inside one function
+// body (nested function literals are visited by their own call).
+func checkBody(pass *analysis.Pass, fnNode ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // handled by its own EnclosingFuncs visit
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !astx.IsMapType(pass.TypesInfo, rs.X) {
+			return true
+		}
+		checkMapRange(pass, rs, body)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	// appends maps the accumulating object to the first append position.
+	appends := make(map[types.Object]token.Pos)
+	var appendOrder []types.Object
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send inside map iteration: delivery order follows randomized map order")
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && emitNames[sel.Sel.Name] {
+				if _, isPkg := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func); isPkg {
+					pass.Reportf(s.Pos(), "%s call inside map iteration: emission order follows randomized map order", sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, s, appends, &appendOrder)
+		}
+		return true
+	})
+
+	for _, obj := range appendOrder {
+		pos := appends[obj]
+		if sortedAfter(pass, enclosing, rs.End(), obj) {
+			continue
+		}
+		pass.Reportf(pos, "slice %q accumulates randomized map-iteration order with no later sort in this function: sort it before it escapes, or iterate sorted keys", obj.Name())
+	}
+}
+
+// checkAssign records order-sensitive accumulation and Stats writes
+// inside a map-range body.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt, appends map[types.Object]token.Pos, order *[]types.Object) {
+	// Plain assignment to a Stats field is last-write-wins under random
+	// order. Compound ops (+=, |=) are commutative and pass.
+	if s.Tok == token.ASSIGN {
+		for _, lhs := range s.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && astx.NamedTypeName(pass.TypesInfo, sel.X) == "Stats" {
+				pass.Reportf(s.Pos(), "plain assignment to Stats field %q inside map iteration is last-write-wins under randomized order; use a commutative update", sel.Sel.Name)
+			}
+		}
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.ObjectOf(ast.Unparen(call.Fun).(*ast.Ident)).(*types.Builtin); !isBuiltin {
+			continue
+		}
+		obj := astx.RootObj(pass.TypesInfo, s.Lhs[i])
+		if obj == nil {
+			continue
+		}
+		if _, seen := appends[obj]; !seen {
+			appends[obj] = s.Pos()
+			*order = append(*order, obj)
+		}
+	}
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call mentioning obj
+// appears after pos in the enclosing function body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		pkg, name, ok := astx.PkgFunc(pass.TypesInfo, call.Fun)
+		if !ok || !sortCalls[sortPkgName(pkg)][name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if astx.UsesObj(pass.TypesInfo, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortPkgName maps an import path to its sort-table key ("sort" and
+// "slices" are both stdlib, so path == name).
+func sortPkgName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,103 @@
+// Package detmaptest is the analysistest fixture for the detmap
+// analyzer. AssignCellsBug reproduces the exact shape of the PR 1
+// core.AssignCells nondeterminism: cell membership collected by ranging a
+// map straight into the returned slices.
+package detmaptest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats mirrors the engine's counter struct by name; detmap matches the
+// type name, not the package.
+type Stats struct {
+	Rounds   int
+	MsgsSent int
+}
+
+// AssignCellsBug is the historical PR 1 bug: the returned cell lists pick
+// up randomized map-iteration order.
+func AssignCellsBug(cellOf map[int]int, numCells int) [][]int {
+	cells := make([][]int, numCells)
+	for v, c := range cellOf {
+		cells[c] = append(cells[c], v) // want `accumulates randomized map-iteration order`
+	}
+	return cells
+}
+
+// AssignCellsFixed is the shipped fix: identical accumulation, then every
+// cell list is sorted before it escapes.
+func AssignCellsFixed(cellOf map[int]int, numCells int) [][]int {
+	cells := make([][]int, numCells)
+	flat := make([]int, 0, len(cellOf))
+	for v, c := range cellOf {
+		flat = append(flat, v<<8|c)
+	}
+	sort.Ints(flat)
+	for _, vc := range flat {
+		cells[vc&0xff] = append(cells[vc&0xff], vc>>8)
+	}
+	return cells
+}
+
+// SortedKeysClean iterates a sorted key slice instead of the map, the
+// other canonical fix.
+func SortedKeysClean(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// CommutativeClean only performs order-insensitive updates: set writes
+// and counters never observe iteration order.
+func CommutativeClean(m map[int]int) (int, map[int]bool) {
+	total := 0
+	seen := make(map[int]bool)
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return total, seen
+}
+
+// EmissionBug serializes map order into an output stream.
+func EmissionBug(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `Println call inside map iteration`
+	}
+}
+
+// ChannelBug delivers map-ordered values to a consumer.
+func ChannelBug(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+// StatsBug overwrites a Stats field per iteration step: the surviving
+// value is whichever key the runtime happened to visit last.
+func StatsBug(m map[int]int, s *Stats) {
+	for _, v := range m {
+		s.Rounds = v // want `plain assignment to Stats field "Rounds"`
+		s.MsgsSent += v
+	}
+}
+
+// AllowedAccumulate shows the suppression directive: order provably
+// cannot escape because the caller sorts, and the reason says so.
+func AllowedAccumulate(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//lint:allow detmap the sole caller sorts this slice before use
+		out = append(out, k)
+	}
+	return out
+}

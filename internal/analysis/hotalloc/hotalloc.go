@@ -1,0 +1,210 @@
+// Package hotalloc implements the congestlint analyzer that keeps the
+// per-round kernels allocation-free, statically.
+//
+// The engine's round-driven protocols (congest.RoundFunc) execute once
+// per node per round — millions of times in a large run — and the
+// repository's performance story depends on those bodies allocating
+// nothing in steady state (see the AllocsPerRun pins in
+// internal/congest). hotalloc flags, inside any RoundFunc-shaped function
+// (func(*Node, []Message) bool) and any function annotated with a
+// //congest:hotpath doc comment:
+//
+//   - make and new calls;
+//   - append (the backing array may grow; appends into slabs whose
+//     capacity is preallocated at setup take a //lint:allow with the slab
+//     named in the reason);
+//   - map and &composite literals, and nested function literals
+//     (a closure allocated per round);
+//   - go and defer statements;
+//   - string concatenation and fmt-style interface boxing of concrete
+//     values into interface parameters.
+//
+// Bare slice/struct composite literals are deliberately not flagged: the
+// engine's Send contract copies payloads, so Words{...} literals do not
+// escape and stay on the stack — the dynamic AllocsPerRun pins
+// cross-check exactly that assumption.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating expressions inside RoundFunc bodies and //congest:hotpath functions (static complement of the AllocsPerRun zero-alloc pins)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil && (hasHotpathDirective(d.Doc) || isRoundFuncDecl(pass, d)) {
+					checkHotBody(pass, d.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if isRoundFuncShape(funcLitSig(pass, d)) {
+					checkHotBody(pass, d.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//congest:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func isRoundFuncDecl(pass *analysis.Pass, d *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.ObjectOf(d.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && isRoundFuncShape(sig)
+}
+
+func funcLitSig(pass *analysis.Pass, lit *ast.FuncLit) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// isRoundFuncShape matches func(*Node, []Message) bool structurally by
+// parameter type names, so fixtures with local Node/Message types
+// exercise the check.
+func isRoundFuncShape(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok || namedName(ptr.Elem()) != "Node" {
+		return false
+	}
+	sl, ok := sig.Params().At(1).Type().Underlying().(*types.Slice)
+	if !ok || namedName(sl.Elem()) != "Message" {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+func namedName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkHotBody flags allocating constructs in one hot function body.
+// Nested function literals are flagged as closures and not descended
+// into (their own cost is the allocation; their body runs under its own
+// accounting if it is itself RoundFunc-shaped).
+func checkHotBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure allocated in hot path: a function literal here is heap-allocated on every round")
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "goroutine launch in hot path")
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "defer in hot path allocates a deferred-call record")
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[x]
+			if ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "map literal allocates in hot path")
+				}
+			}
+		case *ast.UnaryExpr:
+			if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); x.Op.String() == "&" && isLit {
+				pass.Reportf(x.Pos(), "&composite literal allocates in hot path")
+			}
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" {
+				if tv, ok := pass.TypesInfo.Types[x]; ok && tv.Type != nil && tv.Value == nil {
+					if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+						pass.Reportf(x.Pos(), "string concatenation allocates in hot path")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot path; hoist the buffer into setup-time slab state")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hot path")
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path may grow its backing array; preallocate capacity at setup (and //lint:allow with the slab named) or use fixed-size state")
+			}
+			return
+		}
+	}
+	checkBoxing(pass, call)
+}
+
+// checkBoxing flags concrete values passed to interface parameters — the
+// fmt.Sprintf-style hidden allocation.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // f(xs...) passes the slice through, no boxing
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "concrete value boxed into interface parameter in hot path (hidden allocation)")
+	}
+}

@@ -1,0 +1,92 @@
+// Package hotalloctest is the analysistest fixture for the hotalloc
+// analyzer. The local Node/Message/Words types mirror the engine's
+// round-driven protocol API by name; hotalloc matches the RoundFunc shape
+// func(*Node, []Message) bool structurally.
+package hotalloctest
+
+import "fmt"
+
+type Node struct{ ID int }
+
+type Message struct {
+	Port    int
+	Payload []uint64
+}
+
+type Words []uint64
+
+func (n *Node) Send(port int, w Words) {}
+
+type RoundFunc func(*Node, []Message) bool
+
+// state is the setup-time slab the clean kernel indexes into.
+var state []uint64
+
+// MakeKernel builds a round kernel that allocates every round: each
+// flagged expression is a per-node-per-round heap cost.
+func MakeKernel() RoundFunc {
+	return func(n *Node, msgs []Message) bool {
+		buf := make([]uint64, 8) // want `make allocates in hot path`
+		seen := map[int]bool{}   // want `map literal allocates in hot path`
+		for _, m := range msgs {
+			buf = append(buf, m.Payload...) // want `append in hot path may grow`
+			seen[m.Port] = true
+		}
+		cb := func() int { return n.ID } // want `closure allocated in hot path`
+		_ = cb
+		n.Send(0, buf[:1])
+		return len(seen) > 0
+	}
+}
+
+// BoxKernel hides its allocation inside interface boxing: fmt.Sprintf
+// boxes the int into its variadic any parameter.
+func BoxKernel() RoundFunc {
+	return func(n *Node, msgs []Message) bool {
+		s := fmt.Sprintf("node %d", n.ID) // want `concrete value boxed into interface parameter`
+		return len(s) > 0
+	}
+}
+
+// CleanKernel is the idiomatic zero-alloc shape: slab state indexed by
+// node ID, stack-allocated Words literals handed to Send (the engine
+// copies payloads, so the literal never escapes).
+func CleanKernel() RoundFunc {
+	return func(n *Node, msgs []Message) bool {
+		for _, m := range msgs {
+			state[n.ID] += m.Payload[0]
+		}
+		n.Send(0, Words{state[n.ID]})
+		return true
+	}
+}
+
+// namedKernel is a declared function with the RoundFunc shape: flagged
+// the same as a literal.
+func namedKernel(n *Node, msgs []Message) bool {
+	extra := new(Node) // want `new allocates in hot path`
+	return extra != nil
+}
+
+//congest:hotpath
+func annotatedHelper(xs []uint64) string {
+	s := "id:"
+	s = s + "x" // want `string concatenation allocates in hot path`
+	return s
+}
+
+// coldHelper has no annotation and no RoundFunc shape: allocations here
+// are setup-time and legal.
+func coldHelper(n int) []uint64 {
+	return make([]uint64, n)
+}
+
+// AllowedSlabAppend shows the suppression directive for an append into
+// capacity preallocated at setup.
+func AllowedSlabAppend(slab []uint64) RoundFunc {
+	return func(n *Node, msgs []Message) bool {
+		//lint:allow hotalloc slab capacity is preallocated to the exact token count at setup
+		slab = append(slab, uint64(n.ID))
+		return true
+	}
+}

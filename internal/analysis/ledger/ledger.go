@@ -1,0 +1,185 @@
+// Package ledger implements the congestlint analyzer that keeps the two
+// round ledgers exclusive: engine-measured (simulated) round counts must
+// never be booked into analytic (charged) fields, and vice versa.
+//
+// The repository accounts every algorithm's cost in a two-ledger
+// pipeline.Rounds{Simulated, Charged}: Simulated rounds were measured on
+// the CONGEST engine (EffectiveRounds/CommRounds class), Charged rounds
+// are analytic framework budgets (ChargedRounds class). The paper's
+// Õ(D+√n)-style bounds are only meaningful if the ledgers never mix —
+// PR 2 found min-cut summing measured rounds into a charged total, and
+// PR 4 found the same class in ShortcutBoruvka. ledger enforces the
+// separation structurally: any assignment or composite-literal field
+// whose destination name belongs to one ledger and whose right-hand side
+// mentions a name from the other ledger is flagged, as is booking the
+// display-only Total() collapse back into either ledger.
+package ledger
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ledger",
+	Doc:  "flags cross-booking between the simulated (measured) and charged (analytic) round ledgers (PR 2/PR 4's min-cut and ShortcutBoruvka bug class)",
+	Run:  run,
+}
+
+type color int
+
+const (
+	uncolored color = iota
+	simulated
+	charged
+	both // Total(): a collapse of both ledgers, bookable into neither
+)
+
+// fieldColor colors struct-field and method selector names.
+var fieldColor = map[string]color{
+	"Simulated":       simulated,
+	"SimulatedRounds": simulated,
+	"EffectiveRounds": simulated,
+	"CommRounds":      simulated,
+	"MeasuredRounds":  simulated,
+	"Charged":         charged,
+	"ChargedRounds":   charged,
+	"Total":           both,
+}
+
+// identColor colors bare local variable names; the list is exact
+// camelCase spellings so short unrelated names never match.
+var identColor = map[string]color{
+	"simulated":       simulated,
+	"simulatedRounds": simulated,
+	"effectiveRounds": simulated,
+	"charged":         charged,
+	"chargedRounds":   charged,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, s)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		checkBooking(pass, lhsColor(lhs), s.Rhs[i], s.Pos(), exprName(lhs))
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		checkBooking(pass, fieldColor[key.Name], kv.Value, kv.Pos(), key.Name)
+	}
+}
+
+// checkBooking reports rhs terms whose ledger color conflicts with the
+// destination's color.
+func checkBooking(pass *analysis.Pass, dst color, rhs ast.Expr, pos token.Pos, dstName string) {
+	if dst != simulated && dst != charged {
+		return
+	}
+	for _, term := range coloredTerms(rhs) {
+		switch {
+		case term.c == both:
+			pass.Reportf(pos, "ledger mix: %q (a Total() collapse of both ledgers) booked into the %s ledger via %q; Total is display-only", term.name, ledgerName(dst), dstName)
+		case term.c != dst:
+			pass.Reportf(pos, "ledger mix: %s-ledger quantity %q booked into %s-ledger destination %q; simulated (engine-measured) and charged (analytic) rounds must stay exclusive", ledgerName(term.c), term.name, ledgerName(dst), dstName)
+		}
+	}
+}
+
+type term struct {
+	name string
+	c    color
+}
+
+// coloredTerms collects the colored selector/identifier names appearing
+// in e. Selector bases are walked but a colored selector's field name is
+// what counts: res.EffectiveRounds contributes "EffectiveRounds".
+func coloredTerms(e ast.Expr) []term {
+	var out []term
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if c := fieldColor[x.Sel.Name]; c != uncolored {
+				out = append(out, term{x.Sel.Name, c})
+			}
+			// Walk only the base: the Sel ident is already accounted.
+			ast.Inspect(x.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if c := identColor[id.Name]; c != uncolored {
+						out = append(out, term{id.Name, c})
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if c := identColor[x.Name]; c != uncolored {
+				out = append(out, term{x.Name, c})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func lhsColor(lhs ast.Expr) color {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return fieldColor[x.Sel.Name]
+	case *ast.Ident:
+		if c, ok := identColor[x.Name]; ok {
+			return c
+		}
+		return fieldColor[x.Name]
+	}
+	return uncolored
+}
+
+func exprName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	}
+	return "destination"
+}
+
+func ledgerName(c color) string {
+	if c == simulated {
+		return "simulated"
+	}
+	return "charged"
+}

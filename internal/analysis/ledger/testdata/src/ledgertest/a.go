@@ -1,0 +1,68 @@
+// Package ledgertest is the analysistest fixture for the ledger
+// analyzer. BoruvkaMixBug reproduces the PR 2/PR 4 bug shape: a measured
+// engine round count summed into the analytic charged ledger.
+package ledgertest
+
+// Rounds mirrors pipeline.Rounds: one field per ledger.
+type Rounds struct {
+	Simulated int
+	Charged   int
+}
+
+// Total collapses both ledgers for display only.
+func (r Rounds) Total() int { return r.Simulated + r.Charged }
+
+// RunResult mirrors the engine result types.
+type RunResult struct {
+	EffectiveRounds int
+	ChargedRounds   int
+}
+
+// BoruvkaMixBug is the historical shape: ShortcutBoruvka booked the
+// construction protocol's measured rounds into the charged total.
+func BoruvkaMixBug(res *RunResult, acc *Rounds) {
+	acc.Charged += res.EffectiveRounds // want `ledger mix: simulated-ledger quantity "EffectiveRounds" booked into charged-ledger destination "Charged"`
+}
+
+// MinCutMixBug is the PR 2 min-cut shape in composite-literal form.
+func MinCutMixBug(res *RunResult) Rounds {
+	return Rounds{
+		Simulated: res.ChargedRounds, // want `ledger mix: charged-ledger quantity "ChargedRounds" booked into simulated-ledger destination "Simulated"`
+	}
+}
+
+// TotalMisbook books the display-only collapse back into one ledger.
+func TotalMisbook(r Rounds, acc *Rounds) {
+	acc.Simulated = r.Total() // want `a Total\(\) collapse of both ledgers`
+}
+
+// ExclusiveClean books each quantity into its matching ledger.
+func ExclusiveClean(res *RunResult) Rounds {
+	return Rounds{
+		Simulated: res.EffectiveRounds,
+		Charged:   res.ChargedRounds,
+	}
+}
+
+// PlusClean is the ledger-wise sum: same-color arithmetic is legal.
+func PlusClean(a, b Rounds) Rounds {
+	return Rounds{
+		Simulated: a.Simulated + b.Simulated,
+		Charged:   a.Charged + b.Charged,
+	}
+}
+
+// LocalVarMix catches the bare-identifier spelling of the same mistake.
+func LocalVarMix(res *RunResult) int {
+	effectiveRounds := res.EffectiveRounds
+	charged := 0
+	charged += effectiveRounds // want `ledger mix: simulated-ledger quantity "effectiveRounds"`
+	return charged
+}
+
+// AllowedHybrid shows the suppression directive for a deliberate hybrid
+// booking with a documented reason.
+func AllowedHybrid(res *RunResult, acc *Rounds) {
+	//lint:allow ledger hybrid analytic bound: the modeled step is charged at its measured width
+	acc.Charged += res.EffectiveRounds
+}

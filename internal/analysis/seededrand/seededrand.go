@@ -1,0 +1,73 @@
+// Package seededrand implements the congestlint analyzer that keeps all
+// randomness PCG-seeded and all behavior wall-clock independent.
+//
+// Every generator, experiment, and fault plan in the repository must be
+// replayable from a seed: transcripts are compared byte-for-byte across
+// runs and GOMAXPROCS settings, so a single draw from the global
+// math/rand source — or a decision influenced by time.Now — silently
+// breaks determinism. internal/xrand is the one blessed randomness
+// gateway (it derives *rand.Rand instances from seeded PCG state).
+// seededrand flags, everywhere outside internal/xrand:
+//
+//   - calls to the global-source draw functions of math/rand and
+//     math/rand/v2 (rand.Intn, rand.Shuffle, rand.Seed, v2's rand.N, …);
+//     constructing an explicit *rand.Rand (and xrand.New itself) stays
+//     legal, since explicit generators carry their seed;
+//   - time.Now, time.Since, and time.Until — wall-clock reads. Benchmark
+//     mains that legitimately time wall-clock take a //lint:allow with
+//     the measurement named in the reason.
+package seededrand
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astx"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand draws and wall-clock reads outside internal/xrand, keeping every run seed-replayable",
+	Run:  run,
+}
+
+// globalDraws are the package-level functions of math/rand (and its v2
+// names) that consume the shared global source.
+var globalDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+var clockReads = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == "repro/internal/xrand" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := astx.PkgFunc(pass.TypesInfo, call.Fun)
+			if !ok {
+				return true
+			}
+			switch {
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && globalDraws[name]:
+				pass.Reportf(call.Pos(), "rand.%s draws from the process-global source and is not seed-replayable; derive a generator from internal/xrand instead", name)
+			case pkg == "time" && clockReads[name]:
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock: behavior must be seed-replayable and clock-independent outside internal/xrand", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package seededrandtest is the analysistest fixture for the seededrand
+// analyzer: global math/rand draws and wall-clock reads are forbidden,
+// explicit seeded generators are legal.
+package seededrandtest
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// GlobalDrawBug consumes the process-global source: not replayable from
+// a seed.
+func GlobalDrawBug(n int) int {
+	return rand.Intn(n) // want `rand.Intn draws from the process-global source`
+}
+
+// GlobalShuffleBug is the same class through a different entry point.
+func GlobalShuffleBug(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global source`
+}
+
+// V2DrawBug: math/rand/v2's global helpers are just as unseeded.
+func V2DrawBug(n int) int {
+	return randv2.IntN(n) // want `rand.IntN draws from the process-global source`
+}
+
+// WallClockBug lets the wall clock influence behavior.
+func WallClockBug() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// ElapsedBug measures wall time, the Since spelling.
+func ElapsedBug(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// SeededClean draws from an explicit generator that carries its seed;
+// in the repository proper the generator comes from internal/xrand.
+func SeededClean(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// DurationClean manipulates time values without reading the clock.
+func DurationClean(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// AllowedBenchTimer shows the suppression directive for a benchmark
+// harness that legitimately reports wall-clock timings.
+func AllowedBenchTimer() time.Time {
+	//lint:allow seededrand benchmark harness reports wall-clock table timings; no algorithmic decision depends on it
+	return time.Now()
+}

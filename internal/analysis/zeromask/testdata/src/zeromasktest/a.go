@@ -1,0 +1,93 @@
+// Package zeromasktest is the analysistest fixture for the zeromask
+// analyzer. FloodBug reproduces the PR 2/PR 3 class: a BFS-style flood
+// whose round budget runs dry and which then reports its zero result as
+// a success.
+package zeromasktest
+
+import "errors"
+
+// ErrIncomplete mirrors the engine's sentinel.
+var ErrIncomplete = errors.New("protocol incomplete")
+
+// Result mirrors a protocol result struct.
+type Result struct {
+	Rounds  int
+	Covered int
+}
+
+// FloodBug is the historical shape: the bounded flood loop falls through
+// and the zero eccentricity masquerades as a converged answer.
+func FloodBug(adj [][]int, src, budget int) (int, error) {
+	frontier := []int{src}
+	for r := 0; r < budget; r++ {
+		var next []int
+		for _, v := range frontier {
+			next = append(next, adj[v]...)
+		}
+		if len(next) == 0 {
+			return r, nil
+		}
+		frontier = next
+	}
+	return 0, nil // want `zero value returned with nil error on a fall-through path after a bounded loop`
+}
+
+// FloodFixed is the shipped fix: exhaustion surfaces as ErrIncomplete.
+func FloodFixed(adj [][]int, src, budget int) (int, error) {
+	frontier := []int{src}
+	for r := 0; r < budget; r++ {
+		var next []int
+		for _, v := range frontier {
+			next = append(next, adj[v]...)
+		}
+		if len(next) == 0 {
+			return r, nil
+		}
+		frontier = next
+	}
+	return 0, ErrIncomplete
+}
+
+// GuardedBug returns a zero struct under an explicit budget guard.
+func GuardedBug(budget int) (Result, error) {
+	if budget <= 0 {
+		return Result{}, nil // want `zero value returned with nil error on a budget-guarded branch`
+	}
+	return Result{Rounds: budget, Covered: 1}, nil
+}
+
+// EmptyInputClean is a legitimate zero success: the guard tests input
+// emptiness, not budget exhaustion, and no loop precedes it.
+func EmptyInputClean(xs []int) (int, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total, nil
+}
+
+// ComputedResultClean returns a computed value after its loop: zeromask
+// only flags literal zeros, and a computed zero is the caller's honest
+// answer.
+func ComputedResultClean(xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total, nil
+}
+
+// AllowedSentinelFree shows the suppression directive: this probe
+// genuinely means "zero matches, no error" when the scan runs dry.
+func AllowedSentinelFree(xs []int, want, budget int) (int, error) {
+	for i := 0; i < budget && i < len(xs); i++ {
+		if xs[i] == want {
+			return i, nil
+		}
+	}
+	//lint:allow zeromask a dry scan really does mean index zero candidates; callers treat 0 as the none marker
+	return 0, nil
+}

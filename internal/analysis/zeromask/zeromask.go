@@ -1,0 +1,200 @@
+// Package zeromask implements the congestlint analyzer that catches
+// zero values masquerading as successful results.
+//
+// The bug class (found by hand in PR 2 and PR 3): a protocol whose round
+// budget runs out, or whose flood never covers the graph, falls through
+// to `return 0, nil` / `return T{}, nil` — and the caller cannot tell an
+// exhausted run from a legitimate zero. The repository's convention is
+// that such paths must return congest.ErrIncomplete (usually via
+// *congest.IncompleteError). zeromask flags, in any function returning
+// (T, error), a `return <zero T>, nil` that sits on an exhaustion-shaped
+// path:
+//
+//   - the fall-through return after a bounded for loop (the loop ran dry
+//     and the function still reports success), or
+//   - a return under a condition that mentions a budget/round/attempt
+//     identifier.
+//
+// Functions whose zero return precedes any loop (ordinary validation
+// paths, empty-input successes) are not flagged.
+package zeromask
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "zeromask",
+	Doc:  "flags budget-exhaustion paths returning a zero value with a nil error instead of ErrIncomplete (PR 2/PR 3's zero-masquerading flood bug class)",
+	Run:  run,
+}
+
+// budgetWords mark condition identifiers that smell like exhaustion
+// checks.
+var budgetWords = []string{"budget", "round", "attempt", "remaining", "retries", "tries", "deadline"}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = d.Type, d.Body
+			case *ast.FuncLit:
+				typ, body = d.Type, d.Body
+			default:
+				return true
+			}
+			if body != nil && returnsValueAndError(pass, typ) {
+				checkFunc(pass, typ, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsValueAndError matches (T, error) results.
+func returnsValueAndError(pass *analysis.Pass, typ *ast.FuncType) bool {
+	if typ.Results == nil {
+		return false
+	}
+	var flat []ast.Expr
+	for _, f := range typ.Results.List {
+		n := max(len(f.Names), 1)
+		for i := 0; i < n; i++ {
+			flat = append(flat, f.Type)
+		}
+	}
+	if len(flat) != 2 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[flat[1]]
+	return ok && tv.Type != nil && tv.Type.String() == "error"
+}
+
+func checkFunc(pass *analysis.Pass, typ *ast.FuncType, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // separate function, visited on its own
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 2 {
+			return true
+		}
+		if !isZeroValue(pass, ret.Results[0]) || !isNil(pass, ret.Results[1]) {
+			return true
+		}
+		if reason := exhaustionPath(pass, body, ret); reason != "" {
+			pass.Reportf(ret.Pos(), "zero value returned with nil error on %s: an exhausted or incomplete run masquerades as success; return ErrIncomplete (or a wrapped IncompleteError) instead", reason)
+		}
+		return true
+	})
+}
+
+// exhaustionPath classifies the return's position: after a bounded loop in
+// the same block ("a fall-through path after a bounded loop"), or guarded
+// by a budget-ish condition ("a budget-guarded branch"). Empty means the
+// return looks like an ordinary success path.
+func exhaustionPath(pass *analysis.Pass, body *ast.BlockStmt, ret *ast.ReturnStmt) string {
+	// Walk the statement path from body down to ret.
+	var path []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || len(path) > 0 && path[len(path)-1] == ret {
+			return false
+		}
+		if n.Pos() <= ret.Pos() && ret.End() <= n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	if len(path) == 0 || path[len(path)-1] != ret {
+		return ""
+	}
+	for _, n := range path {
+		if ifs, ok := n.(*ast.IfStmt); ok && mentionsBudgetWord(ifs.Cond) {
+			return "a budget-guarded branch"
+		}
+	}
+	// Fall-through shape: the return is the function's final statement and
+	// a bounded for/range loop precedes it in the outermost block — the
+	// loop ran dry and the function still reports success. Mid-function
+	// zero returns (input validation, empty-input successes) pass.
+	if len(body.List) == 0 || body.List[len(body.List)-1] != ast.Stmt(ret) {
+		return ""
+	}
+	for _, stmt := range body.List[:len(body.List)-1] {
+		switch loop := stmt.(type) {
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return "a fall-through path after a bounded loop"
+			}
+		case *ast.RangeStmt:
+			return "a fall-through path after a loop"
+		}
+	}
+	return ""
+}
+
+func mentionsBudgetWord(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			lower := strings.ToLower(id.Name)
+			for _, w := range budgetWords {
+				if strings.Contains(lower, w) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isZeroValue recognizes literal zero results: nil, zero numeric/string
+// constants, empty composite literals, and conversions thereof.
+func isZeroValue(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return true
+	}
+	if tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Int, constant.Float:
+			return constant.Sign(tv.Value) == 0
+		case constant.String:
+			return constant.StringVal(tv.Value) == ""
+		case constant.Bool:
+			return !constant.BoolVal(tv.Value)
+		}
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0
+	case *ast.CallExpr:
+		// Conversion T(zero).
+		if len(x.Args) == 1 {
+			if tfun, ok := pass.TypesInfo.Types[x.Fun]; ok && tfun.IsType() {
+				return isZeroValue(pass, x.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,16 @@
+package zeromask_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/zeromask"
+)
+
+// TestZeromask checks the analyzer against its fixture package: every
+// // want expectation must be reported and nothing else may be; the
+// fixture also pins that //lint:allow suppresses with a reason given.
+func TestZeromask(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "zeromasktest"), zeromask.Analyzer)
+}

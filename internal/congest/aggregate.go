@@ -97,6 +97,20 @@ func AggregateMinUnder(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut,
 		Detail: "flood failed to converge within the doubling budget"}
 }
 
+// localPartIdx finds the slab index of part within parts[off:end), the
+// per-node window of the shared part slab. It is a top-level function (not
+// a closure in the round kernel) so the hot path allocates nothing.
+//
+//congest:hotpath
+func localPartIdx(parts []int32, off, end, part int32) int32 {
+	for li := off; li < end; li++ {
+		if parts[li] == part {
+			return li
+		}
+	}
+	return -1
+}
+
 func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []int32, keys, want []uint64, budget int, ropts Options) (*AggregateResult, bool, error) {
 	n := g.N()
 	// finalBest[v] = best-known key of v's own part when the budget ran out.
@@ -129,26 +143,18 @@ func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []in
 		st.chOff = int32(len(channels))
 		st.ptOff = int32(len(parts))
 		st.own = -1
-		localIdx := func(part int32) int32 {
-			for li := st.ptOff; li < int32(len(parts)); li++ {
-				if parts[li] == part {
-					return li
-				}
-			}
-			return -1
-		}
 		for port, a := range g.Adj(v) {
 			sentRound = append(sentRound, -1)
 			for _, pi := range partsOnEdge(a.ID) {
 				channels = append(channels, channel{int32(port), pi})
-				if localIdx(pi) == -1 {
+				if localPartIdx(parts, st.ptOff, int32(len(parts)), pi) == -1 {
 					parts = append(parts, pi)
 					best = append(best, math.MaxUint64)
 				}
 			}
 		}
 		if pi := p.Of[v]; pi != -1 {
-			if li := localIdx(int32(pi)); li != -1 {
+			if li := localPartIdx(parts, st.ptOff, int32(len(parts)), int32(pi)); li != -1 {
 				st.own = li
 				if keys[v] < best[li] {
 					best[li] = keys[v]
@@ -164,7 +170,7 @@ func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []in
 		st.chEnd = int32(len(channels))
 		st.ptEnd = int32(len(parts))
 		for ci := st.chOff; ci < st.chEnd; ci++ {
-			if li := localIdx(channels[ci].part); li != -1 && best[li] != math.MaxUint64 {
+			if li := localPartIdx(parts, st.ptOff, st.ptEnd, channels[ci].part); li != -1 && best[li] != math.MaxUint64 {
 				dirty[ci] = true
 			}
 		}
@@ -175,19 +181,11 @@ func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []in
 	}
 	step := func(nd *Node, msgs []Message) bool {
 		st := &state[nd.ID]
-		localIdx := func(part int32) int32 {
-			for li := st.ptOff; li < st.ptEnd; li++ {
-				if parts[li] == part {
-					return li
-				}
-			}
-			return -1
-		}
 		// Fold in the previous round's deliveries.
 		for _, msg := range msgs {
 			pi := int32(msg.Payload[0])
 			key := msg.Payload[1]
-			li := localIdx(pi)
+			li := localPartIdx(parts, st.ptOff, st.ptEnd, pi)
 			if li == -1 || key >= best[li] {
 				continue
 			}
@@ -212,7 +210,7 @@ func runAggregate(g *graph.Graph, p *partition.Parts, partsOnEdge func(int) []in
 			if !dirty[ci] || sent[ch.port] == st.round {
 				continue
 			}
-			nd.Send(int(ch.port), Words{uint64(ch.part), best[localIdx(ch.part)]})
+			nd.Send(int(ch.port), Words{uint64(ch.part), best[localPartIdx(parts, st.ptOff, st.ptEnd, ch.part)]})
 			dirty[ci] = false
 			sent[ch.port] = st.round
 		}

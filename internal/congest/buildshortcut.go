@@ -180,6 +180,7 @@ func assembleLevels(g *graph.Graph, t *graph.Tree, p *partition.Parts, budget in
 	edges := make([][]int, numParts)
 	for i := range edges {
 		for id := range claimed[i] {
+			//lint:allow detmap shortcut.New sorts and dedups every edge list, so map order never escapes
 			edges[i] = append(edges[i], id)
 		}
 	}

@@ -60,7 +60,7 @@ func ConstructBudget(t *graph.Tree, cap int) int {
 	if cap < 1 {
 		cap = 1
 	}
-	return (cap + 2) * (t.Height() + 2) + 8
+	return (cap+2)*(t.Height()+2) + 8
 }
 
 // ConstructShortcut builds a tree-restricted shortcut fully in-network: the

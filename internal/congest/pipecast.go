@@ -242,12 +242,14 @@ func pipecastOpts(t *graph.Tree, numTags int, contrib [][]Token, comb Combiner, 
 		for _, m := range msgs {
 			s := portSlot[portOff[v]+int32(m.Port)]
 			if s == -1 {
+				//lint:allow hotalloc terminal engine-abort path: the Errorf boxing happens only when the run is already failing
 				nd.eng.fail(fmt.Errorf("congest: pipecast token on non-child port %d at node %d", m.Port, v))
 				return false
 			}
 			tg := int32(m.Payload[0])
 			idx := frontier[s]
 			if idx >= myLen || tags[myOff+idx] != tg {
+				//lint:allow hotalloc terminal engine-abort path: the Errorf boxing happens only when the run is already failing
 				nd.eng.fail(fmt.Errorf("congest: pipecast node %d got tag %d out of schedule", v, tg))
 				return false
 			}
@@ -381,16 +383,19 @@ func pipeBroadcastOpts(t *graph.Tree, tokens []Token, opts Options) (*BroadcastR
 		numChild := childOff[v+1] - childOff[v]
 		for _, m := range msgs {
 			if int32(m.Port) != parentPortOf[v] {
+				//lint:allow hotalloc terminal engine-abort path: the Errorf boxing happens only when the run is already failing
 				nd.eng.fail(fmt.Errorf("congest: broadcast token on non-parent port %d at node %d", m.Port, v))
 				return false
 			}
 			i := recvd[v]
 			if int(i) >= k || tokens[i].Tag != int32(m.Payload[0]) || tokens[i].Value != m.Payload[1] {
+				//lint:allow hotalloc terminal engine-abort path: the Errorf boxing happens only when the run is already failing
 				nd.eng.fail(fmt.Errorf("congest: broadcast node %d received token out of sequence", v))
 				return false
 			}
 			if numChild > 0 { // leaves consume; interior vertices buffer to forward
 				if count[v] == ringCap {
+					//lint:allow hotalloc terminal engine-abort path: the Errorf boxing happens only when the run is already failing
 					nd.eng.fail(fmt.Errorf("congest: broadcast ring overflow at node %d", v))
 					return false
 				}

@@ -43,7 +43,9 @@ func Runners() []Runner {
 		{"E10", func(seed int64) *Table { return E10FoldingAblation([]int{8, 16, 32, 64}, seed) }},
 		{"E11", func(seed int64) *Table { return E11ApexEffect([]int{32, 64, 128}, seed) }},
 		{"E12", func(seed int64) *Table { return E12Planarize([]int{0, 1, 2, 3}, seed) }},
-		{"E13", func(seed int64) *Table { return E13Construct([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
+		{"E13", func(seed int64) *Table {
+			return E13Construct([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed)
+		}},
 		{"E14", func(seed int64) *Table { return E14Pipeline([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
 		{"E15", func(seed int64) *Table { return E15Pipecast([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
 		{"E18", func(seed int64) *Table { return E18Churn([]int{6, 10, 14}, []int{32, 64}, []int{2, 4}, 40, seed) }},
