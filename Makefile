@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
+.PHONY: all build test race vet lint lint-json bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
 
 all: vet lint build test
 
@@ -17,11 +17,17 @@ vet:
 	$(GO) vet ./...
 
 # lint runs congestlint (the repository's go/analysis suite: detmap,
-# hotalloc, ledger, seededrand, zeromask) plus a gofmt cleanliness check.
+# errflow, hotalloc, ledger, purity, seededrand, zeromask) plus a gofmt
+# cleanliness check.
 lint:
 	$(GO) run ./cmd/congestlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+
+# lint-json emits the same findings as machine-readable JSON (for CI
+# annotations and tooling).
+lint-json:
+	$(GO) run ./cmd/congestlint -json ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .

@@ -1,10 +1,21 @@
 // Command congestlint is the repository's static-analysis multichecker:
-// five analyzers that machine-check the invariants every PR leans on —
+// seven analyzers that machine-check the invariants every PR leans on —
 // byte-deterministic transcripts (detmap, seededrand), exclusive
 // two-ledger round accounting (ledger), zero-alloc round kernels
-// (hotalloc), and no zero values masquerading as successes (zeromask).
-// Each analyzer encodes a bug class that previously shipped and was
-// caught by hand; see the package docs under internal/analysis/.
+// (hotalloc), no zero values masquerading as successes (zeromask),
+// determinism-purity of transcript-affecting code (purity), and
+// ErrIncomplete flow (errflow). Each analyzer encodes a bug class that
+// previously shipped and was caught by hand; see the package docs under
+// internal/analysis/.
+//
+// hotalloc, purity, and errflow are interprocedural: they walk the
+// package call graph (internal/analysis/callgraph) and exchange facts
+// (HotFact, AllocsFact, PureFact, ImpureFact, IncompleteSourceFact)
+// across package boundaries. In standalone mode the facts flow through
+// one in-process store over the deps-first package order; under
+// `go vet -vettool=` they are gob-serialized into the vetx files the go
+// command passes between compilation units, so both drivers report
+// identically.
 //
 // Standalone usage (the Makefile `lint` target):
 //
@@ -20,6 +31,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,16 +47,20 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/detmap"
+	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/ledger"
+	"repro/internal/analysis/purity"
 	"repro/internal/analysis/seededrand"
 	"repro/internal/analysis/zeromask"
 )
 
 var all = []*analysis.Analyzer{
 	detmap.Analyzer,
+	errflow.Analyzer,
 	hotalloc.Analyzer,
 	ledger.Analyzer,
+	purity.Analyzer,
 	seededrand.Analyzer,
 	zeromask.Analyzer,
 }
@@ -59,8 +75,12 @@ func main() {
 
 	switch {
 	case *vFlag != "":
-		// The go command fingerprints vet tools via `tool -V=full`.
-		fmt.Printf("congestlint version devel-%s\n", runtime.Version())
+		// The go command fingerprints vet tools via `tool -V=full` and
+		// keys its vetx/diagnostic cache on the output, so the version
+		// must change whenever the analyzers do: hash the executable.
+		// A constant string here once served stale (fact-free) vetx
+		// files from a previous build of the tool.
+		fmt.Printf("congestlint version devel-%s buildID=%s\n", runtime.Version(), selfHash())
 		return
 	case *flagsFlag:
 		fmt.Println("[]")
@@ -77,7 +97,7 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fatalf("unknown analyzer %q (have: detmap, hotalloc, ledger, seededrand, zeromask)", name)
+				fatalf("unknown analyzer %q (have: detmap, errflow, hotalloc, ledger, purity, seededrand, zeromask)", name)
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -108,6 +128,9 @@ func main() {
 
 func report(diags []analysis.Diagnostic, asJSON bool) {
 	if asJSON {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // a clean sweep is [], not null
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(diags); err != nil {
@@ -133,6 +156,25 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
+// selfHash returns the hex SHA-256 of the running executable, the
+// content-addressed component of the -V=full fingerprint.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
 // vetConfig is the JSON unit description the go command hands to vet
 // tools (cmd/go/internal/work's vet config).
 type vetConfig struct {
@@ -141,6 +183,8 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string // dep import path → vetx facts file
+	VetxOnly                  bool              // facts wanted, diagnostics not (dependency unit)
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
@@ -159,13 +203,13 @@ func runVetUnit(analyzers []*analysis.Analyzer, cfgPath string) {
 	}
 	// The go command drives vet tools over the whole import graph
 	// (standard library included) to collect facts. congestlint's
-	// invariants are repository policy and it exports no facts, so
-	// everything outside the repro module — and the synthesized test
-	// variants — just gets an empty vetx file.
+	// invariants are repository policy and its facts only describe
+	// repro-module functions, so everything outside the repro module —
+	// and the synthesized test variants — just gets an empty vetx file.
 	if cfg.ImportPath != "repro" && !strings.HasPrefix(cfg.ImportPath, "repro/") ||
 		strings.Contains(cfg.ImportPath, " [") ||
 		strings.HasSuffix(cfg.ImportPath, "_test") || strings.HasSuffix(cfg.ImportPath, ".test") {
-		writeVetx(cfg)
+		writeVetx(cfg, nil)
 		return
 	}
 
@@ -183,7 +227,7 @@ func runVetUnit(analyzers []*analysis.Analyzer, cfgPath string) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		writeVetx(cfg)
+		writeVetx(cfg, nil)
 		return
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -211,11 +255,34 @@ func runVetUnit(analyzers []*analysis.Analyzer, cfgPath string) {
 	}
 	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
 
-	diags, err := analysis.Run(analyzers, []*analysis.Package{pkg})
+	// Rehydrate the facts of every repro-module dependency from the vetx
+	// files the go command already produced for them.
+	store := analysis.NewFactStore()
+	for depPath, vetxFile := range cfg.PackageVetx {
+		if depPath != "repro" && !strings.HasPrefix(depPath, "repro/") {
+			continue // outside the module: empty by construction
+		}
+		wire, err := os.ReadFile(vetxFile)
+		if err != nil {
+			fatalf("reading facts of %s: %v", depPath, err)
+		}
+		if err := store.DecodePackage(depPath, wire); err != nil {
+			fatalf("decoding facts of %s: %v", depPath, err)
+		}
+	}
+
+	diags, err := analysis.RunFacts(analyzers, []*analysis.Package{pkg}, store)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	writeVetx(cfg)
+	facts, err := store.EncodePackage(cfg.ImportPath)
+	if err != nil {
+		fatalf("encoding facts of %s: %v", cfg.ImportPath, err)
+	}
+	writeVetx(cfg, facts)
+	if cfg.VetxOnly {
+		return // the go command only wants this unit's facts
+	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
@@ -228,19 +295,24 @@ func runVetUnit(analyzers []*analysis.Analyzer, cfgPath string) {
 // it when the package is already known not to compile).
 func typecheckFailure(cfg vetConfig, err error) {
 	if cfg.SucceedOnTypecheckFailure {
-		writeVetx(cfg)
+		writeVetx(cfg, nil)
 		return
 	}
 	fatalf("typecheck %s: %v", cfg.ImportPath, err)
 }
 
-// writeVetx writes the (empty — congestlint exports no facts) vetx
-// output file the go command expects for caching.
-func writeVetx(cfg vetConfig) {
+// writeVetx writes the unit's vetx output — the gob-encoded object facts
+// this package exports (nil for packages that export none). The go
+// command content-addresses these files, which is why EncodePackage is
+// byte-deterministic.
+func writeVetx(cfg vetConfig, facts []byte) {
 	if cfg.VetxOutput == "" {
 		return
 	}
-	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	if facts == nil {
+		facts = []byte{}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
 		fatalf("%v", err)
 	}
 }

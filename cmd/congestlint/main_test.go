@@ -1,0 +1,151 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestVetMatchesStandalone is the driver-parity regression test: a
+// module with an allocation and a wall-clock read hidden one and two
+// calls below a RoundFunc kernel must produce the identical diagnostic
+// set from the standalone sweep (`congestlint ./...`) and from
+// `go vet -vettool=congestlint ./...`. The standalone driver moves facts
+// through an in-process store; the vet driver round-trips them through
+// gob-encoded vetx files — this test proves the two paths agree.
+func TestVetMatchesStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go command")
+	}
+	tmp := t.TempDir()
+
+	tool := filepath.Join(tmp, "congestlint")
+	build := exec.Command("go", "build", "-o", tool, "repro/cmd/congestlint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building congestlint: %v\n%s", err, out)
+	}
+
+	// A scratch module named repro, so its packages pass the vet driver's
+	// module gate. The kernel reaches depth.LeafAlloc / depth.LeafClock
+	// one call down and depth.MidAlloc / depth.MidClock two calls down.
+	mod := filepath.Join(tmp, "mod")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module repro\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(mod, "depth", "depth.go"), `// Package depth hides the regressions below the kernel.
+package depth
+
+import "time"
+
+func LeafAlloc() []uint64 { return make([]uint64, 8) }
+
+func MidAlloc() []uint64 { return LeafAlloc() }
+
+func LeafClock() int64 { return time.Now().Unix() }
+
+func MidClock() int64 { return LeafClock() }
+`)
+	writeFile(t, filepath.Join(mod, "kern", "kern.go"), `// Package kern holds the round kernel.
+package kern
+
+import "repro/depth"
+
+type Node struct{ ID int }
+
+type Message struct{ Port int }
+
+func kernel(n *Node, msgs []Message) bool {
+	_ = depth.LeafAlloc()
+	_ = depth.MidAlloc()
+	return depth.LeafClock()+depth.MidClock() > 0
+}
+
+var _ = kernel
+`)
+
+	// The two drivers agree on everything but path rendering: standalone
+	// prints absolute paths, vet prints them relative to the module.
+	standalone := diagnosticLines(t, mod, runIn(t, mod, tool, "./..."))
+	vet := diagnosticLines(t, mod, runIn(t, mod, "go", "vet", "-vettool="+tool, "./..."))
+
+	if len(standalone) == 0 {
+		t.Fatal("standalone sweep reported nothing; the parity check is vacuous")
+	}
+	if strings.Join(standalone, "\n") != strings.Join(vet, "\n") {
+		t.Errorf("driver outputs diverge\nstandalone:\n  %s\nvet:\n  %s",
+			strings.Join(standalone, "\n  "), strings.Join(vet, "\n  "))
+	}
+
+	// The acceptance shape: both transitive analyzers see through one and
+	// two levels of calls below the kernel.
+	for _, want := range []string{
+		"hotalloc: call to depth.LeafAlloc allocates in hot path: make at",
+		"hotalloc: call to depth.MidAlloc allocates in hot path: calls LeafAlloc",
+		"purity: calls depth.LeafClock (wall-clock read (time.Now)) in determinism-critical code",
+		"purity: calls depth.MidClock (calls LeafClock (wall-clock read (time.Now))) in determinism-critical code",
+		"seededrand: time.Now reads the wall clock",
+	} {
+		if !containsSubstring(standalone, want) {
+			t.Errorf("standalone sweep missing %q in:\n  %s", want, strings.Join(standalone, "\n  "))
+		}
+	}
+}
+
+// runIn runs cmd in dir and returns combined output; non-zero exit is
+// expected (diagnostics fail the run) and not an error here.
+func runIn(t *testing.T, dir, cmd string, args ...string) string {
+	t.Helper()
+	c := exec.Command(cmd, args...)
+	c.Dir = dir
+	out, err := c.CombinedOutput()
+	if err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("running %s %v: %v\n%s", cmd, args, err, out)
+		}
+	}
+	return string(out)
+}
+
+var diagLine = regexp.MustCompile(`\.go:\d+:\d+: `)
+
+// diagnosticLines extracts and sorts the diagnostic lines (file:line:col
+// prefixed) from a driver's output, dropping the go command's package
+// headers and exit-status noise and normalizing paths to module-relative
+// (standalone prints them absolute, vet relative).
+func diagnosticLines(t *testing.T, mod, out string) []string {
+	t.Helper()
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if !diagLine.MatchString(line) {
+			continue
+		}
+		line = strings.TrimSpace(line)
+		line = strings.ReplaceAll(line, mod+string(filepath.Separator), "")
+		line = strings.TrimPrefix(line, "./")
+		line = strings.ReplaceAll(line, " ./", " ")
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func containsSubstring(lines []string, want string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

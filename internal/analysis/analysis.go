@@ -47,6 +47,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactStore
 	diags []Diagnostic
 }
 
@@ -70,10 +71,24 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// StaleAllowName is the pseudo-analyzer name under which unused
+// //lint:allow directives are reported (a directive cannot itself be
+// suppressed, so the allow inventory stays honest).
+const StaleAllowName = "staleallow"
+
 // Run applies each analyzer to each loaded package and returns the
 // surviving diagnostics sorted by position, with //lint:allow suppressions
-// already applied.
+// already applied. Facts exported by earlier (dependency) packages are
+// importable by later ones; pkgs must therefore arrive in dependency
+// order, which Load and LoadFixture guarantee.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunFacts(analyzers, pkgs, NewFactStore())
+}
+
+// RunFacts is Run with an externally owned fact store, so a driver can
+// seed it with facts decoded from dependency vetx files (the unitchecker
+// mode) and serialize the facts this run exports.
+func RunFacts(analyzers []*Analyzer, pkgs []*Package, facts *FactStore) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg.Fset, pkg.Files)
@@ -84,15 +99,19 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range pass.diags {
-				if !allows.suppresses(d) {
+				if !allows.suppresses(d) && !pkg.FactsOnly {
 					out = append(out, d)
 				}
 			}
+		}
+		if !pkg.FactsOnly {
+			out = append(out, staleAllows(allows, analyzers)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -114,9 +133,10 @@ type allowDirective struct {
 	line     int // line the directive is written on
 	analyzer string
 	reason   string
+	hits     int // diagnostics this directive suppressed in this run
 }
 
-type allowSet struct{ directives []allowDirective }
+type allowSet struct{ directives []*allowDirective }
 
 // collectAllows parses every //lint:allow directive in the package. The
 // directive must name an analyzer and give a non-empty reason.
@@ -134,7 +154,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue // analyzer without reason: not a valid suppression
 				}
 				pos := fset.Position(c.Pos())
-				s.directives = append(s.directives, allowDirective{
+				s.directives = append(s.directives, &allowDirective{
 					file:     pos.Filename,
 					line:     pos.Line,
 					analyzer: fields[0],
@@ -147,15 +167,43 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 }
 
 // suppresses reports whether d is covered by a directive on the same line
-// or the line directly above.
+// or the line directly above, and records the hit on every covering
+// directive so unused directives can be reported as stale.
 func (s allowSet) suppresses(d Diagnostic) bool {
+	hit := false
 	for _, dir := range s.directives {
 		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
 			continue
 		}
 		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
-			return true
+			dir.hits++
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// staleAllows reports every directive that names an analyzer that ran in
+// this sweep yet suppressed nothing: the code it once excused has been
+// fixed (or the analyzer got smarter), and a directive that no longer
+// earns its keep is a latent hole in the allow inventory. Directives for
+// analyzers outside the run set (a -only subset, or a single-analyzer
+// fixture test) are not judged.
+func staleAllows(allows allowSet, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range allows.directives {
+		if dir.hits > 0 || !ran[dir.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: StaleAllowName,
+			Pos:      token.Position{Filename: dir.file, Line: dir.line},
+			Message:  fmt.Sprintf("stale //lint:allow %s directive: it suppresses no diagnostic on this or the next line; delete it (reason given was: %s)", dir.analyzer, dir.reason),
+		})
+	}
+	return out
 }

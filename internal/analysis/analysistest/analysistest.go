@@ -31,38 +31,50 @@ type expectation struct {
 }
 
 // Run loads the fixture package at dir (a directory of .go files, usually
-// testdata/src/<name>), applies the analyzer, and reports mismatches
-// between diagnostics and // want expectations as test errors.
+// testdata/src/<name>) together with any sibling fixture packages it
+// imports, applies the analyzer to all of them in dependency order (so
+// facts exported by a dependency fixture are importable by the target
+// fixture), and reports mismatches between diagnostics and // want
+// expectations — in every loaded fixture file — as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	pkg, err := analysis.LoadDir(dir)
+	pkgs, err := analysis.LoadFixture(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
 
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				patterns, err := parseWant(text)
-				if err != nil {
-					t.Fatalf("%s: bad want comment: %v", pos, err)
-				}
-				for _, p := range patterns {
-					re, err := regexp.Compile(p)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						// Block form for lines whose trailing line comment
+						// is already taken (e.g. a //lint:allow directive
+						// asserted stale): /* want "..." */
+						text, ok = strings.CutPrefix(c.Text, "/* want ")
+						if !ok {
+							continue
+						}
+						text = strings.TrimSuffix(strings.TrimSpace(text), "*/")
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					pos := pkg.Fset.Position(c.Pos())
+					patterns, err := parseWant(text)
+					if err != nil {
+						t.Fatalf("%s: bad want comment: %v", pos, err)
+					}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
 				}
 			}
 		}

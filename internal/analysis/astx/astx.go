@@ -107,6 +107,65 @@ func NamedTypeName(info *types.Info, e ast.Expr) string {
 	return ""
 }
 
+// HasDirective reports whether doc contains the given //-directive
+// (e.g. "//congest:hotpath", "//congest:pure") as a line prefix.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsRoundFuncShape matches the engine's round-kernel signature
+// func(*Node, []Message) bool structurally by parameter type names, so
+// fixtures with local Node/Message types exercise the shape-triggered
+// checks.
+func IsRoundFuncShape(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok || namedName(ptr.Elem()) != "Node" {
+		return false
+	}
+	sl, ok := sig.Params().At(1).Type().Underlying().(*types.Slice)
+	if !ok || namedName(sl.Elem()) != "Message" {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+func namedName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// FuncLitSig returns the signature of a function literal, or nil.
+func FuncLitSig(info *types.Info, lit *ast.FuncLit) *types.Signature {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// IsMethodValue reports whether sel is a bound-method value — x.M used
+// as a value rather than called, which allocates a closure binding x.
+// The caller must ensure sel is not the Fun of a call expression.
+func IsMethodValue(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
 // EnclosingFuncs walks file and calls fn for every function body (FuncDecl
 // or FuncLit) with the node providing the body.
 func EnclosingFuncs(file *ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {

@@ -1,0 +1,187 @@
+// Package callgraph builds the package-level static call graph the
+// interprocedural congestlint analyzers (hotalloc, purity, errflow) walk.
+//
+// The graph covers one type-checked package: every declared function and
+// method gets a node, and so does every function literal (the engine's
+// round kernels are literals returned by setup functions, so literals
+// are first-class here). Edges are static calls — direct calls of
+// package-level functions, methods resolved on concrete receivers, and
+// calls of imported functions. Dynamic dispatch (interface methods,
+// calls through function-typed variables) produces no edge; the
+// analyzers compensate with facts at the points where function values
+// are created or passed.
+//
+// Calls lexically inside a nested function literal belong to the
+// literal's own node, not the enclosing function's: whether an analyzer
+// follows the enclosing→literal containment edge is its own choice
+// (purity does — a literal built in a pure context is assumed callable
+// there; hotalloc's reachability does not, because creating the closure
+// is already a reported allocation).
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Node is one function body: a declared function/method (Fn non-nil) or
+// a function literal (Lit non-nil).
+type Node struct {
+	Fn    *types.Func    // declared function or method; nil for literals
+	Lit   *ast.FuncLit   // literal; nil for declarations
+	Decl  *ast.FuncDecl  // declaration AST; nil for literals
+	Body  *ast.BlockStmt // never nil
+	Calls []Call         // static calls lexically in Body, outside nested literals
+	Lits  []*Node        // directly nested function literals
+	Encl  *Node          // enclosing node for literals; nil for declarations
+}
+
+// Call is one static call site.
+type Call struct {
+	Callee *types.Func // resolved static callee; possibly from another package
+	Pos    token.Pos
+}
+
+// Graph is the call graph of one package.
+type Graph struct {
+	Nodes []*Node // all nodes, in source order
+	ByFn  map[*types.Func]*Node
+	ByLit map[*ast.FuncLit]*Node
+}
+
+// Build constructs the call graph for the given files of one
+// type-checked package.
+func Build(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{
+		ByFn:  make(map[*types.Func]*Node),
+		ByLit: make(map[*ast.FuncLit]*Node),
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				n := &Node{Decl: d, Body: d.Body}
+				if fn, ok := info.ObjectOf(d.Name).(*types.Func); ok {
+					n.Fn = fn
+					g.ByFn[fn] = n
+				}
+				g.Nodes = append(g.Nodes, n)
+				g.fill(info, n)
+			case *ast.GenDecl:
+				// Function literals in package-level var initializers
+				// (the engine's combiner tables) get top-level nodes.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						g.fillTopLits(info, v)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// fillTopLits creates nodes for function literals inside a package-level
+// initializer expression.
+func (g *Graph) fillTopLits(info *types.Info, expr ast.Expr) {
+	ast.Inspect(expr, func(x ast.Node) bool {
+		e, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		lit := &Node{Lit: e, Body: e.Body}
+		g.ByLit[e] = lit
+		g.Nodes = append(g.Nodes, lit)
+		g.fill(info, lit)
+		return false
+	})
+}
+
+// fill records n's direct calls and recursively builds nodes for its
+// directly nested literals.
+func (g *Graph) fill(info *types.Info, n *Node) {
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			lit := &Node{Lit: e, Body: e.Body, Encl: n}
+			n.Lits = append(n.Lits, lit)
+			g.ByLit[e] = lit
+			g.Nodes = append(g.Nodes, lit)
+			g.fill(info, lit)
+			return false
+		case *ast.CallExpr:
+			if callee := StaticCallee(info, e); callee != nil {
+				n.Calls = append(n.Calls, Call{Callee: callee, Pos: e.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// StaticCallee resolves the *types.Func a call expression statically
+// invokes: a package-level function (local or imported) or a method on a
+// concrete receiver. It returns nil for builtins, conversions, and calls
+// through function-typed values or interfaces.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.ObjectOf(fun.Sel) // qualified identifier pkg.F
+		}
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Normalize generic instantiations to the declared origin so callees
+	// match the graph's ByFn keys and fact keys.
+	return fn.Origin()
+}
+
+// Reachable returns the set of nodes reachable from seeds along static
+// call edges into this package's declared functions. When followLits is
+// true, a node's directly nested literals are treated as reachable from
+// it (the conservative assumption that a closure built in a body may run
+// there).
+func (g *Graph) Reachable(seeds []*Node, followLits bool) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Calls {
+			if target, ok := g.ByFn[c.Callee]; ok {
+				visit(target)
+			}
+		}
+		if followLits {
+			for _, lit := range n.Lits {
+				visit(lit)
+			}
+		}
+	}
+	for _, s := range seeds {
+		visit(s)
+	}
+	return seen
+}

@@ -1,0 +1,127 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+)
+
+const src = `package p
+
+func a() { b(); c() }
+
+func b() { c() }
+
+func c() {}
+
+func d() { b() }
+
+// e's call of b happens inside a nested literal; the literal gets its
+// own node and e itself has no direct call edge.
+func e() {
+	f := func() { b() }
+	f()
+}
+
+type T struct{}
+
+func (t *T) M() { c() }
+
+func viaMethod(t *T) { t.M() }
+`
+
+func load(t *testing.T) (*types.Info, []*ast.File, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, []*ast.File{f}, pkg
+}
+
+func node(t *testing.T, g *callgraph.Graph, pkg *types.Package, name string) *callgraph.Node {
+	t.Helper()
+	for fn, n := range g.ByFn {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node for %s", name)
+	return nil
+}
+
+func TestBuildEdges(t *testing.T) {
+	info, files, pkg := load(t)
+	g := callgraph.Build(info, files)
+
+	a := node(t, g, pkg, "a")
+	if len(a.Calls) != 2 {
+		t.Fatalf("a has %d direct calls, want 2", len(a.Calls))
+	}
+
+	// e's call of b is inside the literal: e has one direct call (of the
+	// function-typed variable f, which resolves to no static callee) and
+	// one nested literal node carrying the b edge.
+	e := node(t, g, pkg, "e")
+	if len(e.Calls) != 0 {
+		t.Fatalf("e has %d direct static calls, want 0 (call through variable)", len(e.Calls))
+	}
+	if len(e.Lits) != 1 || len(e.Lits[0].Calls) != 1 || e.Lits[0].Calls[0].Callee.Name() != "b" {
+		t.Fatalf("e's literal should carry exactly the b edge, got %+v", e.Lits)
+	}
+
+	// Concrete method dispatch resolves statically.
+	vm := node(t, g, pkg, "viaMethod")
+	if len(vm.Calls) != 1 || vm.Calls[0].Callee.Name() != "M" {
+		t.Fatalf("viaMethod should have a static edge to M, got %+v", vm.Calls)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	info, files, pkg := load(t)
+	g := callgraph.Build(info, files)
+
+	names := func(set map[*callgraph.Node]bool) map[string]bool {
+		out := make(map[string]bool)
+		for n := range set {
+			if n.Fn != nil {
+				out[n.Fn.Name()] = true
+			}
+		}
+		return out
+	}
+
+	// From a: a, b, c — not d, not e.
+	got := names(g.Reachable([]*callgraph.Node{node(t, g, pkg, "a")}, false))
+	for _, want := range []string{"a", "b", "c"} {
+		if !got[want] {
+			t.Errorf("reachable from a: missing %s", want)
+		}
+	}
+	if got["d"] || got["e"] {
+		t.Errorf("reachable from a unexpectedly contains d or e: %v", got)
+	}
+
+	// From e without literals: only e. With literals: e, b, c.
+	if got := names(g.Reachable([]*callgraph.Node{node(t, g, pkg, "e")}, false)); got["b"] {
+		t.Errorf("without followLits, b should be unreachable from e: %v", got)
+	}
+	if got := names(g.Reachable([]*callgraph.Node{node(t, g, pkg, "e")}, true)); !got["b"] || !got["c"] {
+		t.Errorf("with followLits, b and c should be reachable from e: %v", got)
+	}
+}

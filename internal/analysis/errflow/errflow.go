@@ -1,0 +1,405 @@
+// Package errflow implements the congestlint analyzer that keeps
+// congest.ErrIncomplete flowing.
+//
+// The resilience contract (PR 6) is that an incomplete phase is a
+// first-class outcome: ErrIncomplete (and *IncompleteError values
+// wrapping it) must reach the retry/adversary machinery or the caller —
+// it may be propagated, wrapped with %w, or routed through
+// Retryable/Adversary, but never silently discarded or replaced by a
+// zero value. A dropped ErrIncomplete turns a truncated convergecast
+// into a wrong answer that still looks byte-identical across runs.
+//
+// errflow finds the functions that can produce the error and polices
+// their call sites:
+//
+//   - a function is an incomplete source if a return statement mentions
+//     the ErrIncomplete sentinel or builds an IncompleteError (matched by
+//     name, like the RoundFunc shape rules, so fixtures work), or —
+//     conservatively — if it returns an error and calls another source;
+//     sources are exported as IncompleteSourceFact, so the rule crosses
+//     package boundaries;
+//   - at each call of a source, the error result must be consumed:
+//     an ExprStmt / go / defer that drops it, a blank identifier in the
+//     error position, or an assignment to a variable that is never read
+//     afterwards is reported;
+//   - inside an `if err != nil` branch guarding a source's error, a
+//     `return ..., nil` that does not otherwise consult err masks the
+//     error with the zero value and is reported.
+//
+// Any genuine use counts as handling: returning the error, wrapping it,
+// comparing it, or passing it to any function (Retryable(err),
+// errors.Is(err, ...), logging). The analyzer deliberately
+// over-approximates sources; a call site that discards an error for a
+// proven reason takes a //lint:allow errflow with the reason spelled out.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astx"
+	"repro/internal/analysis/callgraph"
+)
+
+// IncompleteSourceFact marks a function whose error result may be (or
+// wrap) congest.ErrIncomplete.
+type IncompleteSourceFact struct{}
+
+func (*IncompleteSourceFact) AFact() {}
+
+func init() {
+	analysis.RegisterFact(&IncompleteSourceFact{})
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc:  "congest.ErrIncomplete must be propagated, wrapped, or routed through Retryable/Adversary — never discarded or masked with a zero value",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass.TypesInfo, pass.Files)
+
+	// Sources: direct mentions in returns, then a fixpoint over calls.
+	source := make(map[*callgraph.Node]bool)
+	for _, n := range g.Nodes {
+		if returnsIncomplete(pass, n) {
+			source[n] = true
+		}
+	}
+	for {
+		changed := false
+		for _, n := range g.Nodes {
+			if source[n] || !hasErrorResult(pass, n) {
+				continue
+			}
+			for _, c := range n.Calls {
+				if isSourceCallee(pass, g, c.Callee, source) {
+					source[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Fn != nil && source[n] {
+			pass.ExportObjectFact(n.Fn, &IncompleteSourceFact{})
+		}
+	}
+
+	// Police every call site of a source.
+	for _, n := range g.Nodes {
+		checkCallSites(pass, g, n, source)
+	}
+	return nil
+}
+
+// returnsIncomplete reports whether a return statement in n's body (not
+// in nested literals) mentions the ErrIncomplete sentinel or constructs
+// an IncompleteError value.
+func returnsIncomplete(pass *analysis.Pass, n *callgraph.Node) bool {
+	found := false
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				if mentionsIncomplete(pass, res) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsIncomplete reports whether e contains the ErrIncomplete
+// sentinel var or an IncompleteError composite literal. Matching is by
+// name — the same fixture-friendly convention as the RoundFunc shape.
+func mentionsIncomplete(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[v].(*types.Var); ok &&
+				obj.Name() == "ErrIncomplete" && obj.Parent() != nil && obj.Pkg() != nil &&
+				obj.Parent() == obj.Pkg().Scope() {
+				found = true
+			}
+		case *ast.CompositeLit:
+			if astx.NamedTypeName(pass.TypesInfo, v) == "IncompleteError" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasErrorResult reports whether n's last result is error-typed.
+func hasErrorResult(pass *analysis.Pass, n *callgraph.Node) bool {
+	var sig *types.Signature
+	if n.Fn != nil {
+		sig, _ = n.Fn.Type().(*types.Signature)
+	} else {
+		sig = astx.FuncLitSig(pass.TypesInfo, n.Lit)
+	}
+	return errorResultIndex(sig) >= 0
+}
+
+// errorResultIndex returns the index of sig's trailing error result, or
+// -1.
+func errorResultIndex(sig *types.Signature) int {
+	if sig == nil || sig.Results().Len() == 0 {
+		return -1
+	}
+	last := sig.Results().Len() - 1
+	if types.Implements(sig.Results().At(last).Type(), errorIface) {
+		return last
+	}
+	return -1
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isSourceCallee reports whether callee is an incomplete source — a
+// local node in the source set, or an imported IncompleteSourceFact.
+func isSourceCallee(pass *analysis.Pass, g *callgraph.Graph, callee *types.Func, source map[*callgraph.Node]bool) bool {
+	if local, ok := g.ByFn[callee]; ok {
+		return source[local]
+	}
+	var fact IncompleteSourceFact
+	return pass.ImportObjectFact(callee, &fact)
+}
+
+// checkCallSites classifies every source call lexically in n's body.
+func checkCallSites(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node, source map[*callgraph.Node]bool) {
+	// stack of ancestors for locating the enclosing statement of a call.
+	var stack []ast.Node
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok && len(stack) > 0 {
+			return false // nested literal: its own node
+		}
+		stack = append(stack, x)
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := callgraph.StaticCallee(pass.TypesInfo, call)
+		if callee == nil || !isSourceCallee(pass, g, callee, source) {
+			return true
+		}
+		checkOneCall(pass, n, call, callee, stack)
+		return true
+	})
+}
+
+// checkOneCall applies the discard/mask rules to one source call given
+// the ancestor stack (stack[len-1] == call).
+func checkOneCall(pass *analysis.Pass, n *callgraph.Node, call *ast.CallExpr, callee *types.Func, stack []ast.Node) {
+	name := calleeName(pass, callee)
+	// Walk outward past parens to the first interesting ancestor.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of %s may be congest.ErrIncomplete and is dropped: propagate it, wrap it with %%w, or route it through Retryable/Adversary", name)
+			return
+		case *ast.GoStmt, *ast.DeferStmt:
+			pass.Reportf(call.Pos(), "result of %s may be congest.ErrIncomplete and is dropped by go/defer: collect the error and route it through Retryable/Adversary", name)
+			return
+		case *ast.AssignStmt:
+			checkAssign(pass, n, parent, call, callee, name)
+			return
+		default:
+			return // return stmt, call argument, comparison, …: the error is consumed
+		}
+	}
+}
+
+// checkAssign handles `... = src(...)`: a blank in the error position, a
+// variable never read afterwards, or a guarded branch masking with nil.
+func checkAssign(pass *analysis.Pass, n *callgraph.Node, as *ast.AssignStmt, call *ast.CallExpr, callee *types.Func, name string) {
+	sig, _ := callee.Type().(*types.Signature)
+	errIdx := errorResultIndex(sig)
+	if errIdx < 0 {
+		return
+	}
+	var lhs ast.Expr
+	switch {
+	case len(as.Rhs) == 1 && len(as.Lhs) == sig.Results().Len():
+		lhs = as.Lhs[errIdx] // tuple assignment v, err := src()
+	case len(as.Rhs) == len(as.Lhs):
+		for i, r := range as.Rhs {
+			if ast.Unparen(r) == call {
+				lhs = as.Lhs[i]
+			}
+		}
+	}
+	if lhs == nil {
+		return
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored into a field/slot: assume consumed
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "result of %s may be congest.ErrIncomplete and is discarded into _: propagate it, wrap it with %%w, or route it through Retryable/Adversary", name)
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if !readAfter(pass, n.Body, obj, as.End()) {
+		pass.Reportf(call.Pos(), "result of %s may be congest.ErrIncomplete, but %s is never consulted after this assignment: propagate it, wrap it with %%w, or route it through Retryable/Adversary", name, id.Name)
+		return
+	}
+	checkNilMask(pass, n, obj, as.End(), name)
+}
+
+// readAfter reports whether obj is read (not merely overwritten) after
+// pos inside body.
+func readAfter(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := x.(type) {
+		case *ast.AssignStmt:
+			// LHS identifiers are writes, not reads: skip them, walk RHS.
+			if e.Pos() > pos {
+				for _, r := range e.Rhs {
+					if astx.UsesObj(pass.TypesInfo, r, obj) {
+						found = true
+					}
+				}
+			}
+			return false
+		case *ast.Ident:
+			if e.Pos() > pos && pass.TypesInfo.Uses[e] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkNilMask reports `return ..., nil` inside an `if <cond using err>`
+// branch that does not otherwise consult err: the incomplete error is
+// noticed and then replaced by the zero value.
+func checkNilMask(pass *analysis.Pass, n *callgraph.Node, obj types.Object, pos token.Pos, name string) {
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		ifs, ok := x.(*ast.IfStmt)
+		if !ok || ifs.End() < pos {
+			return true // entirely before the assignment: a different err value
+		}
+		if !condImpliesNonNil(pass, ifs.Cond, obj) {
+			return true // not the `err != nil` guard: `err == nil` branches legitimately return nil
+		}
+		if condRoutesObj(pass, ifs.Cond, obj) {
+			return true // err passed to a function in the condition (Retryable, errors.Is, …): routed
+		}
+		if blockUsesObj(pass, ifs.Body, obj) {
+			return true // err is consulted inside the branch: handled
+		}
+		ast.Inspect(ifs.Body, func(y ast.Node) bool {
+			ret, ok := y.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				return true
+			}
+			last, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident)
+			if ok && last.Name == "nil" {
+				pass.Reportf(ret.Pos(), "congest.ErrIncomplete masked with nil: %s can return it and this branch replaces it with the zero value; propagate it or route it through Retryable/Adversary", name)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// condImpliesNonNil reports whether cond establishes that obj's error is
+// present — the canonical `err != nil` guard (possibly conjoined with
+// more clauses) or a call consuming err. A bare `err == nil` success
+// branch returning nil is correct, not a mask.
+func condImpliesNonNil(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.NEQ:
+			return isNilCheckOf(pass, e, obj)
+		case token.LAND, token.LOR:
+			return condImpliesNonNil(pass, e.X, obj) || condImpliesNonNil(pass, e.Y, obj)
+		}
+	case *ast.CallExpr:
+		return condRoutesObj(pass, e, obj)
+	}
+	return false
+}
+
+// isNilCheckOf reports whether bin compares obj against nil.
+func isNilCheckOf(pass *analysis.Pass, bin *ast.BinaryExpr, obj types.Object) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(bin.Y) {
+		return astx.UsesObj(pass.TypesInfo, bin.X, obj)
+	}
+	if isNil(bin.X) {
+		return astx.UsesObj(pass.TypesInfo, bin.Y, obj)
+	}
+	return false
+}
+
+// condRoutesObj reports whether obj is passed to a function call inside
+// cond — the retry-gate idiom `if Retryable(err)` / `if errors.Is(err, …)`,
+// which is routing, not a bare nil-check.
+func condRoutesObj(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			for _, arg := range call.Args {
+				if astx.UsesObj(pass.TypesInfo, arg, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// blockUsesObj reports whether obj appears anywhere in block.
+func blockUsesObj(pass *analysis.Pass, block *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(block, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeName(pass *analysis.Pass, fn *types.Func) string {
+	if fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,77 @@
+package errflow_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errflow"
+)
+
+// TestErrflow checks the analyzer against its single-package fixture:
+// direct and transitive sources, every discard rule, nil masking, and
+// the handled patterns.
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "errflowtest"), errflow.Analyzer)
+}
+
+// TestErrflowCrossPackage proves IncompleteSourceFacts cross package
+// boundaries in the standalone loader.
+func TestErrflowCrossPackage(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "ea"), errflow.Analyzer)
+}
+
+// TestErrflowFactsVetxRoundTrip proves the same findings survive the gob
+// serialization boundary used by `go vet -vettool=`.
+func TestErrflowFactsVetxRoundTrip(t *testing.T) {
+	pkgs, err := analysis.LoadFixture(filepath.Join("testdata", "src", "ea"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "eb" || pkgs[1].Path != "ea" {
+		t.Fatalf("fixture should load [eb ea], got %d packages", len(pkgs))
+	}
+	analyzers := []*analysis.Analyzer{errflow.Analyzer}
+
+	depStore := analysis.NewFactStore()
+	if _, err := analysis.RunFacts(analyzers, []*analysis.Package{pkgs[0]}, depStore); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := depStore.EncodePackage("eb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) == 0 {
+		t.Fatal("package eb exported no facts; the round-trip test is vacuous")
+	}
+
+	freshStore := analysis.NewFactStore()
+	if err := freshStore.DecodePackage("eb", wire); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunFacts(analyzers, []*analysis.Package{pkgs[1]}, freshStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"result of eb.Gather may be congest.ErrIncomplete and is dropped",
+		"result of eb.Sweep may be congest.ErrIncomplete and is discarded into _",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("after vetx round-trip, missing diagnostic %q in %v", want, diags)
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 diagnostics (forwards must stay clean), got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,21 @@
+// Package ea is the dependent half of the cross-package errflow
+// fixture: eb's bodies are invisible here, so the findings below exist
+// only through eb's exported IncompleteSourceFacts.
+package ea
+
+import "eb"
+
+// drops loses a source's error one package away.
+func drops() {
+	eb.Gather() // want `result of eb\.Gather may be congest\.ErrIncomplete and is dropped`
+}
+
+// blanks discards a transitive source's error.
+func blanks() {
+	_ = eb.Sweep() // want `result of eb\.Sweep may be congest\.ErrIncomplete and is discarded into _`
+}
+
+// forwards is clean: the error is returned.
+func forwards() error { return eb.Sweep() }
+
+var _ = []any{drops, blanks, forwards}

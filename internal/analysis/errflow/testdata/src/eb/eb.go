@@ -1,0 +1,15 @@
+// Package eb is the dependency half of the cross-package errflow
+// fixture: its functions export IncompleteSourceFact that package ea
+// imports. Nothing here mishandles the error, so eb analyzes clean.
+package eb
+
+import "errors"
+
+// ErrIncomplete mirrors the engine's sentinel.
+var ErrIncomplete = errors.New("phase incomplete")
+
+// Gather is a direct source.
+func Gather() error { return ErrIncomplete }
+
+// Sweep is a transitive source: IncompleteSourceFact via Gather.
+func Sweep() error { return Gather() }

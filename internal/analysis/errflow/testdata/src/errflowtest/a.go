@@ -1,0 +1,126 @@
+// Package errflowtest exercises the errflow analyzer: incomplete-source
+// detection (direct and transitive), the discard rules, nil masking, and
+// the handled patterns that must stay clean.
+package errflowtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIncomplete mirrors the engine's sentinel (matched by name, like the
+// RoundFunc shape).
+var ErrIncomplete = errors.New("phase incomplete")
+
+// IncompleteError mirrors the engine's structured wrapper.
+type IncompleteError struct{ Round int }
+
+func (e *IncompleteError) Error() string { return fmt.Sprintf("incomplete at round %d", e.Round) }
+
+// fetch is a direct source: it returns the sentinel.
+func fetch() error { return ErrIncomplete }
+
+// build is a direct source: it constructs an IncompleteError.
+func build(round int) error { return &IncompleteError{Round: round} }
+
+// pair is a direct source with a value result in front.
+func pair() (int, error) { return 0, ErrIncomplete }
+
+// relay is a transitive source: it returns an error and calls fetch.
+func relay() error { return fetch() }
+
+// drop loses the error entirely.
+func drop() {
+	fetch() // want `result of fetch may be congest\.ErrIncomplete and is dropped`
+}
+
+// blank discards it into the blank identifier.
+func blank() {
+	_ = relay() // want `result of relay may be congest\.ErrIncomplete and is discarded into _`
+}
+
+// blankPair discards the error position of a tuple.
+func blankPair() int {
+	v, _ := pair() // want `result of pair may be congest\.ErrIncomplete and is discarded into _`
+	return v
+}
+
+// deferred drops it through defer.
+func deferred() {
+	defer fetch() // want `result of fetch may be congest\.ErrIncomplete and is dropped by go/defer`
+}
+
+// reassigned consults err from step one, then overwrites it with a
+// source's error and never looks again.
+func reassigned() error {
+	err := relay()
+	if err != nil {
+		return err
+	}
+	err = build(7) // want `result of build may be congest\.ErrIncomplete, but err is never consulted after this assignment`
+	return nil
+}
+
+// masked notices the error and then replaces it with the zero value.
+func masked() (int, error) {
+	v, err := pair()
+	if err != nil {
+		return 0, nil // want `congest\.ErrIncomplete masked with nil: pair can return it`
+	}
+	return v, nil
+}
+
+// maskedInit masks through the if-init form.
+func maskedInit() error {
+	if err := fetch(); err != nil {
+		return nil // want `congest\.ErrIncomplete masked with nil: fetch can return it`
+	}
+	return nil
+}
+
+// Retryable mirrors the engine's retry gate.
+func Retryable(err error) bool { return errors.Is(err, ErrIncomplete) }
+
+// The handled patterns: no diagnostics.
+
+func propagates() error { return fetch() }
+
+func wraps() error {
+	if err := fetch(); err != nil {
+		return fmt.Errorf("convergecast: %w", err)
+	}
+	return nil
+}
+
+func routes() bool {
+	err := fetch()
+	return Retryable(err)
+}
+
+func guards() (int, error) {
+	v, err := pair()
+	if err != nil {
+		if Retryable(err) {
+			return v, nil // err was consulted in this branch: not a mask
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+func allowed() {
+	_ = fetch() //lint:allow errflow teardown path: the phase result is re-derived from the transcript on restart
+}
+
+// success returns nil on the `err == nil` branch — the retry-loop
+// success path, not a mask (the engine's Adversary loops use exactly
+// this shape).
+func success() (int, error) {
+	v, err := pair()
+	if err == nil {
+		return v, nil
+	}
+	return 0, err
+}
+
+var _ = []any{drop, blank, blankPair, deferred, reassigned, masked, maskedInit, propagates, wraps, routes, guards, allowed, success}

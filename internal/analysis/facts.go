@@ -1,0 +1,169 @@
+// Facts: the interprocedural layer of the analysis framework.
+//
+// A Fact is a serializable statement an analyzer proves about a named
+// function (or other package-level object) — "this function allocates",
+// "this function is determinism-pure", "this function can return
+// ErrIncomplete". Facts exported while analyzing a package become visible
+// to every dependent package analyzed later, in both drivers:
+//
+//   - the standalone sweep analyzes packages in dependency order (the
+//     `go list -deps` postorder) and keeps facts in an in-memory store;
+//   - under `go vet -vettool=congestlint`, each package unit gob-encodes
+//     its exported facts into its .vetx output file, and the go command
+//     hands dependents the dependency vetx paths (PackageVetx), from
+//     which the store is rehydrated.
+//
+// Objects are keyed by a stable textual path (package path + function or
+// method spelling), so a fact attached while type-checking a package from
+// source is found again when the same object is seen through compiler
+// export data. This mirrors the golang.org/x/tools go/analysis facts
+// model closely enough that the analyzers would port unchanged.
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is the marker interface for analyzer facts. Implementations must
+// be pointers to gob-encodable structs and be registered with
+// RegisterFact at init time.
+type Fact interface {
+	AFact() // marker method
+}
+
+// RegisterFact registers a fact type for gob (de)serialization. Call it
+// from the analyzer package's init for every fact type it exports.
+func RegisterFact(fact Fact) {
+	gob.Register(fact)
+}
+
+// factKey identifies one fact: the object's package, the object's stable
+// in-package path, and the concrete fact type.
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// FactStore holds facts across packages for one analysis run.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// ObjKey returns the stable textual path of a package-level object or
+// method: "F" for a function, "(T).M" / "(*T).M" for methods. It is
+// identical whether obj was type-checked from source or read back from
+// compiler export data, which is what lets facts cross package
+// boundaries.
+func ObjKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			star := ""
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+				star = "*"
+			}
+			if n, isNamed := t.(*types.Named); isNamed {
+				return "(" + star + n.Obj().Name() + ")." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+func (s *FactStore) set(pkgPath string, obj types.Object, fact Fact) {
+	s.m[factKey{pkgPath, ObjKey(obj), reflect.TypeOf(fact)}] = fact
+}
+
+func (s *FactStore) get(obj types.Object, ptr Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	fact, ok := s.m[factKey{obj.Pkg().Path(), ObjKey(obj), reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(fact).Elem())
+	return true
+}
+
+// wireFact is the gob wire form of one exported fact.
+type wireFact struct {
+	Obj  string
+	Fact Fact
+}
+
+// EncodePackage serializes every fact attached to objects of pkgPath,
+// sorted for byte-deterministic output (the vetx file participates in the
+// go command's content-addressed cache).
+func (s *FactStore) EncodePackage(pkgPath string) ([]byte, error) {
+	var wire []wireFact
+	for k, f := range s.m {
+		if k.pkg == pkgPath {
+			wire = append(wire, wireFact{Obj: k.obj, Fact: f})
+		}
+	}
+	if len(wire) == 0 {
+		return nil, nil
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		a, b := wire[i], wire[j]
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return reflect.TypeOf(a.Fact).String() < reflect.TypeOf(b.Fact).String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("encoding facts for %s: %w", pkgPath, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePackage merges a fact blob previously produced by EncodePackage
+// for pkgPath into the store. Empty data is a valid empty fact set (the
+// vetx files of packages outside the module are empty).
+func (s *FactStore) DecodePackage(pkgPath string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("decoding facts for %s: %w", pkgPath, err)
+	}
+	for _, w := range wire {
+		s.m[factKey{pkgPath, w.Obj, reflect.TypeOf(w.Fact)}] = w.Fact
+	}
+	return nil
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis. The fact becomes importable from every package analyzed
+// after this one.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	p.facts.set(p.Pkg.Path(), obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into
+// *ptr, reporting whether one was found. obj may belong to the current
+// package or to any dependency analyzed earlier.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(obj, ptr)
+}

@@ -1,13 +1,28 @@
 // Package hotalloc implements the congestlint analyzer that keeps the
-// per-round kernels allocation-free, statically.
+// per-round kernels allocation-free, statically and interprocedurally.
 //
 // The engine's round-driven protocols (congest.RoundFunc) execute once
 // per node per round — millions of times in a large run — and the
 // repository's performance story depends on those bodies allocating
 // nothing in steady state (see the AllocsPerRun pins in
-// internal/congest). hotalloc flags, inside any RoundFunc-shaped function
-// (func(*Node, []Message) bool) and any function annotated with a
-// //congest:hotpath doc comment:
+// internal/congest).
+//
+// Hot roots are RoundFunc-shaped functions (func(*Node, []Message) bool,
+// declared or literal), functions annotated with a //congest:hotpath doc
+// comment, and function values passed as arguments to an already-hot
+// function (the engine's registration pattern: a kernel handed to a hot
+// runner runs on the hot path too). Every function reachable from a root
+// through static calls within the package is hot and carries an exported
+// HotFact; allocations are flagged in every hot body, so a helper
+// extracted out of a kernel stays covered — the false-negative shape the
+// intraprocedural version missed.
+//
+// Calls that leave the package are checked through facts: analyzing a
+// package exports an AllocsFact for every function that (transitively)
+// allocates, and a call from a hot body to an imported function carrying
+// an AllocsFact is flagged at the call site with the underlying reason.
+//
+// Inside a hot body the flagged constructs are:
 //
 //   - make and new calls;
 //   - append (the backing array may grow; appends into slabs whose
@@ -15,9 +30,12 @@
 //     named in the reason);
 //   - map and &composite literals, and nested function literals
 //     (a closure allocated per round);
+//   - bound-method values (x.Method used as a value allocates the
+//     binding closure);
 //   - go and defer statements;
 //   - string concatenation and fmt-style interface boxing of concrete
-//     values into interface parameters.
+//     values into interface parameters;
+//   - calls of imported functions whose AllocsFact proves they allocate.
 //
 // Bare slice/struct composite literals are deliberately not flagged: the
 // engine's Send contract copies payloads, so Words{...} literals do not
@@ -26,165 +44,341 @@
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/astx"
+	"repro/internal/analysis/callgraph"
 )
+
+// HotFact marks a function whose body executes on the hot path: a round
+// kernel, a //congest:hotpath function, or anything one of those
+// (transitively) calls.
+type HotFact struct{}
+
+func (*HotFact) AFact() {}
+
+// AllocsFact marks a function that allocates — directly or through a
+// (transitive) callee. Why names the first reason found.
+type AllocsFact struct{ Why string }
+
+func (*AllocsFact) AFact() {}
+
+func init() {
+	analysis.RegisterFact(&HotFact{})
+	analysis.RegisterFact(&AllocsFact{})
+}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc:  "flags allocating expressions inside RoundFunc bodies and //congest:hotpath functions (static complement of the AllocsPerRun zero-alloc pins)",
+	Doc:  "flags allocating expressions in RoundFunc kernels, //congest:hotpath functions, and everything they transitively call (static complement of the AllocsPerRun zero-alloc pins)",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch d := n.(type) {
-			case *ast.FuncDecl:
-				if d.Body != nil && (hasHotpathDirective(d.Doc) || isRoundFuncDecl(pass, d)) {
-					checkHotBody(pass, d.Body)
-					return false
-				}
-			case *ast.FuncLit:
-				if isRoundFuncShape(funcLitSig(pass, d)) {
-					checkHotBody(pass, d.Body)
-					return false
-				}
-			}
-			return true
-		})
+	g := callgraph.Build(pass.TypesInfo, pass.Files)
+
+	hot := hotNodes(pass, g)
+
+	// Export HotFact for every hot declared function, so dependents know
+	// that function values handed to it run on the hot path.
+	for n := range hot {
+		if n.Fn != nil {
+			pass.ExportObjectFact(n.Fn, &HotFact{})
+		}
+	}
+
+	// Bottom-up allocation facts for every declared function, hot or not:
+	// dependents flag calls into this package's allocating functions from
+	// their own hot bodies.
+	allocWhy := allocFixpoint(pass, g)
+	for n, why := range allocWhy {
+		if n.Fn != nil {
+			pass.ExportObjectFact(n.Fn, &AllocsFact{Why: why})
+		}
+	}
+
+	// Report allocations inside each hot body.
+	for _, n := range g.Nodes {
+		if hot[n] {
+			checkHotBody(pass, g, n)
+		}
 	}
 	return nil
 }
 
-func hasHotpathDirective(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.HasPrefix(c.Text, "//congest:hotpath") {
-			return true
+// hotNodes computes the hot set: roots (RoundFunc shape, hotpath
+// directive, function values passed to hot callees) plus everything they
+// reach through static local calls. The function-value rule can uncover
+// new roots once more functions are known hot, so it iterates to a
+// fixed point.
+func hotNodes(pass *analysis.Pass, g *callgraph.Graph) map[*callgraph.Node]bool {
+	var seeds []*callgraph.Node
+	for _, n := range g.Nodes {
+		if isRoot(pass, n) {
+			seeds = append(seeds, n)
 		}
 	}
-	return false
+	hot := g.Reachable(seeds, false)
+	for {
+		added := false
+		for _, n := range g.Nodes {
+			for _, arg := range hotFuncArgs(pass, g, n, hot) {
+				if !hot[arg] {
+					for m := range g.Reachable([]*callgraph.Node{arg}, false) {
+						if !hot[m] {
+							hot[m] = true
+							added = true
+						}
+					}
+				}
+			}
+		}
+		if !added {
+			return hot
+		}
+	}
 }
 
-func isRoundFuncDecl(pass *analysis.Pass, d *ast.FuncDecl) bool {
-	fn, ok := pass.TypesInfo.ObjectOf(d.Name).(*types.Func)
-	if !ok {
+func isRoot(pass *analysis.Pass, n *callgraph.Node) bool {
+	if n.Decl != nil {
+		if astx.HasDirective(n.Decl.Doc, "//congest:hotpath") {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.ObjectOf(n.Decl.Name).(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && astx.IsRoundFuncShape(sig) {
+				return true
+			}
+		}
 		return false
 	}
-	sig, ok := fn.Type().(*types.Signature)
-	return ok && isRoundFuncShape(sig)
+	return astx.IsRoundFuncShape(astx.FuncLitSig(pass.TypesInfo, n.Lit))
 }
 
-func funcLitSig(pass *analysis.Pass, lit *ast.FuncLit) *types.Signature {
-	tv, ok := pass.TypesInfo.Types[lit]
-	if !ok {
-		return nil
-	}
-	sig, _ := tv.Type.(*types.Signature)
-	return sig
+// hotFuncArgs returns the local function nodes passed as function values
+// to a callee that is itself hot (locally, or via an imported HotFact):
+// they will be invoked from the hot path.
+func hotFuncArgs(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node, hot map[*callgraph.Node]bool) []*callgraph.Node {
+	var out []*callgraph.Node
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := callgraph.StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		calleeHot := false
+		if local, ok := g.ByFn[callee]; ok {
+			calleeHot = hot[local]
+		} else {
+			calleeHot = pass.ImportObjectFact(callee, &HotFact{})
+		}
+		if !calleeHot {
+			return true
+		}
+		for _, arg := range call.Args {
+			switch a := ast.Unparen(arg).(type) {
+			case *ast.FuncLit:
+				if lit, ok := g.ByLit[a]; ok {
+					out = append(out, lit)
+				}
+			case *ast.Ident:
+				if fn, ok := pass.TypesInfo.ObjectOf(a).(*types.Func); ok {
+					if local, ok := g.ByFn[fn]; ok {
+						out = append(out, local)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
 }
 
-// isRoundFuncShape matches func(*Node, []Message) bool structurally by
-// parameter type names, so fixtures with local Node/Message types
-// exercise the check.
-func isRoundFuncShape(sig *types.Signature) bool {
-	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
-		return false
-	}
-	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
-	if !ok || namedName(ptr.Elem()) != "Node" {
-		return false
-	}
-	sl, ok := sig.Params().At(1).Type().Underlying().(*types.Slice)
-	if !ok || namedName(sl.Elem()) != "Message" {
-		return false
-	}
-	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
-	return ok && basic.Kind() == types.Bool
+// allocation is one statically-detected allocating construct.
+type allocation struct {
+	node ast.Node
+	msg  string
 }
 
-func namedName(t types.Type) string {
-	if n, ok := t.(*types.Named); ok {
-		return n.Obj().Name()
+// allocFixpoint computes, for every node that allocates directly or
+// through local/imported callees, a one-line reason. Direct reasons win
+// over transitive ones; recursion settles to a fixed point.
+func allocFixpoint(pass *analysis.Pass, g *callgraph.Graph) map[*callgraph.Node]string {
+	why := make(map[*callgraph.Node]string)
+	for _, n := range g.Nodes {
+		if as := directAllocs(pass, n); len(as) > 0 {
+			why[n] = fmt.Sprintf("%s at %s", as[0].msg, pass.Fset.Position(as[0].node.Pos()))
+		} else {
+			// A nested closure is itself an allocation of the encloser.
+			if len(n.Lits) > 0 {
+				why[n] = fmt.Sprintf("closure at %s", pass.Fset.Position(n.Lits[0].Lit.Pos()))
+			}
+		}
 	}
-	return ""
+	for {
+		changed := false
+		for _, n := range g.Nodes {
+			if _, done := why[n]; done {
+				continue
+			}
+			for _, c := range n.Calls {
+				if local, ok := g.ByFn[c.Callee]; ok {
+					if w, allocs := why[local]; allocs {
+						why[n] = fmt.Sprintf("calls %s (%s)", c.Callee.Name(), w)
+						changed = true
+						break
+					}
+				} else {
+					var fact AllocsFact
+					if pass.ImportObjectFact(c.Callee, &fact) {
+						why[n] = fmt.Sprintf("calls %s (%s)", qualifiedName(c.Callee), fact.Why)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			return why
+		}
+	}
 }
 
-// checkHotBody flags allocating constructs in one hot function body.
-// Nested function literals are flagged as closures and not descended
-// into (their own cost is the allocation; their body runs under its own
-// accounting if it is itself RoundFunc-shaped).
-func checkHotBody(pass *analysis.Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
+// directAllocs collects the allocating constructs lexically inside n's
+// body (excluding nested literals, which are their own nodes).
+func directAllocs(pass *analysis.Pass, n *callgraph.Node) []allocation {
+	var out []allocation
+	add := func(node ast.Node, msg string) { out = append(out, allocation{node, msg}) }
+	inCallFun := callFunSelectors(n.Body)
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch e := x.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(x.Pos(), "closure allocated in hot path: a function literal here is heap-allocated on every round")
-			return false
+			return false // own node
 		case *ast.GoStmt:
-			pass.Reportf(x.Pos(), "goroutine launch in hot path")
+			add(e, "goroutine launch")
 		case *ast.DeferStmt:
-			pass.Reportf(x.Pos(), "defer in hot path allocates a deferred-call record")
+			add(e, "defer record")
 		case *ast.CompositeLit:
-			tv, ok := pass.TypesInfo.Types[x]
-			if ok && tv.Type != nil {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-					pass.Reportf(x.Pos(), "map literal allocates in hot path")
+					add(e, "map literal")
 				}
 			}
 		case *ast.UnaryExpr:
-			if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); x.Op.String() == "&" && isLit {
-				pass.Reportf(x.Pos(), "&composite literal allocates in hot path")
+			if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); e.Op.String() == "&" && isLit {
+				add(e, "&composite literal")
+			}
+		case *ast.SelectorExpr:
+			if !inCallFun[e] && astx.IsMethodValue(pass.TypesInfo, e) {
+				add(e, "bound-method value")
 			}
 		case *ast.BinaryExpr:
-			if x.Op.String() == "+" {
-				if tv, ok := pass.TypesInfo.Types[x]; ok && tv.Type != nil && tv.Value == nil {
+			if e.Op.String() == "+" {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil && tv.Value == nil {
 					if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
-						pass.Reportf(x.Pos(), "string concatenation allocates in hot path")
+						add(e, "string concatenation")
 					}
 				}
 			}
 		case *ast.CallExpr:
-			checkCall(pass, x)
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						add(e, "make")
+					case "new":
+						add(e, "new")
+					case "append":
+						add(e, "append")
+					}
+					return true
+				}
+			}
+			for _, arg := range boxedArgs(pass, e) {
+				add(arg, "interface boxing")
+			}
 		}
 		return true
 	})
+	return out
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
-			switch id.Name {
-			case "make":
-				pass.Reportf(call.Pos(), "make allocates in hot path; hoist the buffer into setup-time slab state")
-			case "new":
-				pass.Reportf(call.Pos(), "new allocates in hot path")
-			case "append":
-				pass.Reportf(call.Pos(), "append in hot path may grow its backing array; preallocate capacity at setup (and //lint:allow with the slab named) or use fixed-size state")
+// callFunSelectors records the selector expressions serving as the Fun
+// of a call, so x.M() is a method call and x.M alone is a method value.
+func callFunSelectors(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	set := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				set[sel] = true
 			}
-			return
+		}
+		return true
+	})
+	return set
+}
+
+// checkHotBody reports every allocating construct in one hot body, plus
+// calls into other packages whose AllocsFact proves the callee
+// allocates. Calls to local functions need no call-site diagnostic: the
+// callee is itself hot and its allocations are reported in its own body.
+func checkHotBody(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node) {
+	for _, a := range directAllocs(pass, n) {
+		switch a.msg {
+		case "make":
+			pass.Reportf(a.node.Pos(), "make allocates in hot path; hoist the buffer into setup-time slab state")
+		case "new":
+			pass.Reportf(a.node.Pos(), "new allocates in hot path")
+		case "append":
+			pass.Reportf(a.node.Pos(), "append in hot path may grow its backing array; preallocate capacity at setup (and //lint:allow with the slab named) or use fixed-size state")
+		case "map literal":
+			pass.Reportf(a.node.Pos(), "map literal allocates in hot path")
+		case "&composite literal":
+			pass.Reportf(a.node.Pos(), "&composite literal allocates in hot path")
+		case "string concatenation":
+			pass.Reportf(a.node.Pos(), "string concatenation allocates in hot path")
+		case "goroutine launch":
+			pass.Reportf(a.node.Pos(), "goroutine launch in hot path")
+		case "defer record":
+			pass.Reportf(a.node.Pos(), "defer in hot path allocates a deferred-call record")
+		case "bound-method value":
+			pass.Reportf(a.node.Pos(), "bound-method value allocates in hot path: x.Method used as a value heap-allocates the binding; hoist it to setup or call the method directly")
+		case "interface boxing":
+			pass.Reportf(a.node.Pos(), "concrete value boxed into interface parameter in hot path (hidden allocation)")
 		}
 	}
-	checkBoxing(pass, call)
+	for _, lit := range n.Lits {
+		pass.Reportf(lit.Lit.Pos(), "closure allocated in hot path: a function literal here is heap-allocated on every round")
+	}
+	for _, c := range n.Calls {
+		if _, local := g.ByFn[c.Callee]; local {
+			continue
+		}
+		var fact AllocsFact
+		if pass.ImportObjectFact(c.Callee, &fact) {
+			pass.Reportf(c.Pos, "call to %s allocates in hot path: %s", qualifiedName(c.Callee), fact.Why)
+		}
+	}
 }
 
-// checkBoxing flags concrete values passed to interface parameters — the
-// fmt.Sprintf-style hidden allocation.
-func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+// boxedArgs returns the concrete-typed arguments boxed into interface
+// parameters of call — the fmt.Sprintf-style hidden allocation.
+func boxedArgs(pass *analysis.Pass, call *ast.CallExpr) []ast.Expr {
 	tv, ok := pass.TypesInfo.Types[call.Fun]
 	if !ok {
-		return
+		return nil
 	}
 	sig, ok := tv.Type.Underlying().(*types.Signature)
 	if !ok {
-		return
+		return nil
 	}
 	params := sig.Params()
+	var out []ast.Expr
 	for i, arg := range call.Args {
 		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
 			continue // f(xs...) passes the slice through, no boxing
@@ -205,6 +399,28 @@ func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
 		if !ok || at.Type == nil || types.IsInterface(at.Type) || at.IsNil() {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "concrete value boxed into interface parameter in hot path (hidden allocation)")
+		out = append(out, arg)
 	}
+	return out
+}
+
+func qualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return fmt.Sprintf("%s.%s.%s", fn.Pkg().Name(), recvTypeName(sig), fn.Name())
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "?"
 }

@@ -2,15 +2,101 @@ package hotalloc_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/analysistest"
 	"repro/internal/analysis/hotalloc"
 )
 
 // TestHotalloc checks the analyzer against its fixture package: every
 // // want expectation must be reported and nothing else may be; the
-// fixture also pins that //lint:allow suppresses with a reason given.
+// fixture also pins that //lint:allow suppresses with a reason given,
+// and that a directive suppressing nothing is reported stale.
 func TestHotalloc(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src", "hotalloctest"), hotalloc.Analyzer)
+}
+
+// TestHotallocCrossPackage proves facts cross package boundaries in the
+// standalone loader: fixture a imports fixture b, and a's findings exist
+// only through b's exported AllocsFact/HotFact.
+func TestHotallocCrossPackage(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), hotalloc.Analyzer)
+}
+
+// TestHotallocFactsVetxRoundTrip proves the same findings survive a
+// serialization boundary, the way `go vet -vettool=` propagates facts:
+// package b is analyzed with one store, its facts are gob-encoded (the
+// vetx wire format), decoded into a fresh store, and package a is
+// analyzed against only the decoded facts.
+func TestHotallocFactsVetxRoundTrip(t *testing.T) {
+	pkgs, err := analysis.LoadFixture(filepath.Join("testdata", "src", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "b" || pkgs[1].Path != "a" {
+		t.Fatalf("fixture should load [b a], got %v", pkgPaths(pkgs))
+	}
+	bPkg, aPkg := pkgs[0], pkgs[1]
+
+	analyzers := []*analysis.Analyzer{hotalloc.Analyzer}
+
+	// Analyze b alone; serialize its facts.
+	depStore := analysis.NewFactStore()
+	if _, err := analysis.RunFacts(analyzers, []*analysis.Package{bPkg}, depStore); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := depStore.EncodePackage("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) == 0 {
+		t.Fatal("package b exported no facts; the round-trip test is vacuous")
+	}
+
+	// Re-encoding must be byte-deterministic: the vetx file participates
+	// in the go command's content-addressed cache.
+	wire2, err := depStore.EncodePackage("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wire) != string(wire2) {
+		t.Fatal("fact encoding is not deterministic")
+	}
+
+	// Analyze a against a store rehydrated only from the wire bytes.
+	freshStore := analysis.NewFactStore()
+	if err := freshStore.DecodePackage("b", wire); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunFacts(analyzers, []*analysis.Package{aPkg}, freshStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"call to b.LeafAlloc allocates in hot path",
+		"call to b.MidAlloc allocates in hot path",
+		"make allocates in hot path", // localStep, hot via b.HotRegister's HotFact
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("after vetx round-trip, missing diagnostic %q in %v", want, diags)
+		}
+	}
+}
+
+func pkgPaths(pkgs []*analysis.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
 }

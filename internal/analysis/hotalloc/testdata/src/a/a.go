@@ -1,0 +1,33 @@
+// Package a is the dependent half of the cross-package facts fixture:
+// its kernel calls into package b, and every finding below exists only
+// because facts crossed the package boundary.
+package a
+
+import "b"
+
+type Node struct{ ID int }
+
+type Message struct{ Port int }
+
+// kernel reaches allocations one call below (b.LeafAlloc) and two calls
+// below (b.MidAlloc → b.LeafAlloc): imported AllocsFacts surface them at
+// the call sites, since b's bodies are not visible here.
+func kernel(n *Node, msgs []Message) bool {
+	b.LeafAlloc() // want `call to b.LeafAlloc allocates in hot path: make at .*b\.go`
+	b.MidAlloc()  // want `call to b.MidAlloc allocates in hot path: calls LeafAlloc`
+	return true
+}
+
+// localStep looks cold, but Use hands it to b.HotRegister, whose
+// imported HotFact marks the callback hot.
+func localStep() int {
+	xs := make([]int, 4) // want `make allocates in hot path`
+	return len(xs)
+}
+
+// Use registers the callback (and keeps kernel referenced).
+func Use() int {
+	var n Node
+	kernel(&n, nil)
+	return b.HotRegister(localStep)
+}

@@ -1,0 +1,21 @@
+// Package b is the dependency half of the cross-package facts fixture:
+// nothing here is hot, so this package analyzes clean — but its
+// functions export AllocsFact (LeafAlloc, MidAlloc) and HotFact
+// (HotRegister) that package a imports.
+package b
+
+// LeafAlloc allocates directly: AllocsFact("make at ...").
+func LeafAlloc() []uint64 {
+	return make([]uint64, 8)
+}
+
+// MidAlloc allocates one call deeper: AllocsFact("calls LeafAlloc ...").
+func MidAlloc() []uint64 {
+	return LeafAlloc()
+}
+
+// HotRegister is a hot API taking a callback: HotFact tells dependents
+// that function values passed here run on the hot path.
+//
+//congest:hotpath
+func HotRegister(step func() int) int { return step() }

@@ -90,3 +90,62 @@ func AllowedSlabAppend(slab []uint64) RoundFunc {
 		return true
 	}
 }
+
+// helperOne and helperTwo carry no annotation, but TransitiveKernel
+// reaches them: the allocation two calls below the kernel is the exact
+// false-negative shape the intraprocedural analyzer missed.
+func helperOne(n *Node) {
+	helperTwo(n)
+}
+
+func helperTwo(n *Node) {
+	_ = make([]uint64, 4) // want `make allocates in hot path`
+}
+
+// TransitiveKernel allocates nothing itself; its callees do.
+func TransitiveKernel() RoundFunc {
+	return func(n *Node, msgs []Message) bool {
+		helperOne(n)
+		return true
+	}
+}
+
+type emitter struct{ count int }
+
+func (e *emitter) bump() { e.count++ }
+
+// MethodValueKernel binds a method value per round: e.bump as a value
+// heap-allocates the binding closure (calling e.bump() directly would
+// not).
+func MethodValueKernel(e *emitter) RoundFunc {
+	return func(n *Node, msgs []Message) bool {
+		f := e.bump // want `bound-method value allocates in hot path`
+		f()
+		e.bump() // a direct call is not a method value: no finding
+		return true
+	}
+}
+
+// hotRunner is an annotated hot API taking a callback: any function
+// value handed to it runs on the hot path.
+//
+//congest:hotpath
+func hotRunner(step func() int) int { return step() }
+
+// coldLooking has no annotation and no RoundFunc shape, but UseRunner
+// passes it to hotRunner, which makes it hot.
+func coldLooking() int {
+	xs := make([]int, 3) // want `make allocates in hot path`
+	return len(xs)
+}
+
+func UseRunner() int {
+	return hotRunner(coldLooking)
+}
+
+// notHot is never reached from a hot root, so the directive below
+// suppresses nothing and is itself reported stale.
+func notHot() []uint64 {
+	/* want `stale //lint:allow hotalloc directive` */ //lint:allow hotalloc claims a slab that is preallocated (it is not: this function is cold)
+	return make([]uint64, 1)
+}

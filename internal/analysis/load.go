@@ -18,13 +18,17 @@ import (
 	"strings"
 )
 
-// Package is one loaded, type-checked package.
+// Package is one loaded, type-checked package. FactsOnly marks a
+// dependency loaded solely so analyzers can export facts from it: it is
+// analyzed before its dependents, but its diagnostics are not reported
+// (the user did not ask for that package).
 type Package struct {
 	Path      string
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	FactsOnly bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -36,6 +40,7 @@ type listedPackage struct {
 	Export     string
 	ImportMap  map[string]string
 	DepOnly    bool
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
@@ -44,6 +49,14 @@ type listedPackage struct {
 // `go list -export`. This works fully offline: the go toolchain builds
 // export data for the standard library and module-local packages into the
 // local build cache.
+//
+// Packages come back in dependency order (the `go list -deps` postorder),
+// which is what lets facts exported while analyzing a dependency be
+// imported while analyzing its dependents. Module-local packages that are
+// pulled in only as dependencies of the requested patterns are loaded
+// too, marked FactsOnly: their function bodies must be analyzed for the
+// interprocedural analyzers to see through calls into them, but their
+// diagnostics are not the caller's to report.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns...)
 	if err != nil {
@@ -52,6 +65,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	exports := make(map[string]string)
 	importMap := make(map[string]string)
 	var targets []*listedPackage
+	factsOnly := make(map[string]bool)
 	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -59,8 +73,14 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		for from, to := range p.ImportMap {
 			importMap[from] = to
 		}
-		if !p.DepOnly {
+		switch {
+		case !p.DepOnly:
 			targets = append(targets, p)
+		case p.Module != nil && p.Error == nil && len(p.GoFiles) > 0:
+			// A module-local dependency of the requested set: analyze it
+			// from source so its facts exist, without reporting on it.
+			targets = append(targets, p)
+			factsOnly[p.ImportPath] = true
 		}
 	}
 
@@ -89,16 +109,103 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = factsOnly[p.ImportPath]
 		out = append(out, pkg)
 	}
 	return out, nil
 }
 
 // LoadDir type-checks the single package rooted at dir (every non-test
-// .go file in it), resolving its imports — typically standard-library
-// only — via `go list -export`. It exists for analysistest fixtures,
-// which live under testdata/ where the go tool will not list them.
+// .go file in it), resolving its imports via LoadFixture. The returned
+// package is the one at dir itself; sibling fixture dependencies are
+// loaded but not returned.
 func LoadDir(dir string) (*Package, error) {
+	pkgs, err := LoadFixture(dir)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[len(pkgs)-1], nil
+}
+
+// LoadFixture type-checks the fixture package rooted at dir together
+// with its fixture dependencies, in dependency order (dependencies
+// first, dir's own package last). It exists for analysistest fixtures,
+// which live under testdata/ where the go tool will not list them.
+//
+// Imports resolve in two tiers: an import path naming a sibling
+// directory of dir (testdata/src/a importing "b" finds testdata/src/b)
+// is type-checked from source, recursively — this is what lets
+// multi-package fixtures exercise cross-package facts; anything else —
+// typically standard library — resolves through `go list -export`
+// compiler export data.
+func LoadFixture(dir string) ([]*Package, error) {
+	fl := &fixtureLoader{
+		root:    filepath.Dir(dir),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		exports: make(map[string]string),
+	}
+	if _, err := fl.load(filepath.Base(dir)); err != nil {
+		return nil, err
+	}
+	return fl.order, nil
+}
+
+// fixtureLoader loads a tree of fixture packages under one testdata/src
+// root, memoizing packages and stdlib export-data paths.
+type fixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*Package // by fixture import path
+	loading map[string]bool     // cycle guard
+	order   []*Package          // dependency order
+	exports map[string]string   // stdlib import path -> export data file
+	gc      types.Importer      // shared export-data importer
+}
+
+// Import implements types.Importer over the two-tier resolution.
+func (fl *fixtureLoader) Import(path string) (*types.Package, error) {
+	if fl.isFixture(path) {
+		pkg, err := fl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if fl.gc == nil {
+		lookup := func(p string) (io.ReadCloser, error) {
+			e, ok := fl.exports[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(e)
+		}
+		fl.gc = importer.ForCompiler(fl.fset, "gc", lookup)
+	}
+	return fl.gc.Import(path)
+}
+
+// isFixture reports whether path names a sibling fixture directory.
+func (fl *fixtureLoader) isFixture(path string) bool {
+	if path == "" || strings.Contains(path, "..") {
+		return false
+	}
+	info, err := os.Stat(filepath.Join(fl.root, filepath.FromSlash(path)))
+	return err == nil && info.IsDir()
+}
+
+func (fl *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := fl.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if fl.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	fl.loading[path] = true
+	defer delete(fl.loading, path)
+
+	dir := filepath.Join(fl.root, filepath.FromSlash(path))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -116,48 +223,45 @@ func LoadDir(dir string) (*Package, error) {
 	}
 	sort.Strings(goFiles)
 
-	// Parse first so we know which imports need export data.
-	fset := token.NewFileSet()
+	// Parse first so we know which imports need export data and which
+	// are sibling fixtures to load from source.
 	var files []*ast.File
-	imports := make(map[string]bool)
+	var stdlib []string
 	for _, name := range goFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		f, err := parser.ParseFile(fl.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 		for _, spec := range f.Imports {
-			path, _ := strconv.Unquote(spec.Path.Value)
-			imports[path] = true
+			p, _ := strconv.Unquote(spec.Path.Value)
+			if !fl.isFixture(p) {
+				if _, have := fl.exports[p]; !have {
+					stdlib = append(stdlib, p)
+				}
+			}
 		}
 	}
-
-	exports := make(map[string]string)
-	if len(imports) > 0 {
-		var paths []string
-		for p := range imports {
-			paths = append(paths, p)
-		}
-		sort.Strings(paths)
-		listed, err := goList(dir, paths...)
+	if len(stdlib) > 0 {
+		sort.Strings(stdlib)
+		listed, err := goList(dir, stdlib...)
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range listed {
 			if p.Export != "" {
-				exports[p.ImportPath] = p.Export
+				fl.exports[p.ImportPath] = p.Export
 			}
 		}
 	}
-	lookup := func(path string) (io.ReadCloser, error) {
-		exp, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(exp)
+
+	pkg, err := typecheckParsed(fl.fset, fl, path, files)
+	if err != nil {
+		return nil, err
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-	return typecheckParsed(fset, imp, filepath.Base(dir), files)
+	fl.pkgs[path] = pkg
+	fl.order = append(fl.order, pkg)
+	return pkg, nil
 }
 
 func typecheck(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {

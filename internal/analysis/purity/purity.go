@@ -1,0 +1,533 @@
+// Package purity implements the congestlint analyzer that proves
+// determinism-critical functions pure, transitively.
+//
+// "Pure" here is determinism-purity, not freedom from side effects: a
+// function may mutate its parameters and receiver all it wants, but its
+// behavior must be a function of its inputs alone. The transcript
+// framework leans on that for byte-identical CONGEST runs: the fault-plan
+// hash, pipecast combiners, the block-count priority/rank functions, and
+// everything a round kernel reaches must not consult the wall clock, the
+// process-global random source, mutable package-level state, or the
+// randomized order of a map iteration.
+//
+// Determinism-critical roots are:
+//
+//   - functions annotated with a //congest:pure doc comment;
+//   - RoundFunc-shaped functions and literals (round kernels are
+//     transcript-affecting by definition);
+//   - function literals bound to the Fold field of a Combiner composite
+//     literal (the pipecast merge functions).
+//
+// Everything reachable from a root — through static calls and through
+// function literals built along the way — must be pure. Impurities are:
+//
+//   - time.Now / time.Since / time.Until (wall clock);
+//   - the global-source draw functions of math/rand and math/rand/v2;
+//   - writes to package-level variables, and reads of package-level
+//     variables that are mutated anywhere in their own package;
+//   - map-range loops whose body is order-sensitive: anything beyond
+//     commutative updates (map/set writes, compound assignments,
+//     delete) and appends into slices that are sorted later in the same
+//     function lets the randomized iteration order escape.
+//
+// The analysis crosses package boundaries with facts: every analyzed
+// function exports either a PureFact or an ImpureFact{Why}. A call from
+// determinism-critical code into another repro-module package is checked
+// against the callee's fact — an ImpureFact is reported with its reason,
+// and a module-local callee with no PureFact at all is reported as
+// unproven (dynamic dispatch, bodiless declarations). Callees outside
+// the module (standard library) are assumed pure except for the explicit
+// wall-clock and global-rand lists above.
+package purity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astx"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/seededrand"
+)
+
+// PureFact marks a function proven determinism-pure, transitively.
+type PureFact struct{}
+
+func (*PureFact) AFact() {}
+
+// ImpureFact marks a function proven impure; Why names the first reason.
+type ImpureFact struct{ Why string }
+
+func (*ImpureFact) AFact() {}
+
+func init() {
+	analysis.RegisterFact(&PureFact{})
+	analysis.RegisterFact(&ImpureFact{})
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "purity",
+	Doc:  "proves determinism-critical functions (//congest:pure, round kernels, combiner folds, and everything they reach) free of wall-clock reads, global rand, mutable package state, and order-sensitive map iteration",
+	Run:  run,
+}
+
+// sortCalls neutralize an append accumulated under map-range order (the
+// collect-keys-then-sort idiom).
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// impurity is one direct reason a body is not determinism-pure.
+type impurity struct {
+	pos token.Pos
+	why string
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass.TypesInfo, pass.Files)
+	mutated := mutatedGlobals(pass)
+
+	// Direct impurities per node.
+	direct := make(map[*callgraph.Node][]impurity)
+	for _, n := range g.Nodes {
+		direct[n] = directImpurities(pass, n, mutated)
+	}
+
+	// Transitive impurity fixpoint over local calls and nested literals.
+	// why[n] is set once n is known impure; nodes that stay out of the
+	// map are pure (least fixpoint, so pure recursion stays pure).
+	why := make(map[*callgraph.Node]string)
+	for _, n := range g.Nodes {
+		if imps := direct[n]; len(imps) > 0 {
+			why[n] = imps[0].why
+		}
+	}
+	for {
+		changed := false
+		for _, n := range g.Nodes {
+			if _, done := why[n]; done {
+				continue
+			}
+			if w := calleeImpurity(pass, g, n, why); w != "" {
+				why[n] = w
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Export one fact per declared function.
+	for _, n := range g.Nodes {
+		if n.Fn == nil {
+			continue
+		}
+		if w, impure := why[n]; impure {
+			pass.ExportObjectFact(n.Fn, &ImpureFact{Why: w})
+		} else {
+			pass.ExportObjectFact(n.Fn, &PureFact{})
+		}
+	}
+
+	// Report every impurity inside the determinism-critical closure.
+	folds := foldFields(pass)
+	var roots []*callgraph.Node
+	for _, n := range g.Nodes {
+		if isRoot(pass, n, folds) {
+			roots = append(roots, n)
+		}
+	}
+	for n := range g.Reachable(roots, true) {
+		for _, imp := range direct[n] {
+			pass.Reportf(imp.pos, "%s in determinism-critical code: transcripts must be byte-identical across runs, so %s", imp.why, fixHint(imp.why))
+		}
+		reportImpureCalls(pass, g, n, why)
+	}
+	return nil
+}
+
+// isRoot reports whether n must be determinism-pure on its own account.
+func isRoot(pass *analysis.Pass, n *callgraph.Node, folds map[ast.Expr]bool) bool {
+	if n.Decl != nil {
+		if astx.HasDirective(n.Decl.Doc, "//congest:pure") {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.ObjectOf(n.Decl.Name).(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && astx.IsRoundFuncShape(sig) {
+				return true
+			}
+		}
+		return false
+	}
+	if astx.IsRoundFuncShape(astx.FuncLitSig(pass.TypesInfo, n.Lit)) {
+		return true
+	}
+	return folds[ast.Expr(n.Lit)]
+}
+
+// foldFields collects the expressions bound to a Fold key inside a
+// Combiner composite literal — the pipecast merge functions, whose
+// results feed the transcript directly.
+func foldFields(pass *analysis.Pass) map[ast.Expr]bool {
+	out := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(x ast.Node) bool {
+			cl, ok := x.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if astx.NamedTypeName(pass.TypesInfo, cl) != "Combiner" {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Fold" {
+						out[ast.Unparen(kv.Value)] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutatedGlobals collects the package-level variables assigned anywhere
+// in this package outside their declaration: reading one is reading
+// mutable state.
+func mutatedGlobals(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if obj := astx.RootObj(pass.TypesInfo, e); obj != nil && isPackageVar(pass, obj) {
+			out[obj] = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					record(lhs)
+				}
+			case *ast.IncDecStmt:
+				record(s.X)
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					record(s.X) // &global escapes: assume mutation
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPackageVar reports whether obj is a package-level variable of the
+// package under analysis.
+func isPackageVar(pass *analysis.Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() != pass.Pkg {
+		return false
+	}
+	return v.Parent() == pass.Pkg.Scope()
+}
+
+// directImpurities collects the reasons lexically inside n's body
+// (nested literals are their own nodes).
+func directImpurities(pass *analysis.Pass, n *callgraph.Node, mutated map[types.Object]bool) []impurity {
+	var out []impurity
+	add := func(pos token.Pos, format string, args ...any) {
+		out = append(out, impurity{pos, fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false // own node
+		case *ast.CallExpr:
+			if pkg, name, ok := astx.PkgFunc(pass.TypesInfo, e.Fun); ok {
+				switch {
+				case pkg == "time" && seededrand.ClockReads[name]:
+					add(e.Pos(), "wall-clock read (time.%s)", name)
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && seededrand.GlobalDraws[name]:
+					add(e.Pos(), "global rand draw (rand.%s)", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if obj := astx.RootObj(pass.TypesInfo, lhs); obj != nil && isPackageVar(pass, obj) {
+					add(e.Pos(), "write to package-level state (%s)", obj.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := astx.RootObj(pass.TypesInfo, e.X); obj != nil && isPackageVar(pass, obj) {
+				add(e.Pos(), "write to package-level state (%s)", obj.Name())
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil && isPackageVar(pass, obj) && mutated[obj] && !isWriteTarget(n.Body, e) {
+				add(e.Pos(), "read of mutated package-level state (%s)", obj.Name())
+			}
+		case *ast.RangeStmt:
+			if astx.IsMapType(pass.TypesInfo, e.X) && !orderInsensitiveRange(pass, n, e) {
+				add(e.Pos(), "order-sensitive map iteration")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isWriteTarget reports whether id is (part of) an assignment LHS — the
+// write diagnostic already covers it, so skip the read diagnostic.
+func isWriteTarget(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		var lhs []ast.Expr
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			lhs = s.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{s.X}
+		default:
+			return true
+		}
+		for _, e := range lhs {
+			if e.Pos() <= id.Pos() && id.End() <= e.End() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// orderInsensitiveRange reports whether every statement of a map-range
+// body is commutative under iteration order: map/set writes, compound
+// assignments, delete, continue, and appends into slices that are sorted
+// later in the enclosing body — the collect-then-sort idiom.
+func orderInsensitiveRange(pass *analysis.Pass, n *callgraph.Node, rs *ast.RangeStmt) bool {
+	var ok func(stmt ast.Stmt) bool
+	ok = func(stmt ast.Stmt) bool {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				return true // compound ops (+=, |=, ...) are commutative
+			}
+			for i, lhs := range s.Lhs {
+				if isBlank(lhs) {
+					continue
+				}
+				if sel, isIdx := lhs.(*ast.IndexExpr); isIdx && astx.IsMapType(pass.TypesInfo, sel.X) {
+					continue // m[k] = v: set/map write
+				}
+				// append into a slice sorted later in this function
+				if i < len(s.Rhs) {
+					if obj := appendTarget(pass, s.Rhs[i], lhs); obj != nil && sortedAfter(pass, n.Body, rs.End(), obj) {
+						continue
+					}
+				}
+				// Writes to variables declared inside the loop body stay
+				// local to one iteration and cannot leak order.
+				if obj := astx.RootObj(pass.TypesInfo, lhs); obj != nil && rs.Body.Pos() <= obj.Pos() && obj.Pos() <= rs.Body.End() {
+					continue
+				}
+				return false
+			}
+			return true
+		case *ast.ExprStmt:
+			call, isCall := ast.Unparen(s.X).(*ast.CallExpr)
+			if !isCall {
+				return false
+			}
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			return false
+		case *ast.IfStmt:
+			if s.Init != nil && !ok(s.Init) {
+				return false
+			}
+			if !ok(s.Body) {
+				return false
+			}
+			return s.Else == nil || ok(s.Else)
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				if !ok(st) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+		case *ast.DeclStmt:
+			return true // local declaration
+		default:
+			return false
+		}
+	}
+	return ok(rs.Body)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// appendTarget returns the object accumulating via xs = append(xs, ...)
+// when rhs is such a call matching lhs, else nil.
+func appendTarget(pass *analysis.Pass, rhs, lhs ast.Expr) types.Object {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return astx.RootObj(pass.TypesInfo, lhs)
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call mentioning obj
+// appears after pos in the enclosing body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		pkg, name, ok := astx.PkgFunc(pass.TypesInfo, call.Fun)
+		if !ok || !sortCalls[pkgBase(pkg)][name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if astx.UsesObj(pass.TypesInfo, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeImpurity returns the first impurity n inherits from a callee or
+// nested literal, or "".
+func calleeImpurity(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node, why map[*callgraph.Node]string) string {
+	for _, c := range n.Calls {
+		if w, reason := callImpurity(pass, g, c, why); reason {
+			return w
+		}
+	}
+	for _, lit := range n.Lits {
+		if w, impure := why[lit]; impure {
+			return fmt.Sprintf("builds an impure closure (%s)", w)
+		}
+	}
+	return ""
+}
+
+// callImpurity classifies one call edge: local callees by fixpoint
+// state, imported module-local callees by fact, everything else by the
+// explicit blacklists already handled as direct impurities.
+func callImpurity(pass *analysis.Pass, g *callgraph.Graph, c callgraph.Call, why map[*callgraph.Node]string) (string, bool) {
+	if local, ok := g.ByFn[c.Callee]; ok {
+		if w, impure := why[local]; impure {
+			return fmt.Sprintf("calls %s (%s)", c.Callee.Name(), w), true
+		}
+		return "", false
+	}
+	var imp ImpureFact
+	if pass.ImportObjectFact(c.Callee, &imp) {
+		return fmt.Sprintf("calls %s (%s)", calleeName(c.Callee), imp.Why), true
+	}
+	var pure PureFact
+	if pass.ImportObjectFact(c.Callee, &pure) {
+		return "", false
+	}
+	if moduleLocal(c.Callee) && c.Callee.Pkg() != pass.Pkg {
+		return fmt.Sprintf("calls %s, which is not proven pure (no PureFact: dynamic dispatch or unanalyzed declaration)", calleeName(c.Callee)), true
+	}
+	if c.Callee.Pkg() == pass.Pkg {
+		// Same-package callee with no body node (bodiless declaration,
+		// or an interface method of a local type).
+		if _, hasNode := g.ByFn[c.Callee]; !hasNode {
+			return fmt.Sprintf("calls %s, which has no analyzable body", calleeName(c.Callee)), true
+		}
+	}
+	return "", false // outside the module: assumed pure beyond the blacklists
+}
+
+// moduleLocal reports whether fn belongs to the repro module, where
+// every package is analyzed and facts are authoritative.
+func moduleLocal(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
+// reportImpureCalls reports, inside one determinism-critical body, each
+// call edge that introduces impurity from elsewhere.
+func reportImpureCalls(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node, why map[*callgraph.Node]string) {
+	for _, c := range n.Calls {
+		if _, local := g.ByFn[c.Callee]; local {
+			continue // its body is in the closure; reported there
+		}
+		if w, impure := callImpurity(pass, g, c, why); impure {
+			pass.Reportf(c.Pos, "%s in determinism-critical code", w)
+		}
+	}
+}
+
+func calleeName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// fixHint maps an impurity class to its canonical fix.
+func fixHint(why string) string {
+	switch {
+	case strings.HasPrefix(why, "wall-clock"):
+		return "route timing through seeded state, not the clock"
+	case strings.HasPrefix(why, "global rand"):
+		return "derive a seeded generator from internal/xrand"
+	case strings.HasPrefix(why, "write to package-level"):
+		return "thread the state through parameters or receiver instead"
+	case strings.HasPrefix(why, "read of mutated package-level"):
+		return "pass the value in explicitly; mutable globals break replayability"
+	case strings.HasPrefix(why, "order-sensitive map iteration"):
+		return "iterate sorted keys, or keep the body commutative (or sort what it accumulates)"
+	default:
+		return "remove the dependence on process state"
+	}
+}

@@ -1,0 +1,78 @@
+package purity_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/purity"
+)
+
+// TestPurity checks the analyzer against its single-package fixture:
+// round kernels, //congest:pure roots, Combiner folds, all impurity
+// classes, the order-insensitive map-range escapes, and //lint:allow.
+func TestPurity(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "puritytest"), purity.Analyzer)
+}
+
+// TestPurityCrossPackage proves Pure/Impure facts cross package
+// boundaries in the standalone loader: fixture pa imports pb, and pa's
+// findings exist only through pb's exported facts.
+func TestPurityCrossPackage(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "pa"), purity.Analyzer)
+}
+
+// TestPurityFactsVetxRoundTrip proves the same findings survive the gob
+// serialization boundary used by `go vet -vettool=`.
+func TestPurityFactsVetxRoundTrip(t *testing.T) {
+	pkgs, err := analysis.LoadFixture(filepath.Join("testdata", "src", "pa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "pb" || pkgs[1].Path != "pa" {
+		t.Fatalf("fixture should load [pb pa], got %d packages", len(pkgs))
+	}
+	analyzers := []*analysis.Analyzer{purity.Analyzer}
+
+	depStore := analysis.NewFactStore()
+	if _, err := analysis.RunFacts(analyzers, []*analysis.Package{pkgs[0]}, depStore); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := depStore.EncodePackage("pb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) == 0 {
+		t.Fatal("package pb exported no facts; the round-trip test is vacuous")
+	}
+
+	freshStore := analysis.NewFactStore()
+	if err := freshStore.DecodePackage("pb", wire); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunFacts(analyzers, []*analysis.Package{pkgs[1]}, freshStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"calls pb.Clock (wall-clock read (time.Now))",
+		"calls pb.Late (calls Clock (wall-clock read (time.Now)))",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("after vetx round-trip, missing diagnostic %q in %v", want, diags)
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 diagnostics (pb.Mix must stay clean via PureFact), got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,22 @@
+// Package pa is the dependent half of the cross-package purity fixture:
+// its kernel calls into package pb, and the findings below exist only
+// because pb's Pure/Impure facts crossed the package boundary.
+package pa
+
+import "pb"
+
+type Node struct{ ID int }
+
+type Message struct{ Port int }
+
+// kernel reaches a wall-clock read one call below (pb.Clock) and two
+// calls below (pb.Late → pb.Clock): the imported ImpureFacts surface
+// them at the call sites, since pb's bodies are not visible here.
+func kernel(n *Node, msgs []Message) bool {
+	h := pb.Mix(uint64(n.ID)) // proven pure by imported PureFact: clean
+	t := pb.Clock()           // want `calls pb\.Clock \(wall-clock read \(time\.Now\)\) in determinism-critical code`
+	u := pb.Late(t)           // want `calls pb\.Late \(calls Clock \(wall-clock read \(time\.Now\)\)\) in determinism-critical code`
+	return h+uint64(u) > 0
+}
+
+var _ = kernel

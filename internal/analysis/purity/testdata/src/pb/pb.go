@@ -1,0 +1,20 @@
+// Package pb is the dependency half of the cross-package purity
+// fixture: no determinism-critical roots live here, so it analyzes
+// clean, but every function exports a PureFact or ImpureFact that
+// package pa imports.
+package pb
+
+import "time"
+
+// Clock is impure: ImpureFact("wall-clock read (time.Now)").
+func Clock() int64 { return time.Now().Unix() }
+
+// Mix is pure: PureFact.
+func Mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>29
+}
+
+// Late is impure one call deeper: ImpureFact("calls Clock ...").
+func Late(x int64) int64 { return x + Clock() }

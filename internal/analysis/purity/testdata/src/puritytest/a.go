@@ -1,0 +1,125 @@
+// Package puritytest exercises the purity analyzer: determinism-critical
+// roots (round kernels, //congest:pure functions, Combiner folds), the
+// impurity classes, and the order-insensitive map-range escapes.
+package puritytest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Node struct{ ID int }
+
+type Message struct{ Port int }
+
+// Combiner mirrors the engine's pipecast merge table: the Fold literal
+// is a determinism root even when nothing in the package calls it.
+type Combiner struct {
+	Name string
+	Fold func(a, b uint64) uint64
+}
+
+var (
+	steps  int             // mutated below: reading it is impure
+	tuning = uint64(7)     // never reassigned: reading it is fine
+	seen   = map[int]int{} // mutated inside CombineTrace's fold
+)
+
+// kernel is a round kernel; it reaches a wall-clock read one call below
+// (stamp) and a global rand draw two calls below (stamp → jitter).
+func kernel(n *Node, msgs []Message) bool {
+	steps++    // want `write to package-level state \(steps\) in determinism-critical code`
+	_ = tuning // never mutated: reading it carries no order or history
+	return stamp() > 0
+}
+
+// stamp is one call below the kernel.
+func stamp() int64 {
+	t := time.Now() // want `wall-clock read \(time\.Now\) in determinism-critical code`
+	return t.Unix() + int64(jitter())
+}
+
+// jitter is two calls below the kernel.
+func jitter() int {
+	return rand.Intn(8) // want `global rand draw \(rand\.Intn\) in determinism-critical code`
+}
+
+// CombineTrace's fold is a root by position (Fold field of a Combiner
+// literal), and it leaks history through a package-level map.
+var CombineTrace = Combiner{
+	Name: "trace",
+	Fold: func(a, b uint64) uint64 {
+		seen[int(a)]++ // want `write to package-level state \(seen\) in determinism-critical code`
+		return a + b
+	},
+}
+
+// CombineSum's fold is pure: no diagnostics.
+var CombineSum = Combiner{
+	Name: "sum",
+	Fold: func(a, b uint64) uint64 { return a + b },
+}
+
+// histogram ranges over a map, but every statement in the body is
+// commutative: a compound add, a map write, and an append that is sorted
+// right after the loop. No diagnostic.
+//
+//congest:pure
+func histogram(m map[int]int) ([]int, int) {
+	total := 0
+	counts := map[int]int{}
+	keys := make([]int, 0, len(m))
+	for k, v := range m {
+		total += v
+		counts[k] = v
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys, total
+}
+
+// firstKey lets the randomized iteration order pick the answer.
+//
+//congest:pure
+func firstKey(m map[int]int) int {
+	best := -1
+	for k := range m { // want `order-sensitive map iteration in determinism-critical code`
+		if best == -1 {
+			best = k
+		}
+	}
+	return best
+}
+
+// reachesSteps is pure itself but reads mutated package state.
+//
+//congest:pure
+func reachesSteps() int {
+	return steps // want `read of mutated package-level state \(steps\) in determinism-critical code`
+}
+
+// closureLeak builds an impure closure: the literal's clock read is
+// reported inside the literal (the closure is reachable from the pure
+// root through the containment edge).
+//
+//congest:pure
+func closureLeak() func() int64 {
+	return func() int64 {
+		return time.Now().Unix() // want `wall-clock read \(time\.Now\) in determinism-critical code`
+	}
+}
+
+// coldClock is impure but unreachable from every root: no diagnostic
+// here, only an exported ImpureFact for dependents.
+func coldClock() time.Time { return time.Now() }
+
+// allowedBench measures wall-clock with a reasoned allow.
+//
+//congest:pure
+func allowedBench() int64 {
+	start := time.Now() //lint:allow purity benchmark harness reports wall-clock duration alongside the deterministic transcript
+	return start.Unix()
+}
+
+var _ = []any{kernel, coldClock, reachesSteps, closureLeak, allowedBench, histogram, firstKey}

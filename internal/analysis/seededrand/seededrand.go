@@ -31,9 +31,11 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// globalDraws are the package-level functions of math/rand (and its v2
-// names) that consume the shared global source.
-var globalDraws = map[string]bool{
+// GlobalDraws are the package-level functions of math/rand (and its v2
+// names) that consume the shared global source. Exported because the
+// purity analyzer enforces the same non-determinism classes
+// transitively.
+var GlobalDraws = map[string]bool{
 	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
 	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
 	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
@@ -44,7 +46,9 @@ var globalDraws = map[string]bool{
 	"Uint32N": true, "Uint64N": true,
 }
 
-var clockReads = map[string]bool{"Now": true, "Since": true, "Until": true}
+// ClockReads are the wall-clock reads of package time; shared with the
+// purity analyzer like GlobalDraws.
+var ClockReads = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func run(pass *analysis.Pass) error {
 	if pass.Pkg.Path() == "repro/internal/xrand" {
@@ -61,9 +65,9 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			switch {
-			case (pkg == "math/rand" || pkg == "math/rand/v2") && globalDraws[name]:
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && GlobalDraws[name]:
 				pass.Reportf(call.Pos(), "rand.%s draws from the process-global source and is not seed-replayable; derive a generator from internal/xrand instead", name)
-			case pkg == "time" && clockReads[name]:
+			case pkg == "time" && ClockReads[name]:
 				pass.Reportf(call.Pos(), "time.%s reads the wall clock: behavior must be seed-replayable and clock-independent outside internal/xrand", name)
 			}
 			return true

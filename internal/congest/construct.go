@@ -197,8 +197,16 @@ func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget
 			st.own = prio[pi]
 			st.dirty = true
 		}
-		st.rcv = make([][]int32, g.Degree(v))
-		st.sent = make([]int32, 0, cap)
+		// A child admits at most cap ranks (its own |sent| bound), so one
+		// contiguous backing slab sliced per port keeps insSorted growth
+		// out of the rounds at two setup allocations per node.
+		deg := g.Degree(v)
+		st.rcv = make([][]int32, deg)
+		backing := make([]int32, deg*cap)
+		for i := range st.rcv {
+			st.rcv[i] = backing[i*cap : i*cap : (i+1)*cap]
+		}
+		st.sent = make([]int32, 0, cap+1)
 		st.tmp = make([]int32, 0, cap+1)
 	}
 	step := func(nd *Node, msgs []Message) bool {
@@ -252,7 +260,7 @@ func runConstruct(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap, budget
 func conTarget(st *conNode, cap int) []int32 {
 	tmp := st.tmp[:0]
 	if st.own != -1 {
-		tmp = append(tmp, st.own)
+		tmp = append(tmp, st.own) //lint:allow hotalloc st.tmp is preallocated with cap+1 capacity at setup and insBounded keeps len <= cap
 	}
 	for _, set := range st.rcv {
 		for _, i := range set {
@@ -282,7 +290,7 @@ func insSorted(set []int32, x int32) []int32 {
 	if lo < len(set) && set[lo] == x {
 		return set
 	}
-	set = append(set, 0)
+	set = append(set, 0) //lint:allow hotalloc every caller passes a slab preallocated at setup (sent/tmp: cap+1, rcv: cap) and the protocol keeps len below it before insert
 	copy(set[lo+1:], set[lo:])
 	set[lo] = x
 	return set
@@ -292,7 +300,7 @@ func insSorted(set []int32, x int32) []int32 {
 func delSorted(set []int32, x int32) []int32 {
 	for i, v := range set {
 		if v == x {
-			return append(set[:i], set[i+1:]...)
+			return append(set[:i], set[i+1:]...) //lint:allow hotalloc shrinking append: the result is one shorter than the input, so the backing array never grows
 		}
 	}
 	return set

@@ -216,6 +216,8 @@ func (fp *FaultPlan) wipesAt(node, gr int) bool {
 
 // splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
 // well-mixed 64-bit hash.
+//
+//congest:pure
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -227,7 +229,10 @@ const twoTo64 = 18446744073709551616.0 // 2^64 as a float64
 
 // drops is the deterministic Bernoulli coin: whether the message crossing
 // (edge, dir) at global round gr is dropped. A pure function of the plan —
-// independent of scheduling, shard layout, and GOMAXPROCS.
+// independent of scheduling, shard layout, and GOMAXPROCS — and the purity
+// analyzer proves it stays one.
+//
+//congest:pure
 func (fp *FaultPlan) drops(edge, dir, gr int) bool {
 	if fp.DropProb <= 0 {
 		return false

@@ -208,15 +208,17 @@ func (n *Node) Round() int { return n.round }
 // reuse it.
 func (n *Node) Send(port int, payload Words) {
 	if n.out[port].has {
+		//lint:allow hotalloc Errorf boxing on the abort path only: the run is already failing
 		n.eng.fail(fmt.Errorf("congest: node %d sent twice on port %d in round %d", n.ID, port, n.round))
 		return
 	}
 	if payload.Bits() > n.eng.bandwidth {
+		//lint:allow hotalloc Errorf boxing on the abort path only: the run is already failing
 		n.eng.fail(fmt.Errorf("congest: node %d message of %d bits exceeds bandwidth %d", n.ID, payload.Bits(), n.eng.bandwidth))
 		return
 	}
 	off := len(n.sendArena)
-	n.sendArena = append(n.sendArena, payload...)
+	n.sendArena = append(n.sendArena, payload...) //lint:allow hotalloc sendArena is the per-round payload slab, reset to len 0 each Step; its capacity reaches steady state after the first rounds and the AllocsPerRun pins hold
 	n.out[port] = outSlot{has: true, off: int32(off), len: int32(len(payload)), bits: int32(payload.Bits())}
 }
 

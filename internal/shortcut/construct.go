@@ -52,7 +52,10 @@ func TreeBlockPriorities(t *graph.Tree, p *partition.Parts) []int32 {
 // (rank 0 = highest priority): more blocks rank higher, ties break toward
 // the lower part ID. Exposed separately so the in-network bootstrap can
 // rank the counts its convergecast produced exactly the way the
-// sequential path does.
+// sequential path does. The purity analyzer proves it deterministic: the
+// fixed-point validation compares its output byte-for-byte.
+//
+//congest:pure
 func RankBlockCounts(blocks []int) []int32 {
 	order := make([]int, len(blocks))
 	for i := range order {
