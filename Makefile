@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json bench bench-smoke bench-baseline sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
+.PHONY: all build test race vet lint lint-json bench bench-smoke bench-baseline scale-smoke sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
 
 all: vet lint build test
 
@@ -34,6 +34,13 @@ bench:
 
 bench-smoke:
 	$(GO) test -bench='E5|E9|E13|E14|E15|E18' -benchtime=1x -run=NONE .
+
+# scale-smoke runs the full zero-witness pipeline at 10⁵ nodes (grid +
+# wheel, hybrid mode) with a bounded wall-clock — the CI guard that the
+# million-node path stays subquadratic. The 10⁶ run itself lives in
+# BenchmarkScaleMillionPipeline (make bench-baseline).
+scale-smoke:
+	$(GO) test -run 'TestScaleSmoke100k' -count=1 -v ./internal/experiments
 
 # sssp-bench regenerates the E9 (1+eps)-approximate shortest-path table.
 sssp-bench:

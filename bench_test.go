@@ -84,8 +84,12 @@ func BenchmarkE6MST(b *testing.B) {
 
 // BenchmarkE6MSTLarge runs the MST table one size notch up (rim 512),
 // headroom opened by the dense-slice accounting and the barrier-synchronous
-// CONGEST engine.
+// CONGEST engine. Skipped under -short (set GOFLAGS=-short for a quick
+// sweep); run `make bench-baseline` for the full suite.
 func BenchmarkE6MSTLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large MST table skipped in -short")
+	}
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		t = experiments.E6MST([]int{64, 128, 256, 512}, benchSeed)
@@ -117,8 +121,11 @@ func BenchmarkE6cAggregation(b *testing.B) {
 
 // BenchmarkE6cAggregationLarge runs the aggregation showcase one size notch
 // up (corridors to 128 columns), headroom opened by the round-driven
-// CONGEST scheduler.
+// CONGEST scheduler. Skipped under -short, like every Large benchmark.
 func BenchmarkE6cAggregationLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large aggregation showcase skipped in -short")
+	}
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		t = experiments.AggregationShowcase([]int{16, 32, 64, 128}, benchSeed)
@@ -255,4 +262,45 @@ func BenchmarkE18Churn(b *testing.B) {
 	b.StopTimer()
 	fmt.Println(t)
 	reportLastCell(b, t, "ratio", "ratio")
+}
+
+// BenchmarkScaleMillionPipeline runs the full zero-witness pipeline at 10⁶
+// nodes and prints each run's per-stage wall-clock/rounds/traffic table —
+// the scale record that make bench-baseline persists into
+// BENCH_baseline.json. The grid (Θ(√n) diameter) runs analytic: its ~4000
+// bootstrap-flood rounds over 10⁶ nodes are priced by the framework's
+// charged ledger, since simulating them message-level costs minutes of
+// wall-clock for no additional information (every node relays its distance
+// ~dist(v) times under improvement gating). The wheel (diameter 2) runs
+// hybrid: election and BFS execute message-level on the round-driven
+// engine, streaming per-round bytes through the O(1)-state probe. Skipped
+// under -short.
+func BenchmarkScaleMillionPipeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10⁶-node pipeline skipped in -short")
+	}
+	for _, run := range []struct {
+		family string
+		mode   experiments.ScaleMode
+	}{
+		{"grid", experiments.ScaleAnalytic},
+		{"wheel", experiments.ScaleHybrid},
+	} {
+		b.Run(run.family, func(b *testing.B) {
+			var res *experiments.ScaleResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.ScalePipeline(run.family, 1_000_000, run.mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			fmt.Println(res)
+			wall, sim, chg := res.Totals()
+			b.ReportMetric(float64(wall)/1e6, "wall_ms")
+			b.ReportMetric(float64(sim+chg), "rounds")
+			b.ReportMetric(float64(res.Quality), "quality")
+		})
+	}
 }

@@ -1,11 +1,14 @@
 // graphgen generates the reproduction's graph families, validates their
 // structural witnesses, and prints summary statistics — a quick way to
-// inspect what the experiments run on.
+// inspect what the experiments run on. With -scale it instead drives the
+// full zero-witness pipeline at scale (generate → elect → BFS → decompose
+// → cap search → construct → MST) and prints the per-stage table.
 //
 // Usage:
 //
 //	graphgen -family grid|torus|apollonian|outerplanar|ktree|cliquesum|almostembed|lowerbound|wheel
 //	         [-n N] [-k K] [-seed S]
+//	graphgen -scale -family grid|wheel|chain [-n N] [-mode analytic|hybrid|simulate]
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/xrand"
@@ -23,12 +27,27 @@ func main() {
 	n := flag.Int("n", 100, "approximate size parameter")
 	k := flag.Int("k", 3, "k parameter (treewidth / clique-sum order / vortex depth)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	scale := flag.Bool("scale", false, "run the zero-witness pipeline at scale instead of describing the graph")
+	mode := flag.String("mode", "hybrid", "scale pipeline mode: analytic, hybrid, or simulate")
 	flag.Parse()
+	if *scale {
+		res, err := experiments.ScalePipeline(*family, *n, experiments.ScaleMode(*mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res)
+		return
+	}
 	rng := xrand.New(*seed)
 
 	describe := func(g *graph.Graph, witness string) {
-		d := graph.Diameter(g)
-		if g.N() > 4000 {
+		// The exact all-pairs sweep is Θ(n·m); past experiment sizes only the
+		// double-sweep estimate is affordable, so the exact call must be gated,
+		// not merely overwritten.
+		var d int
+		if g.N() <= 4000 {
+			d = graph.Diameter(g)
+		} else {
 			d = graph.DiameterApprox(g)
 		}
 		fmt.Printf("family=%s n=%d m=%d diameter=%d connected=%v\n",

@@ -1,0 +1,83 @@
+package congest_test
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// floodSyncFamilies is the equivalence corpus: a long-diameter grid, the
+// hub-skewed wheel, and a randomized k-tree.
+func floodSyncFamilies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"grid9x9": gen.GridCSR(9, 9).Graph(),
+		"wheel65": gen.WheelCSR(65).Graph(),
+		"ktree":   gen.KTree(80, 3, xrand.New(7)).G,
+		"chain":   gen.WheelChainCSR(12, 7).Graph(),
+	}
+}
+
+// TestLeaderElectSyncMatchesBlocking pins the round-driven election to the
+// blocking protocol's fixed point: same leader, and the round count runs
+// out the same diamBound+2 budget.
+func TestLeaderElectSyncMatchesBlocking(t *testing.T) {
+	for name, g := range floodSyncFamilies(t) {
+		diamBound := 2*graph.DiameterApprox(g) + 2
+		want, _, err := congest.LeaderElect(g, diamBound)
+		if err != nil {
+			t.Fatalf("%s: blocking elect: %v", name, err)
+		}
+		got, stats, err := congest.LeaderElectSync(g, diamBound, congest.Options{})
+		if err != nil {
+			t.Fatalf("%s: sync elect: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: sync elected %d, blocking elected %d", name, got, want)
+		}
+		if stats.Rounds != diamBound+2 {
+			t.Errorf("%s: sync elect ran %d rounds, want diamBound+2 = %d", name, stats.Rounds, diamBound+2)
+		}
+	}
+}
+
+// TestDistributedBFSSyncCanonical pins the round-driven BFS to the
+// sequential canonical fixed point (lowest-port parents) on every family,
+// and checks the early-exit property: the run ends near ecc(root), not at
+// the diameter bound.
+func TestDistributedBFSSyncCanonical(t *testing.T) {
+	for name, g := range floodSyncFamilies(t) {
+		diamBound := 2*graph.DiameterApprox(g) + 2
+		wantP, wantPE, err := congest.CanonicalBFSParents(g, 0)
+		if err != nil {
+			t.Fatalf("%s: canonical parents: %v", name, err)
+		}
+		p, pe, stats, err := congest.DistributedBFSSync(g, 0, diamBound, congest.Options{})
+		if err != nil {
+			t.Fatalf("%s: sync BFS: %v", name, err)
+		}
+		for v := range p {
+			if p[v] != wantP[v] || pe[v] != wantPE[v] {
+				t.Fatalf("%s: node %d: sync parent %d/edge %d, canonical %d/%d", name, v, p[v], pe[v], wantP[v], wantPE[v])
+			}
+		}
+		if stats.Rounds > diamBound+3 {
+			t.Errorf("%s: sync BFS ran %d rounds, bound %d", name, stats.Rounds, diamBound+3)
+		}
+	}
+}
+
+// TestFloodSyncBoundTooSmall checks both protocols surface IncompleteError
+// (not a wrong fixed point) when the diameter bound cannot cover the graph.
+func TestFloodSyncBoundTooSmall(t *testing.T) {
+	g := gen.GridCSR(1, 30).Graph() // a path: diameter 29
+	if _, _, err := congest.LeaderElectSync(g, 3, congest.Options{}); err == nil {
+		t.Error("leader election with diamBound 3 on a 30-path converged")
+	}
+	if _, _, _, err := congest.DistributedBFSSync(g, 0, 3, congest.Options{}); err == nil {
+		t.Error("BFS with diamBound 3 on a 30-path converged")
+	}
+}

@@ -83,6 +83,22 @@ type Options struct {
 	// run: message drops, link-down intervals, and node crash/restarts.
 	// The plan is validated before the run starts (ErrInvalidOptions).
 	Faults *FaultPlan
+	// OnRound, when non-nil, is called once per completed round (single-
+	// threaded, between phase barriers) with that round's delivery
+	// figures. It is the streaming observation hook for million-node
+	// runs: a caller can fold per-round wall-clock or bytes trends
+	// without the engine — or the caller — ever materializing
+	// O(n·rounds) state. The callback must not retain the probe past the
+	// call and must not touch the engine.
+	OnRound func(RoundProbe)
+}
+
+// RoundProbe is the per-round snapshot streamed to Options.OnRound.
+type RoundProbe struct {
+	Round    int // 1-based round number
+	Messages int // messages delivered this round
+	Bits     int // payload bits delivered this round
+	Active   int // nodes still participating after the compute phase
 }
 
 // ErrInvalidOptions is wrapped by Run/RunSync when Options fail validation
@@ -268,6 +284,17 @@ type engine struct {
 	revPort [][]int32 // revPort[v][p]: port index at the neighbor for the same edge
 	alive   []bool
 	active  int
+	onRound func(RoundProbe)
+
+	// Arc-indexed slabs, carved per node by the degree prefix sums in
+	// portOff: outbox slots, reverse ports, and inbox headers all live in
+	// three contiguous allocations sized by the actual arc count (2m)
+	// instead of ~4 allocations per node. Shards cover contiguous node
+	// ranges, so each worker's slab region is contiguous too.
+	portOff   []int32 // n+1; node v's arcs are [portOff[v], portOff[v+1])
+	outSlab   []outSlot
+	revSlab   []int32
+	inboxSlab []Message
 
 	// Fault-injection state (nil/empty on fault-free runs). The scheduler
 	// refreshes crashed/downEdge once per round between phase barriers
@@ -339,6 +366,8 @@ func (e *engine) runPhase(fn func(shard int)) {
 // computeShard runs the compute phase over the shard's live nodes in node
 // order. Round-driven nodes are direct calls; blocking-API nodes get the
 // baton via a channel handoff and run until their next Step (or exit).
+//
+//congest:hotpath
 func (e *engine) computeShard(shard int) {
 	res := &e.shardWork[shard]
 	res.exited = 0
@@ -377,7 +406,12 @@ func (e *engine) computeShard(shard int) {
 }
 
 // deliverShard builds the inboxes of the shard's nodes receiver-side, in
-// port order, from the senders' outbox slots.
+// port order, from the senders' outbox slots. This is the packed-payload
+// receive path: message words are appended into the receiver's word
+// arena and the inbox headers fill pre-carved slab capacity, so at steady
+// state a delivery allocates nothing.
+//
+//congest:hotpath
 func (e *engine) deliverShard(shard int) {
 	res := &e.shardWork[shard]
 	res.messages, res.bits, res.anyMsg = 0, 0, false
@@ -421,8 +455,8 @@ func (e *engine) deliverShard(shard int) {
 			}
 			words := e.nodes[a.To].sendArena[slot.off : slot.off+slot.len]
 			off := len(arena)
-			arena = append(arena, words...)
-			inbox = append(inbox, Message{
+			arena = append(arena, words...) //lint:allow hotalloc inboxArena is the receiver's payload word slab, reset to len 0 each round; its capacity reaches steady state after the first rounds and the AllocsPerRun pins hold
+			inbox = append(inbox, Message{  //lint:allow hotalloc inboxSlab pre-carves capacity for one message per port — the per-round maximum — so this append never grows
 				Port:    p,
 				From:    a.To,
 				Edge:    a.ID,
@@ -529,9 +563,6 @@ func (e *engine) prepare(g *graph.Graph, bw, maxRounds int, faults *FaultPlan) {
 		e.inboxes = make([][]Message, n)
 	}
 	e.inboxes = e.inboxes[:n]
-	for v := range e.inboxes {
-		e.inboxes[v] = e.inboxes[v][:0] // round 1 must see no stale messages
-	}
 	if cap(e.inboxArena) < n {
 		e.inboxArena = make([][]uint64, n)
 	}
@@ -548,6 +579,34 @@ func (e *engine) prepare(g *graph.Graph, bw, maxRounds int, faults *FaultPlan) {
 		e.edgeLoad2[i] = 0
 	}
 
+	// Degree prefix sums, then one slab per arc-indexed structure: outbox
+	// slots, reverse ports, and inbox headers are carved per node from
+	// three contiguous allocations. At n=10⁶ the old per-node make calls
+	// were ~4 million allocations on a cold engine; the slabs are three
+	// (plus the prefix table), and pooled runs reuse them wholesale.
+	if cap(e.portOff) < n+1 {
+		e.portOff = make([]int32, n+1)
+	}
+	e.portOff = e.portOff[:n+1]
+	total := 0
+	for v := 0; v < n; v++ {
+		e.portOff[v] = int32(total)
+		total += len(g.Adj(v))
+	}
+	e.portOff[n] = int32(total)
+	if cap(e.outSlab) < total {
+		e.outSlab = make([]outSlot, total)
+	}
+	e.outSlab = e.outSlab[:total]
+	if cap(e.revSlab) < total {
+		e.revSlab = make([]int32, total)
+	}
+	e.revSlab = e.revSlab[:total]
+	if cap(e.inboxSlab) < total {
+		e.inboxSlab = make([]Message, total)
+	}
+	e.inboxSlab = e.inboxSlab[:total]
+
 	// Reverse ports: for edge {u,v} with ports pu (at u) and pv (at v),
 	// revPort[u][pu] = pv and revPort[v][pv] = pu. Computed in one sweep:
 	// the ascending vertex scan visits each edge first from its smaller
@@ -556,30 +615,23 @@ func (e *engine) prepare(g *graph.Graph, bw, maxRounds int, faults *FaultPlan) {
 	stage := g.AcquireScratch() // edge ID -> port at the first-seen endpoint
 	for v := 0; v < n; v++ {
 		adj := g.Adj(v)
-		if cap(e.revPort[v]) < len(adj) {
-			e.revPort[v] = make([]int32, len(adj))
-		}
-		e.revPort[v] = e.revPort[v][:len(adj)]
+		lo, hi := e.portOff[v], e.portOff[v+1]
+		e.revPort[v] = e.revSlab[lo:hi:hi]
+		// Inbox headers start empty (round 1 must see no stale messages)
+		// with capacity for one message per port — the per-round maximum.
+		e.inboxes[v] = e.inboxSlab[lo:lo:hi]
 		nd := &e.nodes[v]
 		*nd = Node{
 			ID:        v,
 			NumV:      n,
 			ports:     adj,
 			eng:       e,
-			out:       nd.out,
+			out:       e.outSlab[lo:hi:hi],
 			sendArena: nd.sendArena[:0],
 			resume:    nd.resume,
 			yield:     nd.yield,
 		}
-		if cap(nd.out) < len(adj) {
-			nd.out = make([]outSlot, len(adj))
-		}
-		nd.out = nd.out[:len(adj)]
-		nd.clearOut()
-		if nd.resume == nil {
-			nd.resume = make(chan struct{})
-			nd.yield = make(chan struct{})
-		}
+		nd.clearOut() // the slab may hold another run's stale has flags
 		e.alive[v] = true
 	}
 	for v := 0; v < n; v++ {
@@ -652,6 +704,7 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 	}
 	e := enginePool.Get().(*engine)
 	e.prepare(g, bw, maxRounds, opts.Faults)
+	e.onRound = opts.OnRound
 	if n == 0 {
 		enginePool.Put(e)
 		return Stats{}, nil
@@ -679,10 +732,15 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 		}
 	} else {
 		// Blocking mode: node coroutines, parked until their shard worker
-		// hands them the baton.
+		// hands them the baton. The handoff channels exist only here —
+		// round-driven runs never pay the 2n channel allocations.
 		for v := 0; v < n; v++ {
 			nodeWg.Add(1)
 			nd := &e.nodes[v]
+			if nd.resume == nil {
+				nd.resume = make(chan struct{})
+				nd.yield = make(chan struct{})
+			}
 			go func() {
 				defer nodeWg.Done()
 				<-nd.resume
@@ -708,16 +766,27 @@ func run(g *graph.Graph, f NodeFunc, proto SyncProtocol, opts Options) (Stats, e
 		if !e.failed() {
 			e.runPhase(e.deliverShard)
 			anyMsg := false
+			roundMsgs, roundBits := 0, 0
 			for s := range e.shardWork {
-				e.stats.Messages += e.shardWork[s].messages
-				e.stats.TotalBits += e.shardWork[s].bits
+				roundMsgs += e.shardWork[s].messages
+				roundBits += e.shardWork[s].bits
 				e.stats.Dropped += e.shardWork[s].dropped
 				e.stats.DownDrops += e.shardWork[s].downDrops
 				e.stats.CrashDrops += e.shardWork[s].crashDrops
 				anyMsg = anyMsg || e.shardWork[s].anyMsg
 			}
+			e.stats.Messages += roundMsgs
+			e.stats.TotalBits += roundBits
 			if anyMsg {
 				e.stats.LastActiveRound = e.stats.Rounds + 1
+			}
+			if e.onRound != nil {
+				e.onRound(RoundProbe{
+					Round:    e.stats.Rounds + 1,
+					Messages: roundMsgs,
+					Bits:     roundBits,
+					Active:   e.active,
+				})
 			}
 		}
 		e.stats.Rounds++

@@ -1,0 +1,179 @@
+package congest_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// minFloodProto returns a SyncProtocol whose per-node state lives in the
+// caller's slabs and whose RoundFunc is one shared closure — the protocol
+// layer contributes O(1) allocations per run, so the engine pins below
+// measure the round path itself. The protocol floods the minimum vertex
+// ID for exactly `rounds` rounds: round 1 broadcasts the own ID, later
+// rounds re-broadcast only on improvement.
+func minFloodProto(n, rounds int) (congest.SyncProtocol, []uint64) {
+	cur := make([]uint64, n)
+	shared := congest.RoundFunc(func(nd *congest.Node, msgs []congest.Message) bool {
+		if nd.Round() > rounds {
+			return false
+		}
+		if nd.Round() == 1 {
+			cur[nd.ID] = uint64(nd.ID)
+			nd.Broadcast(congest.Words{cur[nd.ID]})
+			return true
+		}
+		improved := false
+		for _, m := range msgs {
+			if m.Payload[0] < cur[nd.ID] {
+				cur[nd.ID] = m.Payload[0]
+				improved = true
+			}
+		}
+		if improved {
+			nd.Broadcast(congest.Words{cur[nd.ID]})
+		}
+		return true
+	})
+	proto := func(nd *congest.Node) congest.RoundFunc {
+		cur[nd.ID] = uint64(nd.ID)
+		return shared
+	}
+	return proto, cur
+}
+
+// TestSlabOutboxAllocsFlat pins the engine's own round path on the slab
+// substrate: with a shared-closure protocol, a warmed run's allocations
+// are the per-run scaffolding (task channel, worker goroutines), not the
+// per-node outbox/revPort/inbox structures — those live in the
+// degree-prefix slabs carved once in prepare and reused from the pool.
+func TestSlabOutboxAllocsFlat(t *testing.T) {
+	g := gen.WheelChainCSR(100, 31).Graph() // n=3200, mixed degrees
+	proto, _ := minFloodProto(g.N(), 6)
+	var stats congest.Stats
+	run := func() {
+		res, err := congest.RunSync(g, proto, congest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = res
+	}
+	run()
+	pinAllocs(t, "RunSync/slab-engine", 256, g.N()*stats.Rounds, run)
+}
+
+// hashRun executes the min-flood protocol on g and folds every node's
+// full message transcript (round, port, sender, edge, payload words) and
+// the run statistics into per-node FNV-1a digests — a byte-determinism
+// witness that never materializes O(n·rounds) state.
+func hashRun(t *testing.T, g *graph.Graph, rounds int) []uint64 {
+	t.Helper()
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	digest := make([]uint64, g.N())
+	for i := range digest {
+		digest[i] = fnvOffset
+	}
+	mix := func(v int, x uint64) {
+		h := digest[v]
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (x >> s & 0xff)) * fnvPrime
+		}
+		digest[v] = h
+	}
+	cur := make([]uint64, g.N())
+	shared := congest.RoundFunc(func(nd *congest.Node, msgs []congest.Message) bool {
+		if nd.Round() > rounds {
+			return false
+		}
+		for _, m := range msgs {
+			mix(nd.ID, uint64(nd.Round()))
+			mix(nd.ID, uint64(m.Port))
+			mix(nd.ID, uint64(m.From))
+			mix(nd.ID, uint64(m.Edge))
+			for _, w := range m.Payload {
+				mix(nd.ID, w)
+			}
+		}
+		if nd.Round() == 1 {
+			cur[nd.ID] = uint64(nd.ID)
+			nd.Broadcast(congest.Words{cur[nd.ID]})
+			return true
+		}
+		improved := false
+		for _, m := range msgs {
+			if m.Payload[0] < cur[nd.ID] {
+				cur[nd.ID] = m.Payload[0]
+				improved = true
+			}
+		}
+		if improved {
+			nd.Broadcast(congest.Words{cur[nd.ID]})
+		}
+		return true
+	})
+	stats, err := congest.RunSync(g, func(nd *congest.Node) congest.RoundFunc { return shared }, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix(0, uint64(stats.Rounds))
+	mix(0, uint64(stats.Messages))
+	mix(0, uint64(stats.TotalBits))
+	mix(0, uint64(stats.MaxEdgeLoad))
+	return digest
+}
+
+// TestTranscripts100kAcrossGOMAXPROCS is the at-scale determinism witness
+// the million-node acceptance demands: a 10⁵-node wheel (maximal shard
+// skew — one hub port per shard boundary) floods under GOMAXPROCS 1 and
+// 8, and every node's transcript digest must match exactly.
+func TestTranscripts100kAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-node transcript comparison skipped in -short")
+	}
+	g := gen.WheelCSR(100_000).Graph()
+	prev := runtime.GOMAXPROCS(1)
+	one := hashRun(t, g, 5)
+	runtime.GOMAXPROCS(8)
+	eight := hashRun(t, g, 5)
+	runtime.GOMAXPROCS(prev)
+	for v := range one {
+		if one[v] != eight[v] {
+			t.Fatalf("node %d transcript digest differs between GOMAXPROCS=1 (%x) and GOMAXPROCS=8 (%x)", v, one[v], eight[v])
+		}
+	}
+}
+
+// TestOnRoundStreamsTotals checks the streaming per-round probe: the
+// folded per-round figures must reproduce the run totals exactly, rounds
+// must arrive 1..R in order, and a fold state of O(1) suffices.
+func TestOnRoundStreamsTotals(t *testing.T) {
+	g := gen.GridCSR(40, 40).Graph()
+	proto, _ := minFloodProto(g.N(), 8)
+	var rounds, msgs, bits, lastRound int
+	stats, err := congest.RunSync(g, proto, congest.Options{
+		OnRound: func(p congest.RoundProbe) {
+			if p.Round != lastRound+1 {
+				t.Errorf("probe round %d after %d", p.Round, lastRound)
+			}
+			lastRound = p.Round
+			rounds++
+			msgs += p.Messages
+			bits += p.Bits
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != stats.Rounds {
+		t.Fatalf("observed %d rounds, stats say %d", rounds, stats.Rounds)
+	}
+	if msgs != stats.Messages || bits != stats.TotalBits {
+		t.Fatalf("streamed totals %d msgs / %d bits, stats %d / %d", msgs, bits, stats.Messages, stats.TotalBits)
+	}
+}

@@ -1,0 +1,153 @@
+package graph_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomConnectedGraph builds an append-only random connected multigraph:
+// a random spanning tree plus extra random edges (parallels allowed).
+func randomConnectedGraph(n, extra int, rng *rand.Rand) *graph.Graph {
+	g := graph.NewWithEdgeCapacity(n, n-1+extra)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v, 1+rng.Float64())
+	}
+	for i := 0; i < extra; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		g.AddEdge(u, v, 1+rng.Float64())
+	}
+	return g
+}
+
+// TestCSRRoundTrip checks the exact round-trip contract: Graph → CSR →
+// Graph preserves edge IDs, weights, and port order byte-for-byte, and
+// CSR → Graph → CSR is the identity.
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 17, 200} {
+		g := randomConnectedGraph(n, n/2, rng)
+		c := graph.NewCSR(g)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back := c.Graph()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("n=%d: round-tripped graph invalid: %v", n, err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("n=%d: round-trip size %d/%d, want %d/%d", n, back.N(), back.M(), g.N(), g.M())
+		}
+		for id := 0; id < g.M(); id++ {
+			if g.Edge(id) != back.Edge(id) {
+				t.Fatalf("n=%d: edge %d changed: %v -> %v", n, id, g.Edge(id), back.Edge(id))
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if len(g.Adj(v)) == 0 && len(back.Adj(v)) == 0 {
+				continue // nil vs empty backing slice
+			}
+			if !reflect.DeepEqual(g.Adj(v), back.Adj(v)) {
+				t.Fatalf("n=%d: port order at vertex %d changed: %v -> %v", n, v, g.Adj(v), back.Adj(v))
+			}
+		}
+		again := graph.NewCSR(back)
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("n=%d: CSR -> Graph -> CSR not the identity", n)
+		}
+	}
+}
+
+// TestCSRBFSMatchesGraph checks that CSR BFS visits arcs in port order and
+// reproduces the Graph-side BFS tree exactly.
+func TestCSRBFSMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := randomConnectedGraph(300, 150, rng)
+	c := graph.NewCSR(g)
+	for _, src := range []int{0, 7, 299} {
+		want := graph.BFS(g, src)
+		got := c.BFS(int32(src))
+		if len(got.Order) != len(want.Order) {
+			t.Fatalf("src %d: reached %d vertices, want %d", src, len(got.Order), len(want.Order))
+		}
+		for v := 0; v < g.N(); v++ {
+			if int(got.Dist[v]) != want.Dist[v] || int(got.Parent[v]) != want.Parent[v] || int(got.ParentEdge[v]) != want.ParentEdge[v] {
+				t.Fatalf("src %d: vertex %d: got (%d,%d,%d), want (%d,%d,%d)", src, v,
+					got.Dist[v], got.Parent[v], got.ParentEdge[v],
+					want.Dist[v], want.Parent[v], want.ParentEdge[v])
+			}
+		}
+		for i, v := range want.Order {
+			if int(got.Order[i]) != v {
+				t.Fatalf("src %d: visit order diverges at %d: %d vs %d", src, i, got.Order[i], v)
+			}
+		}
+	}
+	if !c.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if got, want := c.DiameterApprox(), graph.DiameterApprox(g); got != want {
+		t.Fatalf("DiameterApprox: CSR %d, Graph %d", got, want)
+	}
+}
+
+// TestCSRMSTMatchesKruskal checks the CSR Kruskal oracle selects the
+// byte-identical edge ID set as the Graph-side Kruskal.
+func TestCSRMSTMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(250, 400, rng)
+	c := graph.NewCSR(g)
+	wantIDs, wantW := graph.Kruskal(g)
+	gotIDs, gotW := c.MST()
+	if len(gotIDs) != len(wantIDs) || gotW != wantW {
+		t.Fatalf("MST: got %d edges weight %v, want %d edges weight %v", len(gotIDs), gotW, len(wantIDs), wantW)
+	}
+	for i := range wantIDs {
+		if int(gotIDs[i]) != wantIDs[i] {
+			t.Fatalf("MST edge %d: got ID %d, want %d", i, gotIDs[i], wantIDs[i])
+		}
+	}
+}
+
+// TestFromEdges checks the degree-prefix constructor reproduces an AddEdge
+// loop exactly (edges, port order) with pre-sized adjacency.
+func TestFromEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	want := randomConnectedGraph(120, 80, rng)
+	got := graph.FromEdges(want.N(), want.Edges())
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < want.N(); v++ {
+		if !reflect.DeepEqual(want.Adj(v), got.Adj(v)) {
+			t.Fatalf("vertex %d: adjacency %v, want %v", v, got.Adj(v), want.Adj(v))
+		}
+	}
+	if !reflect.DeepEqual(graph.NewCSR(want), graph.NewCSR(got)) {
+		t.Fatal("FromEdges CSR snapshot differs from AddEdge-built graph")
+	}
+}
+
+// TestCSRDisconnected checks the disconnected sentinels.
+func TestCSRDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	c := graph.NewCSR(g)
+	if c.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if d := c.DiameterApprox(); d != -1 {
+		t.Fatalf("DiameterApprox on disconnected graph: %d, want -1", d)
+	}
+	ids, _ := c.MST()
+	if len(ids) != 2 {
+		t.Fatalf("spanning forest has %d edges, want 2", len(ids))
+	}
+}

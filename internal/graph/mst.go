@@ -132,26 +132,34 @@ func (h *edgeHeap) pop() int {
 // bound.
 func BoruvkaPhases(g *Graph) (ids []int, weight float64, phases int) {
 	uf := NewUnionFind(g.N())
-	chosen := make(map[int]bool)
+	chosen := make([]bool, g.M())
+	best := make([]int, g.N()) // component rep -> best outgoing edge ID, -1 if none
 	for uf.Count() > 1 {
-		best := make(map[int]int) // component rep -> best outgoing edge ID
+		for i := range best {
+			best[i] = -1
+		}
+		found := false
 		for id := 0; id < g.M(); id++ {
 			e := g.Edge(id)
 			ru, rv := uf.Find(e.U), uf.Find(e.V)
 			if ru == rv {
 				continue
 			}
+			found = true
 			for _, r := range [2]int{ru, rv} {
-				if b, ok := best[r]; !ok || EdgeLess(g, id, b) {
+				if b := best[r]; b == -1 || EdgeLess(g, id, b) {
 					best[r] = id
 				}
 			}
 		}
-		if len(best) == 0 {
+		if !found {
 			break // disconnected: remaining components have no outgoing edges
 		}
 		merged := false
 		for _, id := range best {
+			if id == -1 {
+				continue
+			}
 			e := g.Edge(id)
 			if uf.Union(e.U, e.V) {
 				merged = true
@@ -166,11 +174,12 @@ func BoruvkaPhases(g *Graph) (ids []int, weight float64, phases int) {
 			break
 		}
 	}
-	ids = make([]int, 0, len(chosen))
-	for id := range chosen {
-		ids = append(ids, id)
+	ids = make([]int, 0, g.N()-1)
+	for id, c := range chosen {
+		if c {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
 	return ids, weight, phases
 }
 

@@ -44,7 +44,7 @@ func PipelinedMST(g *graph.Graph) (*RunStats, error) {
 		target++
 	}
 	uf := graph.NewUnionFind(n)
-	chosen := make(map[int]bool)
+	chosen := make([]bool, g.M())
 	for phase := 0; uf.Count() > target && phase < 64; phase++ {
 		parts, err := partition.New(g, uf.Sets())
 		if err != nil {
@@ -183,9 +183,11 @@ func PipelinedMST(g *graph.Graph) (*RunStats, error) {
 		}
 	}
 	stats.CommRounds += t.Height() + 1 // broadcast of the result
-	for id := range chosen {
-		stats.EdgeIDs = append(stats.EdgeIDs, id)
+	stats.EdgeIDs = make([]int, 0, n-1)
+	for id, c := range chosen {
+		if c {
+			stats.EdgeIDs = append(stats.EdgeIDs, id)
+		}
 	}
-	sort.Ints(stats.EdgeIDs)
 	return stats, nil
 }

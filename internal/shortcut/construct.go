@@ -2,6 +2,7 @@ package shortcut
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -149,8 +150,43 @@ func FromFloodState(g *graph.Graph, t *graph.Tree, p *partition.Parts, admitted 
 	if err := ValidPriorities(prio, p.NumParts()); err != nil {
 		return nil, err
 	}
+	if t.G != g {
+		return nil, fmt.Errorf("shortcut: tree belongs to a different graph")
+	}
+	if p.G != g {
+		return nil, fmt.Errorf("shortcut: parts belong to a different graph")
+	}
+	for i, set := range p.Sets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("shortcut: part %d is empty", i)
+		}
+	}
 	inv := invertPriorities(p.NumParts(), prio)
-	edges := make([][]int, p.NumParts())
+	np := p.NumParts()
+	// The total assignment size Σᵥ|admitted(v)| reaches Θ(n·cap) at scale, so
+	// the per-part lists are carved out of one counted slab instead of grown
+	// with append — a counting pass, a prefix sum, and a fill pass, the same
+	// shape as the CSR arc assembly. The lists are duplicate-free by
+	// construction (admitted ranks are distinct per vertex, and distinct
+	// vertices have distinct parent edges) and every ID is a tree edge by
+	// definition, so New's sortedDedup copy and tree-membership sweep are
+	// redundant here; each region is sorted in place and the Shortcut built
+	// directly.
+	off := make([]int, np+1)
+	for v := 0; v < g.N(); v++ {
+		if t.ParentEdge[v] == -1 {
+			continue
+		}
+		for _, r := range admitted[v] {
+			off[inv[r]+1]++
+		}
+	}
+	for i := 0; i < np; i++ {
+		off[i+1] += off[i]
+	}
+	slab := make([]int, off[np])
+	cur := make([]int, np)
+	copy(cur, off[:np])
 	for v := 0; v < g.N(); v++ {
 		id := t.ParentEdge[v]
 		if id == -1 {
@@ -158,10 +194,17 @@ func FromFloodState(g *graph.Graph, t *graph.Tree, p *partition.Parts, admitted 
 		}
 		for _, r := range admitted[v] {
 			i := inv[r]
-			edges[i] = append(edges[i], id)
+			slab[cur[i]] = id
+			cur[i]++
 		}
 	}
-	return New(g, t, p, edges)
+	s := &Shortcut{G: g, T: t, P: p, Edges: make([][]int, np)}
+	for i := 0; i < np; i++ {
+		region := slab[off[i]:off[i+1]:off[i+1]]
+		sort.Ints(region)
+		s.Edges[i] = region
+	}
+	return s, nil
 }
 
 // invertPriorities returns the rank -> part mapping (identity for nil prio).
@@ -196,6 +239,13 @@ func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int,
 	seen := g.AcquireScratch()
 	defer g.ReleaseScratch(seen)
 	var present []int32
+	// Per-vertex lists are carved from chunked arenas rather than allocated
+	// individually: at scale the fixed point holds Θ(n·cap) ranks, and n
+	// separate allocations (plus their zeroing) dominate the flood's cost.
+	// Headroom is tracked by hand because the cap parameter shadows the
+	// builtin.
+	var arena []int32
+	arenaFree := 0
 	// Children precede parents in reverse BFS order, so admitted(c) is final
 	// when v merges it.
 	for oi := n - 1; oi >= 0; oi-- {
@@ -223,11 +273,22 @@ func FloodFixedPoint(g *graph.Graph, t *graph.Tree, p *partition.Parts, cap int,
 		if len(present) == 0 {
 			continue
 		}
-		sort.Slice(present, func(a, b int) bool { return present[a] < present[b] })
+		slices.Sort(present)
 		if len(present) > cap {
 			present = present[:cap]
 		}
-		admitted[v] = append([]int32(nil), present...)
+		if len(present) > arenaFree {
+			size := 1 << 15
+			if len(present) > size {
+				size = len(present)
+			}
+			arena = make([]int32, 0, size)
+			arenaFree = size
+		}
+		start := len(arena)
+		arena = append(arena, present...)
+		arenaFree -= len(present)
+		admitted[v] = arena[start:len(arena):len(arena)]
 	}
 	return admitted
 }

@@ -143,22 +143,46 @@ func (s *Shortcut) Measure() Measurement {
 // (Definition 12; a part vertex not covered by Hᵢ is a singleton block).
 func (s *Shortcut) BlockCounts() []int {
 	out := make([]int, s.P.NumParts())
-	n := s.G.N()
-	uf := graph.NewUnionFind(n)
+	// The union-find runs over a local index space of the vertices the
+	// part's shortcut edges actually touch, so the whole count is
+	// O(Σ|Hᵢ| + Σ|Pᵢ|) — a per-part Reset over all n vertices made this
+	// quadratic in the part count, which the million-node cap search
+	// cannot afford. An untouched part member is its own singleton block
+	// and is counted directly by its global vertex; a touched local root
+	// is counted by its (touched, hence disjoint) global vertex.
+	loc := s.G.AcquireScratch() // global vertex -> local touched index
+	defer s.G.ReleaseScratch(loc)
 	reps := s.G.AcquireScratch()
 	defer s.G.ReleaseScratch(reps)
+	var touched []int
+	uf := graph.NewUnionFind(0)
 	for i, ids := range s.Edges {
-		if i > 0 {
-			uf.Reset(n)
-		}
+		loc.Reset()
+		touched = touched[:0]
 		for _, id := range ids {
 			e := s.G.Edge(id)
-			uf.Union(e.U, e.V)
+			if !loc.Has(e.U) {
+				loc.Set(e.U, int32(len(touched)))
+				touched = append(touched, e.U)
+			}
+			if !loc.Has(e.V) {
+				loc.Set(e.V, int32(len(touched)))
+				touched = append(touched, e.V)
+			}
+		}
+		uf.Reset(len(touched))
+		for _, id := range ids {
+			e := s.G.Edge(id)
+			uf.Union(int(loc.GetOr(e.U, -1)), int(loc.GetOr(e.V, -1)))
 		}
 		reps.Reset()
 		distinct := 0
 		for _, v := range s.P.Sets[i] {
-			if reps.Visit(uf.Find(v)) {
+			r := v
+			if loc.Has(v) {
+				r = touched[uf.Find(int(loc.GetOr(v, -1)))]
+			}
+			if reps.Visit(r) {
 				distinct++
 			}
 		}
@@ -270,22 +294,109 @@ func (s *Shortcut) AugmentedDiameter(i int) (int, error) {
 // and ecc ≤ diameter ≤ 2·ecc, so it tracks the quantity the framework
 // bounds while staying cheap enough to evaluate per doubling guess. The
 // same empty-part and disconnection cases are explicit errors.
+//
+// Unlike AugmentedDiameter, the probe never materializes a *graph.Graph:
+// the cap search evaluates it parts × guesses times, and per-probe
+// adjacency-list construction dominated the whole search at scale. It runs
+// BFS over a flat local CSR assembled with one counting pass instead.
 func (s *Shortcut) AugmentedEcc(i int) (int, error) {
-	aug, src, err := s.augmentedSubgraph(i)
-	if err != nil {
-		return 0, err
+	if i < 0 || i >= s.P.NumParts() {
+		return 0, fmt.Errorf("shortcut: part %d out of range for %d parts", i, s.P.NumParts())
 	}
-	r := graph.BFS(aug, src)
-	if len(r.Order) != aug.N() {
-		return 0, fmt.Errorf("shortcut: augmented subgraph of part %d is disconnected: %w", i, graph.ErrDisconnected)
+	if len(s.P.Sets[i]) == 0 {
+		return 0, fmt.Errorf("shortcut: part %d is empty, augmented diameter undefined", i)
 	}
-	ecc := 0
-	for _, v := range r.Order {
-		if r.Dist[v] > ecc {
-			ecc = r.Dist[v]
+	g := s.G
+	in := g.AcquireScratch() // vertex -> local index
+	defer g.ReleaseScratch(in)
+	partIn := g.AcquireScratch()
+	defer g.ReleaseScratch(partIn)
+	verts := make([]int, 0, len(s.P.Sets[i])+2*len(s.Edges[i]))
+	for _, v := range s.P.Sets[i] {
+		if in.Visit(v) {
+			verts = append(verts, v)
+		}
+		partIn.Visit(v)
+	}
+	numPart := len(verts)
+	for _, id := range s.Edges[i] {
+		e := g.Edge(id)
+		if in.Visit(e.U) {
+			verts = append(verts, e.U)
+		}
+		if in.Visit(e.V) {
+			verts = append(verts, e.V)
 		}
 	}
-	return ecc, nil
+	for li, v := range verts {
+		in.Set(v, int32(li))
+	}
+	// Local CSR: count arc slots (induced part arcs at both endpoints plus
+	// both directions of each shortcut edge), prefix-sum, fill.
+	nl := len(verts)
+	off := make([]int32, nl+1)
+	for _, v := range verts[:numPart] {
+		li := in.GetOr(v, -1)
+		for _, a := range g.Adj(v) {
+			if partIn.Has(a.To) {
+				off[li+1]++
+			}
+		}
+	}
+	for _, id := range s.Edges[i] {
+		e := g.Edge(id)
+		off[in.GetOr(e.U, -1)+1]++
+		off[in.GetOr(e.V, -1)+1]++
+	}
+	for li := 0; li < nl; li++ {
+		off[li+1] += off[li]
+	}
+	dst := make([]int32, off[nl])
+	cur := make([]int32, nl)
+	copy(cur, off[:nl])
+	for _, v := range verts[:numPart] {
+		li := in.GetOr(v, -1)
+		for _, a := range g.Adj(v) {
+			if partIn.Has(a.To) {
+				dst[cur[li]] = in.GetOr(a.To, -1)
+				cur[li]++
+			}
+		}
+	}
+	for _, id := range s.Edges[i] {
+		e := g.Edge(id)
+		lu, lv := in.GetOr(e.U, -1), in.GetOr(e.V, -1)
+		dst[cur[lu]] = lv
+		cur[lu]++
+		dst[cur[lv]] = lu
+		cur[lv]++
+	}
+	dist := make([]int32, nl)
+	for li := range dist {
+		dist[li] = -1
+	}
+	queue := make([]int32, 0, nl)
+	src := in.GetOr(s.P.Sets[i][0], -1)
+	dist[src] = 0
+	queue = append(queue, src)
+	ecc := int32(0)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		for _, w := range dst[off[u]:off[u+1]] {
+			if dist[w] == -1 {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(queue) != nl {
+		return 0, fmt.Errorf("shortcut: augmented subgraph of part %d is disconnected: %w", i, graph.ErrDisconnected)
+	}
+	return int(ecc), nil
 }
 
 // augmentedSubgraph builds G[Pᵢ] + Hᵢ — the subgraph induced by part i plus
