@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json bench bench-smoke bench-baseline scale-smoke sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench
+.PHONY: all build test race vet lint lint-json bench bench-smoke bench-baseline scale-smoke sssp-bench construct-bench pipeline-bench pipecast-bench churn-bench query-bench
 
 all: vet lint build test
 
@@ -33,7 +33,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 bench-smoke:
-	$(GO) test -bench='E5|E9|E13|E14|E15|E18' -benchtime=1x -run=NONE .
+	$(GO) test -bench='E5|E9|E13|E14|E15|E18|E19' -benchtime=1x -run=NONE .
 
 # scale-smoke runs the full zero-witness pipeline at 10⁵ nodes (grid +
 # wheel, hybrid mode) with a bounded wall-clock — the CI guard that the
@@ -61,6 +61,11 @@ pipecast-bench:
 # churn-bench regenerates the E18 self-healing shortcuts-under-churn table.
 churn-bench:
 	$(GO) run ./cmd/churnbench
+
+# query-bench regenerates the E19 batched k-source SSSP + distance-oracle
+# serving table.
+query-bench:
+	$(GO) run ./cmd/querybench
 
 # bench-baseline records the full benchmark suite as JSON for perf
 # trajectory tracking across PRs (compare with benchstat or jq).

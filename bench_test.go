@@ -264,6 +264,16 @@ func BenchmarkE18Churn(b *testing.B) {
 	reportLastCell(b, t, "ratio", "ratio")
 }
 
+func BenchmarkE19Query(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E19Query([]int{10}, []int{64}, []int{8}, 9999, 20000, true, benchSeed)
+	}
+	b.StopTimer()
+	fmt.Println(t)
+	reportLastCell(b, t, "qps", "qps")
+}
+
 // BenchmarkScaleMillionPipeline runs the full zero-witness pipeline at 10⁶
 // nodes and prints each run's per-stage wall-clock/rounds/traffic table —
 // the scale record that make bench-baseline persists into

@@ -1,0 +1,33 @@
+// querybench regenerates the query-serving table (experiment E19): batched
+// k-source (1+ε)-SSSP — one relaxation schedule pipelining all k sources'
+// tokens over the same shortcut — against k sequential runs on grids,
+// heavy-spoke wheels, and K5-minor-free clique-sum chains, plus a cached
+// distance oracle replaying a Zipf-skewed query trace (queries/sec, cache
+// hit rate, amortized rounds per query) on a 10^4-node wheel.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "deterministic seed")
+	queries := flag.Int("queries", 20000, "queries per replayed trace")
+	big := flag.Bool("big", false, "larger sweep (slower)")
+	flag.Parse()
+
+	grids := []int{10}
+	wheels := []int{64}
+	chains := []int{8}
+	serveRim := 9999
+	if *big {
+		grids = []int{10, 14}
+		wheels = []int{64, 128}
+		chains = []int{8, 12}
+		serveRim = 19999
+	}
+	fmt.Println(experiments.E19Query(grids, wheels, chains, serveRim, *queries, true, *seed))
+}

@@ -24,6 +24,9 @@ import (
 // and the node-rounds dominance that makes the ceiling a kernel check.
 func pinAllocs(t *testing.T, name string, ceiling float64, nodeRounds int, fn func()) {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
 	fn() // warm lazy state so the pin measures steady-state runs
 	allocs := testing.AllocsPerRun(8, fn)
 	if allocs > ceiling {
@@ -117,4 +120,47 @@ func TestRelaxPartwiseAllocsFlat(t *testing.T) {
 	}
 	run()
 	pinAllocs(t, "Relaxer.Relax", 96, g.N()*stats.Rounds, run)
+}
+
+// TestBatchRelaxAllocsFlat pins the batched k-source relaxation kernel on
+// a reused BatchRelaxer: one run's allocations are its setup slabs (the
+// k×n distance planes, channel CSR views, dirty bits), not O(node-rounds)
+// objects — the zero-allocs-per-round claim of the query-serving layer's
+// miss path.
+func TestBatchRelaxAllocsFlat(t *testing.T) {
+	rng := xrand.New(17)
+	g := gen.UniformWeights(gen.Wheel(129).G, rng)
+	p, err := partition.RimArcs(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.BFSTree(g, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := shortcut.ObliviousAuto(g, tr, p)
+	relaxer := congest.NewBatchRelaxer(g, p, s)
+	weights := make([]float64, g.M())
+	for id := range weights {
+		weights[id] = g.Edge(id).W
+	}
+	const k = 8
+	init := make([][]float64, k)
+	for i := range init {
+		init[i] = make([]float64, g.N())
+		for v := range init[i] {
+			init[i][v] = math.Inf(1)
+		}
+		init[i][(i*11)%g.N()] = 0
+	}
+	var stats congest.Stats
+	run := func() {
+		res, err := relaxer.Relax(weights, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = res.Stats
+	}
+	run()
+	pinAllocs(t, "BatchRelaxer.Relax", 224, g.N()*stats.Rounds, run)
 }

@@ -19,6 +19,11 @@ import (
 func buildEdgeChannels(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut) func(id int) []int32 {
 	peOff := make([]int32, g.M()+1)
 	induced := func(id int) int {
+		if g.EdgeRemoved(id) {
+			// Churn tombstone: carries no channel (and its endpoints are
+			// gone, so the part lookup below would misindex).
+			return -1
+		}
 		e := g.Edge(id)
 		if pi := p.Of[e.U]; pi != -1 && pi == p.Of[e.V] {
 			return pi

@@ -1,0 +1,7 @@
+//go:build !race
+
+package congest_test
+
+// raceEnabled reports whether the race detector instruments this build
+// (see raceon_test.go).
+const raceEnabled = false

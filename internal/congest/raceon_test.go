@@ -1,0 +1,9 @@
+//go:build race
+
+package congest_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count pins skip under it: instrumentation changes escape
+// analysis and adds runtime bookkeeping objects, so AllocsPerRun counts
+// are inflated and meaningless against the plain-build ceilings.
+const raceEnabled = true

@@ -1,0 +1,81 @@
+package experiments_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// E19's acceptance bars: every simulated E14-family row shows a batching
+// speedup > 2 at k=8 with its per-phase quiet-point inside the O(h+k)
+// budget, and the 10⁴-node serving row sustains ≥ 10⁵ queries/sec from
+// the warmed cache with the hit rate and rounds/query columns populated.
+func TestE19QueryAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E19 sweep skipped in -short mode")
+	}
+	tbl := experiments.E19Query([]int{10}, []int{64}, []int{8}, 9999, 20000, true, 7)
+	if tbl.ID != "E19" {
+		t.Fatalf("table ID %q", tbl.ID)
+	}
+	wantFamilies := map[string]bool{"grid": false, "wheel": false, "k5free": false, "serve-wheel": false}
+	for i := range tbl.Rows {
+		family := tbl.Cell(i, "family")
+		if _, ok := wantFamilies[family]; !ok {
+			t.Fatalf("row %d: unexpected family %q", i, family)
+		}
+		wantFamilies[family] = true
+
+		speedup, err := strconv.ParseFloat(tbl.Cell(i, "speedup"), 64)
+		if err != nil {
+			t.Fatalf("row %d speedup: %v", i, err)
+		}
+		if speedup <= 2 {
+			t.Errorf("%s: batched k-source speedup %.2f, want > 2", family, speedup)
+		}
+
+		if family != "serve-wheel" {
+			rpMax, err := strconv.Atoi(tbl.Cell(i, "rp_max"))
+			if err != nil {
+				t.Fatalf("row %d rp_max: %v", i, err)
+			}
+			rpBound, err := strconv.Atoi(tbl.Cell(i, "rp_bound"))
+			if err != nil {
+				t.Fatalf("row %d rp_bound: %v", i, err)
+			}
+			if rpMax > rpBound {
+				t.Errorf("%s: per-phase quiet-point %d exceeds the O(h+k) budget %d", family, rpMax, rpBound)
+			}
+		}
+
+		hitPct, err := strconv.ParseFloat(tbl.Cell(i, "hit_pct"), 64)
+		if err != nil {
+			t.Fatalf("row %d hit_pct: %v", i, err)
+		}
+		if hitPct <= 0 || hitPct > 100 {
+			t.Errorf("%s: hit_pct %.2f outside (0, 100]", family, hitPct)
+		}
+		if _, err := strconv.ParseFloat(tbl.Cell(i, "r_query"), 64); err != nil {
+			t.Fatalf("row %d r_query: %v", i, err)
+		}
+
+		if family == "serve-wheel" {
+			if n, _ := strconv.Atoi(tbl.Cell(i, "n")); n != 10000 {
+				t.Errorf("serving row has %d nodes, want 10000", n)
+			}
+			qps, err := strconv.ParseFloat(tbl.Cell(i, "qps"), 64)
+			if err != nil {
+				t.Fatalf("serve row qps: %v", err)
+			}
+			if qps < 1e5 {
+				t.Errorf("warmed serving throughput %.0f qps, want >= 1e5", qps)
+			}
+		}
+	}
+	for family, present := range wantFamilies {
+		if !present {
+			t.Errorf("family %s missing from E19", family)
+		}
+	}
+}

@@ -129,8 +129,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	tables := experiments.All(7)
 	// Pinned explicitly (not via len(Runners())) so accidentally dropping
 	// an experiment from the registry fails here; bump when adding one.
-	if len(tables) != 19 {
-		t.Fatalf("expected 19 tables, got %d", len(tables))
+	if len(tables) != 20 {
+		t.Fatalf("expected 20 tables, got %d", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {

@@ -49,6 +49,7 @@ func Runners() []Runner {
 		{"E14", func(seed int64) *Table { return E14Pipeline([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
 		{"E15", func(seed int64) *Table { return E15Pipecast([]int{6, 10, 14}, []int{32, 64}, []int{2, 4, 8, 16}, seed) }},
 		{"E18", func(seed int64) *Table { return E18Churn([]int{6, 10, 14}, []int{32, 64}, []int{2, 4}, 40, seed) }},
+		{"E19", func(seed int64) *Table { return E19Query([]int{10}, []int{64}, []int{8}, 9999, 20000, false, seed) }},
 	}
 }
 

@@ -75,9 +75,18 @@ func Dijkstra(g *Graph, src int) (*SPResult, error) {
 // set). It is the shared substrate of the relaxation fixed-point oracles
 // in congest and sssp, which must stay algorithmically in lock-step for
 // their bit-identical-distances guarantee.
+//
+// Each entry snapshots its key at Push time. Keying entries by the live
+// distance slice instead would silently break the heap invariant whenever
+// a distance decreases after insertion — a stale entry's key shrinks in
+// place, Pop can then surface a non-minimal vertex, and a done-marking
+// Dijkstra discards the improvement that arrives after the premature pop.
+// That corruption needs many initially-finite entries to bite, which is
+// exactly the all-finite init of a mid-pipeline relaxation phase.
 type MinDistHeap struct {
 	dist []float64
 	vs   []int32
+	keys []float64
 }
 
 // Reset points the heap at a distance slice and empties it, keeping the
@@ -85,21 +94,24 @@ type MinDistHeap struct {
 func (h *MinDistHeap) Reset(dist []float64) {
 	h.dist = dist
 	h.vs = h.vs[:0]
+	h.keys = h.keys[:0]
 }
 
 // Len returns the number of (possibly stale) entries.
 func (h *MinDistHeap) Len() int { return len(h.vs) }
 
-// Push inserts vertex v keyed by its current distance.
+// Push inserts vertex v keyed by its distance at insertion time.
 func (h *MinDistHeap) Push(v int) {
 	h.vs = append(h.vs, int32(v))
+	h.keys = append(h.keys, h.dist[v])
 	i := len(h.vs) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.dist[h.vs[i]] >= h.dist[h.vs[p]] {
+		if h.keys[i] >= h.keys[p] {
 			break
 		}
 		h.vs[i], h.vs[p] = h.vs[p], h.vs[i]
+		h.keys[i], h.keys[p] = h.keys[p], h.keys[i]
 		i = p
 	}
 }
@@ -109,21 +121,24 @@ func (h *MinDistHeap) Pop() int {
 	top := h.vs[0]
 	last := len(h.vs) - 1
 	h.vs[0] = h.vs[last]
+	h.keys[0] = h.keys[last]
 	h.vs = h.vs[:last]
+	h.keys = h.keys[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < last && h.dist[h.vs[l]] < h.dist[h.vs[small]] {
+		if l < last && h.keys[l] < h.keys[small] {
 			small = l
 		}
-		if r < last && h.dist[h.vs[r]] < h.dist[h.vs[small]] {
+		if r < last && h.keys[r] < h.keys[small] {
 			small = r
 		}
 		if small == i {
 			break
 		}
 		h.vs[i], h.vs[small] = h.vs[small], h.vs[i]
+		h.keys[i], h.keys[small] = h.keys[small], h.keys[i]
 		i = small
 	}
 	return int(top)

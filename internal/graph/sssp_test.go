@@ -112,3 +112,74 @@ func TestDijkstraUnreachable(t *testing.T) {
 		t.Fatalf("direct neighbor misreported")
 	}
 }
+
+// The fixed-point oracles (congest's channelFixedPoint, sssp's intra-phase
+// Dijkstra) run done-marking Dijkstra over MinDistHeap starting from an
+// all-finite distance vector. That is only correct if heap order survives
+// key decreases after insertion — i.e., if entries snapshot their key at
+// Push time. A heap keyed by the live distance slice corrupts silently on
+// exactly this access pattern: a stale entry's key shrinks in place, Pop
+// surfaces a non-minimal vertex, it is marked done, and the improvement
+// that arrives afterwards is discarded. This regression pins the scenario:
+// a cycle with a heavy apex (long rim-routed shortest paths) relaxed from
+// an apex-routed all-finite init, checked bit-exactly against the
+// exhaustive Bellman-Ford fixed point.
+func TestMinDistHeapAllFiniteInitDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		const n = 96
+		g := New(n + 1)
+		apex := n
+		for v := 0; v < n; v++ {
+			g.AddEdge(v, (v+1)%n, 1+rng.Float64())
+			g.AddEdge(v, apex, float64(n)*(1+rng.Float64()))
+		}
+		// All-finite init mimicking a mid-pipeline phase: every vertex
+		// already holds its apex-routed estimate.
+		init := make([]float64, g.N())
+		for v := 0; v < n; v++ {
+			init[v] = g.Edge(2*v + 1).W
+		}
+		init[apex] = 0
+		// Done-marking Dijkstra over MinDistHeap — the oracles' pattern.
+		dist := append([]float64(nil), init...)
+		var h MinDistHeap
+		h.Reset(dist)
+		for v := range dist {
+			h.Push(v)
+		}
+		done := make([]bool, g.N())
+		for h.Len() > 0 {
+			v := h.Pop()
+			if done[v] {
+				continue
+			}
+			done[v] = true
+			for _, a := range g.Adj(v) {
+				if cand := dist[v] + g.Edge(a.ID).W; cand < dist[a.To] {
+					dist[a.To] = cand
+					h.Push(a.To)
+				}
+			}
+		}
+		// Exhaustive Bellman-Ford fixed point: same left-folded path sums,
+		// so the comparison is bit-exact.
+		want := append([]float64(nil), init...)
+		for changed := true; changed; {
+			changed = false
+			for v := 0; v < g.N(); v++ {
+				for _, a := range g.Adj(v) {
+					if cand := want[v] + g.Edge(a.ID).W; cand < want[a.To] {
+						want[a.To] = cand
+						changed = true
+					}
+				}
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if dist[v] != want[v] {
+				t.Fatalf("trial %d vertex %d: heap Dijkstra %v, Bellman-Ford fixed point %v", trial, v, dist[v], want[v])
+			}
+		}
+	}
+}

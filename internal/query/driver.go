@@ -1,0 +1,205 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/xrand"
+)
+
+// TraceOptions configures a synthetic query-trace replay.
+type TraceOptions struct {
+	// Queries is the trace length (required, > 0).
+	Queries int
+	// Window is the batching granularity: each window's distinct missing
+	// sources are computed in one batched k-source run before the
+	// window's queries are served concurrently. Zero selects 1024.
+	Window int
+	// Workers is the serving concurrency (zero selects GOMAXPROCS). The
+	// report's deterministic fields are identical for every worker count:
+	// warming is sequential and the checksum folds per-query hashes with
+	// XOR, which is order-independent.
+	Workers int
+	// ZipfS is the source skew exponent (zero selects 1.2; must be > 1).
+	// Sources are drawn Zipf-distributed over a seeded permutation of the
+	// vertices, destinations uniformly.
+	ZipfS float64
+	// Seed drives the whole trace; equal seeds replay byte-identical
+	// traces.
+	Seed int64
+}
+
+// Report summarizes a replay. All fields except WallNS and QPS are
+// byte-deterministic in (oracle state, TraceOptions) — independent of
+// Workers and GOMAXPROCS.
+type Report struct {
+	Queries int
+	// Hits counts queries served from a cached vector — including the
+	// window-mates of a miss, which ride the batched computation the first
+	// query of their source triggered. Misses counts the remainder: one
+	// per distinct uncached source per window.
+	Hits   int
+	Misses int
+	// Computed is the number of source vectors actually computed (the sum
+	// of batch sizes = Misses).
+	Computed int
+	Windows  int
+	Workers  int
+	// Rounds is the two-ledger communication cost of the whole replay:
+	// every batched miss computation, with hits contributing zero.
+	Rounds pipeline.Rounds
+	// Checksum XOR-folds a hash of every (query index, answer) pair: the
+	// determinism witness compared across worker counts and replays.
+	Checksum uint64
+	// WallNS/QPS report wall-clock serving throughput (not deterministic).
+	WallNS int64
+	QPS    float64
+	// HitRate is Hits/Queries; RoundsPerQuery amortizes Rounds.Total()
+	// over the trace.
+	HitRate        float64
+	RoundsPerQuery float64
+}
+
+// mixQuery hashes one served query into its checksum contribution:
+// SplitMix64-style finalization over the query's global index and the
+// answer's bits, so the XOR fold is order-independent but still position-
+// and value-sensitive.
+//
+//congest:pure
+func mixQuery(idx, bits uint64) uint64 {
+	x := idx*0x9E3779B97F4A7C15 ^ bits
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Replay drives a seeded Zipf-skewed synthetic trace against the oracle:
+// per window it classifies hits sequentially, warms the distinct missing
+// sources in one batched k-source computation, then serves the window's
+// queries concurrently over Workers goroutines from the cache (read-only:
+// the concurrent phase installs nothing, so the cache contents stay
+// exactly what the deterministic warming installed).
+func Replay(o *Oracle, t TraceOptions) (*Report, error) {
+	n := o.N()
+	if n < 2 {
+		return nil, fmt.Errorf("query: replay needs at least 2 vertices, have %d", n)
+	}
+	if t.Queries <= 0 {
+		return nil, fmt.Errorf("query: replay needs a positive query count, got %d", t.Queries)
+	}
+	if t.Window == 0 {
+		t.Window = 1024
+	}
+	if t.Window < 0 {
+		return nil, fmt.Errorf("query: negative window %d", t.Window)
+	}
+	if t.Workers == 0 {
+		t.Workers = runtime.GOMAXPROCS(0)
+	}
+	if t.Workers < 0 {
+		return nil, fmt.Errorf("query: negative worker count %d", t.Workers)
+	}
+	if t.ZipfS == 0 {
+		t.ZipfS = 1.2
+	}
+	if t.ZipfS <= 1 {
+		return nil, fmt.Errorf("query: Zipf exponent must exceed 1, got %v", t.ZipfS)
+	}
+	rng := xrand.New(t.Seed)
+	perm := rng.Perm(n)
+	zipf := rand.NewZipf(rng, t.ZipfS, 1, uint64(n-1))
+	rep := &Report{Queries: t.Queries, Workers: t.Workers}
+	winSrc := make([]int, t.Window)
+	winDst := make([]int, t.Window)
+	seenWin := make(map[int]bool, t.Window)
+	winVec := make(map[int][]float64, t.Window)
+	distinct := make([]int, 0, t.Window)
+	partial := make([]uint64, t.Workers)
+	start := time.Now() //lint:allow seededrand wall-clock serving throughput is the replay's reported metric; no algorithmic decision depends on it
+	for done := 0; done < t.Queries; {
+		count := t.Window
+		if left := t.Queries - done; left < count {
+			count = left
+		}
+		// Generate and classify sequentially: the first query of an
+		// uncached source is the window's miss for it; everything else —
+		// cached sources and repeat window-mates — is a hit.
+		distinct = distinct[:0]
+		clear(seenWin)
+		for i := 0; i < count; i++ {
+			src := perm[int(zipf.Uint64())]
+			winSrc[i] = src
+			winDst[i] = rng.Intn(n)
+			if !seenWin[src] {
+				seenWin[src] = true
+				distinct = append(distinct, src)
+				if !o.Cached(src) {
+					rep.Misses++
+					continue
+				}
+			}
+			rep.Hits++
+		}
+		// One batched computation covers every missing source of the
+		// window; already-cached vectors come back alongside.
+		vecs, computed, cost, err := o.Warm(distinct)
+		if err != nil {
+			return nil, err
+		}
+		rep.Computed += computed
+		rep.Rounds = rep.Rounds.Plus(cost)
+		clear(winVec)
+		for j, src := range distinct {
+			winVec[src] = vecs[j]
+		}
+		// Serve concurrently, read-only: workers fold their chunk's
+		// (index, answer) hashes with XOR, so the merged checksum is
+		// independent of the chunk partition and of scheduling.
+		var wg sync.WaitGroup
+		chunk := (count + t.Workers - 1) / t.Workers
+		for w := 0; w < t.Workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > count {
+				hi = count
+			}
+			if lo >= hi {
+				partial[w] = 0
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				var acc uint64
+				for i := lo; i < hi; i++ {
+					d, ok := o.DistCached(winSrc[i], winDst[i])
+					if !ok {
+						// Evicted between warm and serve (tiny caches):
+						// the window-local vector still answers it.
+						d = winVec[winSrc[i]][winDst[i]]
+					}
+					acc ^= mixQuery(uint64(done+i), math.Float64bits(d))
+				}
+				partial[w] = acc
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, p := range partial {
+			rep.Checksum ^= p
+		}
+		rep.Windows++
+		done += count
+	}
+	rep.WallNS = time.Since(start).Nanoseconds() //lint:allow seededrand wall-clock serving throughput is the replay's reported metric; no algorithmic decision depends on it
+	if rep.WallNS > 0 {
+		rep.QPS = float64(rep.Queries) / (float64(rep.WallNS) / 1e9)
+	}
+	rep.HitRate = float64(rep.Hits) / float64(rep.Queries)
+	rep.RoundsPerQuery = float64(rep.Rounds.Total()) / float64(rep.Queries)
+	return rep, nil
+}

@@ -1,0 +1,326 @@
+// Package query is the serving layer over one constructed shortcut
+// network: build the tree + parts + shortcut once (they are reusable
+// network infrastructure — the paper's framing, and the production one),
+// then answer heavy distance-query traffic against it.
+//
+// The Oracle serves (1+ε)-approximate distances keyed by source. A cache
+// hit costs zero communication rounds (the source's distance vector is
+// already materialized at the querying node); a miss triggers a batched
+// k-source SSSP run (sssp.ApproxBatch) that computes every missing source
+// of the batch in O(h+k) rounds per phase instead of k sequential
+// pipelines — the same multi-token pipelining win Pipecast (E15) proved
+// for convergecasts, applied to Bellman–Ford relaxation. Cached vectors
+// are invalidated through shortcut.Maintained's repair hook: any churn
+// event may move distances, so the cache flushes and the next queries
+// recompute over the repaired network.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/shortcut"
+	"repro/internal/sssp"
+)
+
+// DefaultCacheCap is the default bound on cached source vectors. At 10⁴
+// nodes a vector is 80 KB, so the default caps cache memory at ~330 MB
+// worst case; real traces are Zipf-skewed and sit far below it.
+const DefaultCacheCap = 4096
+
+// Options configures an Oracle.
+type Options struct {
+	// Eps is the approximation slack handed to the batched SSSP engine
+	// (default 0.1; validated as in sssp.Options).
+	Eps float64
+	// Simulate runs miss computations message-level on the CONGEST engine;
+	// false charges the framework budgets analytically. Either way the
+	// answers are byte-identical (both converge to the exact fixed point
+	// under rounded weights); only the ledger differs.
+	Simulate bool
+	// CacheCap bounds the number of cached source vectors (FIFO eviction,
+	// deterministic in install order). Zero selects DefaultCacheCap.
+	CacheCap int
+}
+
+// Stats is a snapshot of an Oracle's cumulative serving counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64 // distinct sources computed (batched misses count once each)
+	Invalidations int64
+	CachedSources int
+	// ComputeRounds is the cumulative two-ledger cost of every miss
+	// computation; hits add zero to either ledger.
+	ComputeRounds pipeline.Rounds
+}
+
+// Oracle serves distance queries over one constructed network. All
+// methods are safe for concurrent use; the hit path is lock-shared and
+// allocation-free.
+type Oracle struct {
+	g     *graph.Graph
+	p     *partition.Parts
+	maint *shortcut.Maintained // nil when the shortcut was supplied directly
+	opts  Options
+
+	mu      sync.RWMutex
+	s       *shortcut.Shortcut
+	cache   map[int]int // source -> slot
+	slots   [][]float64 // slot -> distance vector
+	slotSrc []int       // slot -> cached source
+	next    int         // FIFO eviction hand
+
+	hits          atomic.Int64
+	misses        int64 // write-path counters, guarded by mu
+	invalidations int64
+	rounds        pipeline.Rounds
+}
+
+// New builds an Oracle over a directly supplied construction. The caller
+// owns g/p/s; if the network churns underneath them, use FromMaintained
+// so invalidation is wired up.
+func New(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, opts Options) (*Oracle, error) {
+	if opts.Eps == 0 {
+		opts.Eps = 0.1
+	}
+	if math.IsNaN(opts.Eps) || math.IsInf(opts.Eps, 0) || opts.Eps < 0 {
+		return nil, fmt.Errorf("query: %w: eps %v (want finite eps > 0)", sssp.ErrInvalidOptions, opts.Eps)
+	}
+	if opts.CacheCap < 0 {
+		return nil, fmt.Errorf("query: %w: negative CacheCap %d", sssp.ErrInvalidOptions, opts.CacheCap)
+	}
+	if opts.CacheCap == 0 {
+		opts.CacheCap = DefaultCacheCap
+	}
+	return &Oracle{
+		g:     g,
+		p:     p,
+		s:     s,
+		opts:  opts,
+		cache: make(map[int]int),
+	}, nil
+}
+
+// FromMaintained builds an Oracle over a churn-maintained shortcut and
+// subscribes to its repair events: every successful Repair (and every
+// Reseat rebuild) flushes the cache and re-points the oracle at the
+// maintained shortcut, so post-churn queries recompute against the
+// repaired network.
+func FromMaintained(m *shortcut.Maintained, opts Options) (*Oracle, error) {
+	o, err := New(m.G, m.P, m.Shortcut(), opts)
+	if err != nil {
+		return nil, err
+	}
+	o.maint = m
+	m.OnRepair(func(*shortcut.RepairReport) { o.Invalidate() })
+	return o, nil
+}
+
+// N returns the number of vertices served.
+func (o *Oracle) N() int { return o.g.N() }
+
+// lookup probes the cache for src's distance vector (nil on miss). It is
+// the serving hot path — one map probe, no allocation, no mutation —
+// called with at least a read lock held.
+//
+//congest:hotpath
+//congest:pure
+func (o *Oracle) lookup(src int) []float64 {
+	if si, ok := o.cache[src]; ok {
+		return o.slots[si]
+	}
+	return nil
+}
+
+// Cached reports whether src's distance vector is currently cached,
+// without touching any counter.
+func (o *Oracle) Cached(src int) bool {
+	o.mu.RLock()
+	d := o.lookup(src)
+	o.mu.RUnlock()
+	return d != nil
+}
+
+// Dist returns the (1+ε)-approximate distance from src to dst. A hit
+// costs zero rounds and zero allocations; a miss runs one batched SSSP
+// computation and installs the vector.
+func (o *Oracle) Dist(src, dst int) (float64, error) {
+	if dst < 0 || dst >= o.g.N() {
+		return 0, fmt.Errorf("query: destination %d out of range for n=%d", dst, o.g.N())
+	}
+	o.mu.RLock()
+	d := o.lookup(src)
+	o.mu.RUnlock()
+	if d != nil {
+		o.hits.Add(1)
+		return d[dst], nil
+	}
+	d, err := o.Distances(src)
+	if err != nil {
+		return 0, err
+	}
+	return d[dst], nil
+}
+
+// DistCached is the read-only serving path: the distance if src is
+// cached, with ok=false (and no computation, no counter) otherwise.
+// Concurrent replay workers use it so the cache state stays exactly what
+// the deterministic warming phase installed.
+func (o *Oracle) DistCached(src, dst int) (float64, bool) {
+	o.mu.RLock()
+	d := o.lookup(src)
+	o.mu.RUnlock()
+	if d == nil {
+		return 0, false
+	}
+	o.hits.Add(1)
+	return d[dst], true
+}
+
+// Distances returns src's full distance vector (shared, read-only),
+// computing and caching it on a miss.
+func (o *Oracle) Distances(src int) ([]float64, error) {
+	o.mu.RLock()
+	d := o.lookup(src)
+	o.mu.RUnlock()
+	if d != nil {
+		o.hits.Add(1)
+		return d, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if d := o.lookup(src); d != nil { // raced install
+		o.hits.Add(1)
+		return d, nil
+	}
+	vecs, _, err := o.computeLocked([]int{src})
+	if err != nil {
+		return nil, err
+	}
+	o.install(src, vecs[0])
+	return vecs[0], nil
+}
+
+// Warm ensures every source in srcs is cached, computing all missing ones
+// in a single batched k-source run. It returns the number of sources
+// computed (the batch's misses; duplicates and already-cached sources
+// are served from the existing vectors) and the two-ledger cost of the
+// batch, along with the distance vectors of srcs in order.
+func (o *Oracle) Warm(srcs []int) (vecs [][]float64, computed int, cost pipeline.Rounds, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var missing []int
+	seen := make(map[int]bool, len(srcs))
+	for _, src := range srcs {
+		if !seen[src] && o.lookup(src) == nil {
+			missing = append(missing, src)
+		}
+		seen[src] = true
+	}
+	var fresh map[int][]float64
+	if len(missing) > 0 {
+		mv, mcost, err := o.computeLocked(missing)
+		if err != nil {
+			return nil, 0, pipeline.Rounds{}, err
+		}
+		cost = mcost
+		fresh = make(map[int][]float64, len(missing))
+		for i, src := range missing {
+			o.install(src, mv[i])
+			fresh[src] = mv[i]
+		}
+	}
+	// Serve the requested vectors: from the cache when still resident,
+	// else from the batch result (a small cache can evict a vector it
+	// installed moments ago — the answer is still this window's).
+	vecs = make([][]float64, len(srcs))
+	for i, src := range srcs {
+		if d := o.lookup(src); d != nil {
+			vecs[i] = d
+		} else {
+			vecs[i] = fresh[src]
+		}
+		if vecs[i] == nil {
+			// A previously cached source evicted by this very warm call:
+			// recompute it statelessly so the caller always gets vectors.
+			mv, mcost, err := o.computeLocked([]int{src})
+			if err != nil {
+				return nil, 0, pipeline.Rounds{}, err
+			}
+			cost = cost.Plus(mcost)
+			vecs[i] = mv[0]
+		}
+	}
+	return vecs, len(missing), cost, nil
+}
+
+// computeLocked runs the batched k-source SSSP for the given sources over
+// the current shortcut. Callers hold the write lock (or have exclusive
+// access); the per-source vectors of the result are freshly allocated and
+// safe to hand out read-only.
+func (o *Oracle) computeLocked(srcs []int) ([][]float64, pipeline.Rounds, error) {
+	r, err := sssp.ApproxBatch(o.g, srcs, o.p, o.s, sssp.Options{Eps: o.opts.Eps, Simulate: o.opts.Simulate})
+	if err != nil {
+		return nil, pipeline.Rounds{}, fmt.Errorf("query: batched sssp: %w", err)
+	}
+	cost := pipeline.Rounds{Simulated: r.CommRounds, Charged: r.ChargedRounds}
+	o.misses += int64(len(srcs))
+	o.rounds = o.rounds.Plus(cost)
+	return r.Dist, cost, nil
+}
+
+// install caches src's vector under the FIFO bound. Caller holds the
+// write lock.
+func (o *Oracle) install(src int, d []float64) {
+	if si, ok := o.cache[src]; ok {
+		o.slots[si] = d
+		return
+	}
+	if len(o.slots) < o.opts.CacheCap {
+		o.cache[src] = len(o.slots)
+		o.slots = append(o.slots, d)
+		o.slotSrc = append(o.slotSrc, src)
+		return
+	}
+	si := o.next
+	o.next = (o.next + 1) % o.opts.CacheCap
+	delete(o.cache, o.slotSrc[si])
+	o.cache[src] = si
+	o.slots[si] = d
+	o.slotSrc[si] = src
+}
+
+// Invalidate flushes every cached vector and re-points the oracle at the
+// maintained shortcut's current state. Wired to shortcut.Maintained's
+// repair hook by FromMaintained; callers mutating a directly supplied
+// network invoke it by hand.
+func (o *Oracle) Invalidate() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	clear(o.cache)
+	o.slots = o.slots[:0]
+	o.slotSrc = o.slotSrc[:0]
+	o.next = 0
+	o.invalidations++
+	if o.maint != nil {
+		o.s = o.maint.Shortcut()
+	}
+}
+
+// Stats snapshots the cumulative serving counters.
+func (o *Oracle) Stats() Stats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return Stats{
+		Hits:          o.hits.Load(),
+		Misses:        o.misses,
+		Invalidations: o.invalidations,
+		CachedSources: len(o.cache),
+		ComputeRounds: o.rounds,
+	}
+}

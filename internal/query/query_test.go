@@ -1,0 +1,307 @@
+package query_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/shortcut"
+	"repro/internal/sssp"
+
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+// wheelNet builds the standard wheel test network: rim-arc parts, a
+// hub-rooted BFS tree, and an oblivious shortcut.
+func wheelNet(t *testing.T, rim int, seed int64) (*graph.Graph, *graph.Tree, *partition.Parts, *shortcut.Shortcut) {
+	t.Helper()
+	rng := xrand.New(seed)
+	g := gen.UniformWeights(gen.Wheel(rim).G, rng)
+	p, err := partition.RimArcs(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.BFSTree(g, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := shortcut.ObliviousAuto(g, tr, p)
+	return g, tr, p, s
+}
+
+func TestOracleHitMissAndStretch(t *testing.T) {
+	g, _, p, s := wheelNet(t, 65, 3)
+	const eps = 0.15
+	o, err := query.New(g, p, s, query.Options{Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := 7
+	exact, err := graph.Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ { // first pass misses, second hits
+		for dst := 0; dst < g.N(); dst += 9 {
+			d, err := o.Dist(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exact.Dist[dst]
+			if d < want-1e-12 || d > want*(1+eps)+1e-12 {
+				t.Fatalf("dist(%d,%d) = %v outside [%v, %v]", src, dst, d, want, want*(1+eps))
+			}
+		}
+	}
+	st := o.Stats()
+	if st.Misses != 1 {
+		t.Errorf("one source queried repeatedly: %d misses, want 1", st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Error("repeat queries never hit the cache")
+	}
+	if st.ComputeRounds.Total() == 0 {
+		t.Error("miss computation booked zero rounds in both ledgers")
+	}
+	if !o.Cached(src) || o.Cached(src+1) {
+		t.Error("cache membership wrong after single-source traffic")
+	}
+}
+
+// A hit must cost zero rounds: Stats' compute ledger may not move on
+// cached traffic.
+func TestOracleHitsCostZeroRounds(t *testing.T) {
+	g, _, p, s := wheelNet(t, 33, 5)
+	o, err := query.New(g, p, s, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Distances(4); err != nil {
+		t.Fatal(err)
+	}
+	before := o.Stats().ComputeRounds
+	for i := 0; i < 50; i++ {
+		if _, err := o.Dist(4, i%g.N()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := o.Stats().ComputeRounds; after != before {
+		t.Fatalf("cached traffic moved the compute ledgers: %+v -> %+v", before, after)
+	}
+}
+
+// Warm computes each distinct missing source once, batched, and returns
+// vectors byte-equal to sequential single-source runs.
+func TestWarmBatchesMisses(t *testing.T) {
+	g, _, p, s := wheelNet(t, 65, 11)
+	const eps = 0.125
+	o, err := query.New(g, p, s, query.Options{Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []int{3, 9, 3, 27, 9, 41}
+	vecs, computed, cost, err := o.Warm(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 4 {
+		t.Errorf("computed %d sources, want 4 distinct", computed)
+	}
+	if cost.Total() == 0 {
+		t.Error("batched warm booked zero rounds")
+	}
+	for i, src := range srcs {
+		seq, err := sssp.Approx(g, src, p, s, sssp.Options{Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if vecs[i][v] != seq.Dist[v] {
+				t.Fatalf("warm src %d vertex %d: %v vs sequential %v", src, v, vecs[i][v], seq.Dist[v])
+			}
+		}
+	}
+	if _, computed, cost, err = o.Warm(srcs); err != nil || computed != 0 || cost.Total() != 0 {
+		t.Errorf("re-warm of cached sources: computed=%d cost=%v err=%v, want 0/zero/nil", computed, cost, err)
+	}
+}
+
+// The FIFO cache bound holds and eviction is by install order.
+func TestCacheCapEvictsFIFO(t *testing.T) {
+	g, _, p, s := wheelNet(t, 33, 13)
+	o, err := query.New(g, p, s, query.Options{CacheCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int{1, 2, 3} {
+		if _, err := o.Distances(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Cached(1) {
+		t.Error("oldest source survived a full cache")
+	}
+	if !o.Cached(2) || !o.Cached(3) {
+		t.Error("younger sources evicted out of FIFO order")
+	}
+	if st := o.Stats(); st.CachedSources != 2 {
+		t.Errorf("cache holds %d sources, cap is 2", st.CachedSources)
+	}
+}
+
+// Churn events on the maintained shortcut must flush the cache through
+// the repair hook, and post-churn answers must track the mutated network.
+func TestOracleChurnInvalidation(t *testing.T) {
+	g, tr, p, _ := wheelNet(t, 65, 17)
+	m, err := shortcut.Maintain(g, tr, p, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.15
+	o, err := query.FromMaintained(m, query.Options{Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := 5
+	before, err := o.Distances(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = before
+	if !o.Cached(src) {
+		t.Fatal("source not cached after query")
+	}
+	// A weight update through Repair: the hook must flush the cache.
+	var target int = -1
+	for id := 0; id < g.M(); id++ {
+		if !g.EdgeRemoved(id) && !tr.IsTreeEdge(id) {
+			target = id
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no non-tree edge to churn")
+	}
+	if _, err := m.Repair(shortcut.Event{Kind: shortcut.WeightUpdate, Edge: target, W: g.Edge(target).W * 3}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Cached(src) {
+		t.Fatal("cache survived a churn event")
+	}
+	if st := o.Stats(); st.Invalidations != 1 {
+		t.Errorf("%d invalidations, want 1", st.Invalidations)
+	}
+	// A delete too, including the re-query correctness against the exact
+	// oracle on the churned graph.
+	if _, err := m.Repair(shortcut.Event{Kind: shortcut.EdgeDelete, Edge: target}); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := graph.Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dst := 0; dst < g.N(); dst += 7 {
+		d, err := o.Dist(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Dist[dst]
+		if d < want-1e-12 || d > want*(1+eps)+1e-12 {
+			t.Fatalf("post-churn dist(%d,%d) = %v outside [%v, %v]", src, dst, d, want, want*(1+eps))
+		}
+	}
+}
+
+func TestOracleRejectsInvalidOptions(t *testing.T) {
+	g, _, p, s := wheelNet(t, 33, 19)
+	for _, opts := range []query.Options{{Eps: math.NaN()}, {Eps: -1}, {Eps: math.Inf(1)}, {CacheCap: -1}} {
+		if _, err := query.New(g, p, s, opts); !errors.Is(err, sssp.ErrInvalidOptions) {
+			t.Errorf("New(%+v): got %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+}
+
+// The replay report's deterministic fields must be byte-identical across
+// worker counts (and hence GOMAXPROCS): warming is sequential, serving is
+// read-only, and the checksum folds with XOR.
+func TestReplayDeterministicAcrossWorkers(t *testing.T) {
+	var reports []*query.Report
+	for _, workers := range []int{1, 3, 8} {
+		g, _, p, s := wheelNet(t, 129, 23)
+		o, err := query.New(g, p, s, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := query.Replay(o, query.TraceOptions{Queries: 4000, Window: 256, Workers: workers, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	base := reports[0]
+	for _, rep := range reports[1:] {
+		if rep.Hits != base.Hits || rep.Misses != base.Misses || rep.Computed != base.Computed ||
+			rep.Windows != base.Windows || rep.Checksum != base.Checksum || rep.Rounds != base.Rounds {
+			t.Fatalf("replay diverges across worker counts:\n%+v\nvs\n%+v", base, rep)
+		}
+	}
+	if base.Hits+base.Misses != base.Queries {
+		t.Errorf("hit/miss classification loses queries: %d+%d != %d", base.Hits, base.Misses, base.Queries)
+	}
+	if base.Misses == 0 {
+		t.Error("cold replay reported no misses")
+	}
+}
+
+// A second replay of the same trace against the warmed oracle is all
+// hits at zero compute rounds.
+func TestReplayWarmedAllHits(t *testing.T) {
+	g, _, p, s := wheelNet(t, 129, 29)
+	o, err := query.New(g, p, s, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := query.TraceOptions{Queries: 3000, Window: 512, Seed: 7}
+	cold, err := query.Replay(o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := query.Replay(o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Misses != 0 || warm.HitRate != 1 || warm.Rounds.Total() != 0 {
+		t.Fatalf("warmed replay not free: %+v", warm)
+	}
+	if warm.Checksum != cold.Checksum {
+		t.Error("same trace, same network: checksums differ between cold and warmed replay")
+	}
+}
+
+// The steady-state serving hot path — a cache hit — must not allocate.
+func TestServeHotPathAllocs(t *testing.T) {
+	g, _, p, s := wheelNet(t, 129, 31)
+	o, err := query.New(g, p, s, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Distances(3); err != nil {
+		t.Fatal(err)
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		d, err := o.Dist(3, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = d
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed query serving allocates %v objects per query", allocs)
+	}
+	_ = sink
+}

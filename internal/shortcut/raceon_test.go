@@ -1,0 +1,8 @@
+//go:build race
+
+package shortcut_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count pins skip under it: instrumentation inflates
+// AllocsPerRun counts past the plain-build ceilings.
+const raceEnabled = true

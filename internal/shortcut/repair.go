@@ -73,6 +73,24 @@ type Maintained struct {
 	admitted    [][]int32
 	s           *Shortcut
 	baseQuality int
+	onRepair    []func(*RepairReport)
+}
+
+// OnRepair registers a listener invoked after every successful Repair (and
+// after Reseat, with a nil report) — the invalidation hook consumers of
+// the maintained shortcut subscribe to. The query-serving distance oracle
+// uses it to flush cached distances when churn moves the network: any
+// event may change distances (weights, connectivity) even when the
+// shortcut's admissions are untouched. Listeners run synchronously, in
+// registration order, on the goroutine that called Repair.
+func (m *Maintained) OnRepair(fn func(*RepairReport)) {
+	m.onRepair = append(m.onRepair, fn)
+}
+
+func (m *Maintained) notifyRepair(rep *RepairReport) {
+	for _, fn := range m.onRepair {
+		fn(rep)
+	}
 }
 
 // RepairReport describes what one Repair call did.
@@ -173,6 +191,7 @@ func (m *Maintained) Reseat(cap int, prio []int32) error {
 		return err
 	}
 	m.baseQuality = m.s.Measure().Quality
+	m.notifyRepair(nil)
 	return nil
 }
 
@@ -230,6 +249,7 @@ func (m *Maintained) Repair(ev Event) (*RepairReport, error) {
 	}
 	rep.Quality = m.s.Measure().Quality
 	rep.RebuildRecommended = float64(rep.Quality) > m.RebuildFactor*float64(m.baseQuality)
+	m.notifyRepair(rep)
 	return rep, nil
 }
 

@@ -250,3 +250,41 @@ func TestRepairRejectsBadEvents(t *testing.T) {
 	}
 	checkOracle(t, m)
 }
+
+// OnRepair listeners — the invalidation hook the query-serving distance
+// oracle subscribes to — must fire once per successful Repair (with the
+// report) and once per Reseat (with nil), in registration order, and must
+// not fire for refused events.
+func TestOnRepairListeners(t *testing.T) {
+	g, tr, p := gridParts(t, 6, 6)
+	m, err := shortcut.Maintain(g, tr, p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var reports []*shortcut.RepairReport
+	m.OnRepair(func(rep *shortcut.RepairReport) { order = append(order, 1); reports = append(reports, rep) })
+	m.OnRepair(func(rep *shortcut.RepairReport) { order = append(order, 2) })
+	rep, err := m.Repair(shortcut.Event{Kind: shortcut.WeightUpdate, Edge: 0, W: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0] != rep {
+		t.Fatalf("listener saw %d reports, want exactly the returned one", len(reports))
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("listener order %v, want [1 2]", order)
+	}
+	if _, err := m.Repair(shortcut.Event{Kind: shortcut.EdgeDelete, Edge: g.M() + 7}); err == nil {
+		t.Fatal("bad event accepted")
+	}
+	if len(reports) != 1 {
+		t.Error("listener fired for a refused event")
+	}
+	if err := m.Reseat(m.Cap, m.Prio); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[1] != nil {
+		t.Fatalf("Reseat notification missing or non-nil: %d reports", len(reports))
+	}
+}

@@ -41,6 +41,7 @@
 package sssp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -54,7 +55,8 @@ import (
 // Options configures the approximation.
 type Options struct {
 	// Eps is the approximation slack (default 0.1); rounded weights
-	// over-estimate each edge by at most this factor.
+	// over-estimate each edge by at most this factor. Must be finite and
+	// strictly positive (ErrInvalidOptions otherwise).
 	Eps float64
 	// MaxPhases aborts non-converging runs (0 = n+2, which is always
 	// sufficient: each phase includes a full cross-edge pass).
@@ -63,6 +65,28 @@ type Options struct {
 	// simulator; false computes fixed points sequentially and charges
 	// rounds analytically (quality-based), for large benches.
 	Simulate bool
+}
+
+// ErrInvalidOptions is wrapped by every sssp entry point when Options fail
+// validation, mirroring congest.ErrInvalidOptions: errors.Is-able, with
+// the offending field in the message.
+var ErrInvalidOptions = errors.New("sssp: invalid options")
+
+// normalized applies defaults and validates: the zero Eps selects the
+// documented default, anything else must be a finite positive slack. NaN
+// in particular fails every comparison silently, so it is rejected here
+// explicitly rather than left to produce all-Inf "distances" downstream.
+func (o Options) normalized() (Options, error) {
+	if o.Eps == 0 {
+		o.Eps = 0.1
+	}
+	if math.IsNaN(o.Eps) || math.IsInf(o.Eps, 0) || o.Eps < 0 {
+		return o, fmt.Errorf("%w: eps %v (want finite eps > 0)", ErrInvalidOptions, o.Eps)
+	}
+	if o.MaxPhases < 0 {
+		return o, fmt.Errorf("%w: negative MaxPhases %d", ErrInvalidOptions, o.MaxPhases)
+	}
+	return o, nil
 }
 
 // Result reports an approximate SSSP run.
@@ -143,11 +167,9 @@ func Approx(g *graph.Graph, src int, p *partition.Parts, s *shortcut.Shortcut, o
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("sssp: source %d out of range for n=%d", src, n)
 	}
-	if opts.Eps == 0 {
-		opts.Eps = 0.1
-	}
-	if opts.Eps < 0 {
-		return nil, fmt.Errorf("sssp: negative eps %v", opts.Eps)
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
 	}
 	maxPhases := opts.MaxPhases
 	if maxPhases == 0 {
@@ -162,30 +184,34 @@ func Approx(g *graph.Graph, src int, p *partition.Parts, s *shortcut.Shortcut, o
 	// simulated primitive starts from, by construction.
 	charge := congest.RelaxBudget(m)
 	e := newEngine(g, p, s, rounded)
-	e.dist[src] = 0
+	dist := make([]float64, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	dist[src] = 0
 	res := &Result{Source: src, Eps: opts.Eps, Quality: m.Quality}
 	var relaxer *congest.Relaxer
 	if opts.Simulate {
 		relaxer = congest.NewRelaxer(g, p, s)
 	}
 	for phase := 0; phase < maxPhases; phase++ {
-		changedCross := e.crossPhase()
+		changedCross := e.crossPhase(dist)
 		var changedIntra bool
 		if opts.Simulate {
-			r, err := relaxer.Relax(rounded, e.dist)
+			r, err := relaxer.Relax(rounded, dist)
 			if err != nil {
 				return nil, fmt.Errorf("sssp: phase %d relaxation: %w", phase, err)
 			}
 			for v := 0; v < n; v++ {
-				if r.Dist[v] < e.dist[v] {
-					e.dist[v] = r.Dist[v]
+				if r.Dist[v] < dist[v] {
+					dist[v] = r.Dist[v]
 					changedIntra = true
 				}
 			}
 			res.CommRounds += 1 + r.EffectiveRounds
 			res.Messages += 2*g.M() + r.Stats.Messages
 		} else {
-			changedIntra = e.intraPhase()
+			changedIntra = e.intraPhase(dist)
 			res.ChargedRounds += 1 + charge
 		}
 		res.Phases++
@@ -193,20 +219,22 @@ func Approx(g *graph.Graph, src int, p *partition.Parts, s *shortcut.Shortcut, o
 			// A full quiet phase: the fixed point — exact distances under
 			// rounded weights — has been reached (and paid for: detecting
 			// quiescence costs the phase).
-			res.Dist = append([]float64(nil), e.dist...)
+			res.Dist = dist
 			return res, nil
 		}
 	}
 	return nil, fmt.Errorf("sssp: no convergence within %d phases", maxPhases)
 }
 
-// engine holds the phase iteration state; all buffers are allocated once
-// and reused, so a warm phase allocates nothing.
+// engine holds the phase iteration scratch, shared across the k distance
+// vectors of a batched run; all buffers are allocated once and reused, so
+// a warm phase allocates nothing. The tentative distances themselves are
+// parameters — one vector per source — so ApproxBatch drives the same
+// engine over k vectors without k copies of the scratch.
 type engine struct {
 	g         *graph.Graph
 	rounded   []float64
 	onChannel []bool // per edge: carries at least one (part, edge) channel
-	dist      []float64
 	next      []float64
 	heap      graph.MinDistHeap // scratch for the intra-phase potential Dijkstra
 	done      []bool
@@ -218,11 +246,13 @@ func newEngine(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, rounded
 		g:         g,
 		rounded:   rounded,
 		onChannel: make([]bool, g.M()),
-		dist:      make([]float64, n),
 		next:      make([]float64, n),
 		done:      make([]bool, n),
 	}
 	for id := 0; id < g.M(); id++ {
+		if g.EdgeRemoved(id) {
+			continue
+		}
 		ed := g.Edge(id)
 		if pi := p.Of[ed.U]; pi != -1 && pi == p.Of[ed.V] {
 			e.onChannel[id] = true
@@ -233,35 +263,35 @@ func newEngine(g *graph.Graph, p *partition.Parts, s *shortcut.Shortcut, rounded
 			e.onChannel[id] = true
 		}
 	}
-	for v := range e.dist {
-		e.dist[v] = math.Inf(1)
-	}
 	return e
 }
 
 // crossPhase performs one synchronous (Jacobi) relaxation round over every
 // edge of the network: new values are computed from the previous round's
 // values only, exactly what one CONGEST round of neighbor exchange can do.
-func (e *engine) crossPhase() bool {
-	copy(e.next, e.dist)
+func (e *engine) crossPhase(dist []float64) bool {
+	copy(e.next, dist)
 	g := e.g
 	for id := 0; id < g.M(); id++ {
+		if g.EdgeRemoved(id) {
+			continue
+		}
 		ed := g.Edge(id)
 		w := e.rounded[id]
-		if c := e.dist[ed.U] + w; c < e.next[ed.V] {
+		if c := dist[ed.U] + w; c < e.next[ed.V] {
 			e.next[ed.V] = c
 		}
-		if c := e.dist[ed.V] + w; c < e.next[ed.U] {
+		if c := dist[ed.V] + w; c < e.next[ed.U] {
 			e.next[ed.U] = c
 		}
 	}
 	changed := false
-	for v := range e.dist {
-		if e.next[v] < e.dist[v] {
+	for v := range dist {
+		if e.next[v] < dist[v] {
 			changed = true
 		}
 	}
-	e.dist, e.next = e.next, e.dist
+	copy(dist, e.next)
 	return changed
 }
 
@@ -269,9 +299,8 @@ func (e *engine) crossPhase() bool {
 // potential-initialized Dijkstra over the channel edges, updating dist in
 // place. This is the analytic-mode stand-in for congest.RelaxPartwise and
 // computes the identical fixed point.
-func (e *engine) intraPhase() bool {
+func (e *engine) intraPhase(dist []float64) bool {
 	g := e.g
-	dist := e.dist
 	e.heap.Reset(dist)
 	for v := range dist {
 		e.done[v] = false
@@ -306,13 +335,18 @@ func (e *engine) intraPhase() bool {
 // O(log_{1+eps} W) distinct values per scale. Weights must be strictly
 // positive.
 func RoundWeights(g *graph.Graph, eps float64) ([]float64, error) {
-	if eps <= 0 {
-		return nil, fmt.Errorf("sssp: eps must be positive, got %v", eps)
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("sssp: eps must be finite and positive, got %v", eps)
 	}
 	base := 1 + eps
 	logBase := math.Log(base)
 	out := make([]float64, g.M())
 	for id := 0; id < g.M(); id++ {
+		if g.EdgeRemoved(id) {
+			// Churn tombstone: the arc is gone from every adjacency list,
+			// so its rounded weight is never read. Leave it zero.
+			continue
+		}
 		w := g.Edge(id).W
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 			return nil, fmt.Errorf("sssp: edge %d has non-positive weight %v", id, w)

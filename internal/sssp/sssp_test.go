@@ -183,14 +183,18 @@ func TestPhaseHotPathAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := newEngine(g, p, s, rounded)
-	e.dist[0] = 0
+	dist := make([]float64, g.N())
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	dist[0] = 0
 	for i := 0; i < 3; i++ { // warm: run phases to convergence
-		e.crossPhase()
-		e.intraPhase()
+		e.crossPhase(dist)
+		e.intraPhase(dist)
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		e.crossPhase()
-		e.intraPhase()
+		e.crossPhase(dist)
+		e.intraPhase(dist)
 	})
 	if allocs != 0 {
 		t.Fatalf("phase hot path allocates %v times per phase", allocs)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
+	"repro/internal/query"
 	"repro/internal/shortcut"
 	"repro/internal/sssp"
 	"repro/internal/structure"
@@ -471,6 +472,79 @@ func (nw *Network) ApproxSSSP(src int, p *Parts, eps float64) (*SSSPResult, erro
 // ExactSSSP computes exact shortest paths (Dijkstra reference).
 func (nw *Network) ExactSSSP(src int) (*graph.SPResult, error) {
 	return graph.Dijkstra(nw.G, src)
+}
+
+// BatchSSSPResult reports a batched k-source approximate shortest-path
+// run.
+type BatchSSSPResult = sssp.BatchResult
+
+// ApproxSSSPBatch runs the batched k-source (1+ε)-SSSP: one relaxation
+// schedule pipelines every source's tokens (tag = source index) over the
+// same witness-matched shortcut, returning per-source distance vectors
+// bit-identical to k sequential ApproxSSSP runs at O(h+k) rounds per
+// phase instead of k·O(h).
+func (nw *Network) ApproxSSSPBatch(srcs []int, p *Parts, eps float64) (*BatchSSSPResult, error) {
+	sc, err := nw.BuildShortcut(p)
+	if err != nil {
+		return nil, err
+	}
+	return sssp.ApproxBatch(nw.G, srcs, p, sc.S, sssp.Options{Eps: eps})
+}
+
+// DistanceOracle serves (1+ε)-approximate distance queries over one
+// constructed shortcut: cache misses run batched k-source SSSP, hits cost
+// zero communication rounds, and churn events on a maintained shortcut
+// flush the cache through the repair hook.
+type DistanceOracle = query.Oracle
+
+// OracleOptions configures a DistanceOracle (stretch, ledger mode, cache
+// capacity).
+type OracleOptions = query.Options
+
+// OracleStats is a DistanceOracle cache/cost snapshot.
+type OracleStats = query.Stats
+
+// TraceOptions configures a synthetic query-trace replay against a
+// DistanceOracle.
+type TraceOptions = query.TraceOptions
+
+// TraceReport summarizes a replayed query trace: hit rate, rounds per
+// query, throughput, and the determinism checksum.
+type TraceReport = query.Report
+
+// NewDistanceOracle builds a distance oracle over the given parts using
+// the witness-matched shortcut construction.
+func (nw *Network) NewDistanceOracle(p *Parts, opts OracleOptions) (*DistanceOracle, error) {
+	sc, err := nw.BuildShortcut(p)
+	if err != nil {
+		return nil, err
+	}
+	return query.New(nw.G, p, sc.S, opts)
+}
+
+// MaintainedDistanceOracle couples a distance oracle to a maintained
+// shortcut (see MaintainShortcut): churn events fed to the returned
+// maintainer's Repair invalidate the oracle's cache, so post-churn queries
+// recompute against the repaired construction.
+func (nw *Network) MaintainedDistanceOracle(p *Parts, cap int, rebuildFactor float64, opts OracleOptions) (*DistanceOracle, *MaintainedShortcut, error) {
+	m, err := nw.MaintainShortcut(p, cap, rebuildFactor)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err := query.FromMaintained(m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return o, m, nil
+}
+
+// ReplayTrace drives a seeded Zipf-skewed synthetic query trace against
+// the oracle: per window, distinct missing sources are computed in one
+// batched k-source run, then the window is served concurrently from the
+// cache. The report's deterministic fields are byte-identical across
+// worker counts.
+func ReplayTrace(o *DistanceOracle, t TraceOptions) (*TraceReport, error) {
+	return query.Replay(o, t)
 }
 
 // Diameter returns the exact hop diameter for small networks and the
